@@ -1,0 +1,184 @@
+//! Adaptive boosting (multiclass SAMME over shallow trees).
+
+use crate::tree::DecisionTree;
+use crate::{validate, Classifier, FitError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// AdaBoost (SAMME variant) with depth-limited decision trees as weak
+/// learners. Weighted training is realised by weighted resampling.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Depth of each weak learner.
+    pub weak_depth: usize,
+    /// RNG seed for resampling.
+    pub seed: u64,
+    learners: Vec<(f64, DecisionTree)>,
+    n_classes: usize,
+}
+
+impl AdaBoost {
+    /// Creates an AdaBoost ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rounds == 0`.
+    pub fn new(n_rounds: usize, weak_depth: usize) -> Self {
+        assert!(n_rounds > 0, "need at least one boosting round");
+        AdaBoost {
+            n_rounds,
+            weak_depth,
+            seed: 29,
+            learners: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+/// Draws `n` indices proportionally to `weights` (roulette wheel).
+fn weighted_resample(weights: &[f64], n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut target = rng.gen_range(0.0..total.max(1e-300));
+        let mut pick = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                pick = i;
+                break;
+            }
+        }
+        out.push(pick);
+    }
+    out
+}
+
+impl Classifier for AdaBoost {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, _, n_classes) = validate(x, y)?;
+        self.n_classes = n_classes;
+        self.learners.clear();
+        let mut weights = vec![1.0 / n as f64; n];
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let k = n_classes as f64;
+        for round in 0..self.n_rounds {
+            let sample = weighted_resample(&weights, n, &mut rng);
+            let bx: Vec<Vec<f32>> = sample.iter().map(|&i| x[i].clone()).collect();
+            let by: Vec<usize> = sample.iter().map(|&i| y[i]).collect();
+            let mut weak = DecisionTree::new(self.weak_depth);
+            weak.seed = self.seed.wrapping_add(round as u64 * 37);
+            weak.fit(&bx, &by)?;
+            // Weighted error on the full set.
+            let err: f64 = x
+                .iter()
+                .zip(y)
+                .zip(&weights)
+                .filter(|((xi, yi), _)| weak.predict(xi) != **yi)
+                .map(|(_, w)| *w)
+                .sum::<f64>()
+                / weights.iter().sum::<f64>();
+            if err >= 1.0 - 1.0 / k {
+                continue; // worse than chance: discard this round
+            }
+            let err = err.max(1e-10);
+            let alpha = ((1.0 - err) / err).ln() + (k - 1.0).ln();
+            // Re-weight: misclassified samples up.
+            for ((xi, yi), w) in x.iter().zip(y).zip(weights.iter_mut()) {
+                if weak.predict(xi) != *yi {
+                    *w *= alpha.exp().min(1e6);
+                }
+            }
+            let total: f64 = weights.iter().sum();
+            weights.iter_mut().for_each(|w| *w /= total);
+            self.learners.push((alpha, weak));
+            if err < 1e-8 {
+                break; // perfect learner
+            }
+        }
+        if self.learners.is_empty() {
+            // Fall back to one unweighted learner so predict() works.
+            let mut weak = DecisionTree::new(self.weak_depth);
+            weak.fit(x, y)?;
+            self.learners.push((1.0, weak));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        let mut scores = vec![0.0f64; self.n_classes];
+        for (alpha, learner) in &self.learners {
+            scores[learner.predict(x)] += alpha;
+        }
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "AdaBoost"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use crate::testutil::{blobs, xor};
+
+    #[test]
+    fn boosts_stumps_past_single_stump() {
+        let (x, y) = xor(300, 31);
+        let mut stump = DecisionTree::new(1);
+        stump.fit(&x, &y).unwrap();
+        let stump_acc = accuracy(&stump, &x, &y);
+        let mut boost = AdaBoost::new(40, 2);
+        boost.fit(&x, &y).unwrap();
+        let boost_acc = accuracy(&boost, &x, &y);
+        assert!(
+            boost_acc > stump_acc + 0.1,
+            "boost {boost_acc} vs stump {stump_acc}"
+        );
+    }
+
+    #[test]
+    fn fits_blobs() {
+        let (x, y) = blobs(15, 4, 32);
+        let mut boost = AdaBoost::new(15, 2);
+        boost.fit(&x, &y).unwrap();
+        assert!(accuracy(&boost, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = blobs(10, 3, 33);
+        let mut a = AdaBoost::new(10, 2);
+        let mut b = AdaBoost::new(10, 2);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for probe in &x {
+            assert_eq!(a.predict(probe), b.predict(probe));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boosting round")]
+    fn zero_rounds_panics() {
+        AdaBoost::new(0, 1);
+    }
+
+    #[test]
+    fn handles_trivial_data() {
+        // One class only: always predicts it.
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![0, 0];
+        let mut boost = AdaBoost::new(5, 1);
+        boost.fit(&x, &y).unwrap();
+        assert_eq!(boost.predict(&[1.5]), 0);
+    }
+}

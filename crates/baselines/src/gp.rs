@@ -1,0 +1,148 @@
+//! Gaussian-process classifier (one-vs-rest GP regression on ±1
+//! labels — the standard fast approximation, sometimes called
+//! least-squares classification).
+
+use crate::linalg::{cholesky, cholesky_solve};
+use crate::{validate, Classifier, FitError};
+
+/// One-vs-rest GP classifier with an RBF kernel.
+///
+/// Exact GP classification requires non-Gaussian likelihood
+/// approximations (Laplace/EP); regressing on ±1 targets and taking
+/// the posterior-mean argmax is the usual pragmatic surrogate and
+/// matches scikit-learn's behaviour closely on well-separated data.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    /// RBF kernel width: `k(x, z) = exp(−γ‖x−z‖²)`.
+    pub gamma: f64,
+    /// Observation noise added to the kernel diagonal.
+    pub noise: f64,
+    x: Vec<Vec<f32>>,
+    alphas: Vec<Vec<f64>>, // per class: (K + σ²I)⁻¹ y_c
+}
+
+impl GaussianProcess {
+    /// Creates a GP classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma <= 0` or `noise <= 0`.
+    pub fn new(gamma: f64, noise: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        assert!(noise > 0.0, "noise must be positive");
+        GaussianProcess {
+            gamma,
+            noise,
+            x: Vec::new(),
+            alphas: Vec::new(),
+        }
+    }
+
+    fn kernel(&self, a: &[f32], b: &[f32]) -> f64 {
+        let d2: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = (*x - *y) as f64;
+                d * d
+            })
+            .sum();
+        (-self.gamma * d2).exp()
+    }
+}
+
+impl Default for GaussianProcess {
+    fn default() -> Self {
+        GaussianProcess::new(0.5, 1e-3)
+    }
+}
+
+impl Classifier for GaussianProcess {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, _, n_classes) = validate(x, y)?;
+        // Gram matrix with noise on the diagonal.
+        let mut gram = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let k = self.kernel(&x[i], &x[j]);
+                gram[i * n + j] = k;
+                gram[j * n + i] = k;
+            }
+            gram[i * n + i] += self.noise;
+        }
+        let l = cholesky(&gram, n).ok_or(FitError::Numerical(
+            "kernel matrix not positive definite; increase noise",
+        ))?;
+        self.alphas = (0..n_classes)
+            .map(|c| {
+                let targets: Vec<f64> = y
+                    .iter()
+                    .map(|&yi| if yi == c { 1.0 } else { -1.0 })
+                    .collect();
+                cholesky_solve(&l, n, &targets)
+            })
+            .collect();
+        self.x = x.to_vec();
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        let k: Vec<f64> = self.x.iter().map(|xi| self.kernel(xi, x)).collect();
+        self.alphas
+            .iter()
+            .map(|alpha| alpha.iter().zip(&k).map(|(a, kv)| a * kv).sum::<f64>())
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite posteriors"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "Gaussian Process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use crate::testutil::{blobs, xor};
+
+    #[test]
+    fn fits_blobs() {
+        let (x, y) = blobs(15, 4, 61);
+        let mut gp = GaussianProcess::default();
+        gp.fit(&x, &y).unwrap();
+        assert!(accuracy(&gp, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn solves_xor() {
+        let (x, y) = xor(150, 62);
+        let mut gp = GaussianProcess::new(2.0, 1e-2);
+        gp.fit(&x, &y).unwrap();
+        assert!(accuracy(&gp, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn interpolates_training_points_at_low_noise() {
+        let x = vec![vec![0.0f32], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut gp = GaussianProcess::new(1.0, 1e-6);
+        gp.fit(&x, &y).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(gp.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn invalid_gamma_panics() {
+        GaussianProcess::new(0.0, 1e-3);
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert!(GaussianProcess::default().fit(&[], &[]).is_err());
+    }
+}

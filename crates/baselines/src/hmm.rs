@@ -1,0 +1,379 @@
+//! Hidden Markov model classifier — the HMM approach of prior RFID
+//! work (FEMO, reference 10 of the paper) used as a sequence-aware baseline.
+//!
+//! One left-to-right Gaussian HMM (diagonal covariance) is trained per
+//! activity class with segmental k-means (Viterbi training);
+//! classification picks the class whose model gives the sequence the
+//! highest forward log-likelihood.
+
+use crate::FitError;
+
+/// A Gaussian-emission HMM over fixed-dimension frame sequences.
+#[derive(Debug, Clone)]
+pub struct GaussianHmm {
+    n_states: usize,
+    dim: usize,
+    log_init: Vec<f64>,
+    log_trans: Vec<f64>, // row-major n×n
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+const LOG_ZERO: f64 = -1e30;
+const VAR_FLOOR: f64 = 1e-4;
+
+impl GaussianHmm {
+    /// Trains an HMM on `sequences` with `n_states` states and
+    /// `iterations` rounds of Viterbi re-estimation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when sequences are empty or inconsistent.
+    pub fn fit(
+        sequences: &[Vec<Vec<f32>>],
+        n_states: usize,
+        iterations: usize,
+    ) -> Result<Self, FitError> {
+        if sequences.is_empty() || n_states == 0 {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let dim = sequences
+            .first()
+            .and_then(|s| s.first())
+            .map(|f| f.len())
+            .ok_or(FitError::EmptyTrainingSet)?;
+        if dim == 0 {
+            return Err(FitError::InconsistentFeatures);
+        }
+        for s in sequences {
+            if s.is_empty() || s.iter().any(|f| f.len() != dim) {
+                return Err(FitError::InconsistentFeatures);
+            }
+        }
+
+        // Initial segmentation: uniform splits over time.
+        let mut assignments: Vec<Vec<usize>> = sequences
+            .iter()
+            .map(|s| {
+                (0..s.len())
+                    .map(|t| (t * n_states / s.len()).min(n_states - 1))
+                    .collect()
+            })
+            .collect();
+
+        let mut model = GaussianHmm {
+            n_states,
+            dim,
+            log_init: vec![LOG_ZERO; n_states],
+            log_trans: vec![LOG_ZERO; n_states * n_states],
+            means: vec![vec![0.0; dim]; n_states],
+            vars: vec![vec![1.0; dim]; n_states],
+        };
+        model.reestimate(sequences, &assignments);
+
+        for _ in 0..iterations {
+            let mut changed = false;
+            for (s_idx, seq) in sequences.iter().enumerate() {
+                let path = model.viterbi(seq);
+                if path != assignments[s_idx] {
+                    changed = true;
+                    assignments[s_idx] = path;
+                }
+            }
+            model.reestimate(sequences, &assignments);
+            if !changed {
+                break;
+            }
+        }
+        Ok(model)
+    }
+
+    /// Number of hidden states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    fn reestimate(&mut self, sequences: &[Vec<Vec<f32>>], assignments: &[Vec<usize>]) {
+        let n = self.n_states;
+        let d = self.dim;
+        let mut state_counts = vec![0usize; n];
+        let mut init_counts = vec![0usize; n];
+        let mut trans_counts = vec![0usize; n * n];
+        let mut means = vec![vec![0.0f64; d]; n];
+        for (seq, path) in sequences.iter().zip(assignments) {
+            init_counts[path[0]] += 1;
+            for t in 0..seq.len() {
+                let s = path[t];
+                state_counts[s] += 1;
+                for j in 0..d {
+                    means[s][j] += seq[t][j] as f64;
+                }
+                if t + 1 < seq.len() {
+                    trans_counts[s * n + path[t + 1]] += 1;
+                }
+            }
+        }
+        for s in 0..n {
+            let c = state_counts[s].max(1) as f64;
+            means[s].iter_mut().for_each(|m| *m /= c);
+        }
+        let mut vars = vec![vec![0.0f64; d]; n];
+        for (seq, path) in sequences.iter().zip(assignments) {
+            for (t, frame) in seq.iter().enumerate() {
+                let s = path[t];
+                for j in 0..d {
+                    let diff = frame[j] as f64 - means[s][j];
+                    vars[s][j] += diff * diff;
+                }
+            }
+        }
+        for s in 0..n {
+            let c = state_counts[s].max(1) as f64;
+            for v in vars[s].iter_mut() {
+                *v = (*v / c).max(VAR_FLOOR);
+            }
+        }
+        // Smoothed log-probabilities (add-one).
+        let total_init: f64 = init_counts.iter().map(|&c| c as f64 + 1.0).sum();
+        for s in 0..n {
+            self.log_init[s] = ((init_counts[s] as f64 + 1.0) / total_init).ln();
+        }
+        for s in 0..n {
+            let row_total: f64 = (0..n).map(|t| trans_counts[s * n + t] as f64 + 1.0).sum();
+            for t in 0..n {
+                self.log_trans[s * n + t] =
+                    ((trans_counts[s * n + t] as f64 + 1.0) / row_total).ln();
+            }
+        }
+        self.means = means;
+        self.vars = vars;
+    }
+
+    fn log_emission(&self, state: usize, frame: &[f32]) -> f64 {
+        let mut ll = 0.0;
+        for j in 0..self.dim {
+            let mean = self.means[state][j];
+            let var = self.vars[state][j];
+            let d = frame[j] as f64 - mean;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+        }
+        ll
+    }
+
+    /// Most likely state path for a sequence.
+    pub fn viterbi(&self, seq: &[Vec<f32>]) -> Vec<usize> {
+        let n = self.n_states;
+        let t_len = seq.len();
+        if t_len == 0 {
+            return Vec::new();
+        }
+        let mut delta: Vec<f64> = (0..n)
+            .map(|s| self.log_init[s] + self.log_emission(s, &seq[0]))
+            .collect();
+        let mut back = vec![vec![0usize; n]; t_len];
+        for t in 1..t_len {
+            let mut next = vec![LOG_ZERO; n];
+            for s in 0..n {
+                let mut best = LOG_ZERO;
+                let mut best_prev = 0;
+                for p in 0..n {
+                    let cand = delta[p] + self.log_trans[p * n + s];
+                    if cand > best {
+                        best = cand;
+                        best_prev = p;
+                    }
+                }
+                next[s] = best + self.log_emission(s, &seq[t]);
+                back[t][s] = best_prev;
+            }
+            delta = next;
+        }
+        let mut state = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+        let mut path = vec![0usize; t_len];
+        for t in (0..t_len).rev() {
+            path[t] = state;
+            state = back[t][state];
+        }
+        path
+    }
+
+    /// Forward-algorithm log-likelihood `ln P(seq | model)`.
+    pub fn log_likelihood(&self, seq: &[Vec<f32>]) -> f64 {
+        let n = self.n_states;
+        if seq.is_empty() {
+            return LOG_ZERO;
+        }
+        let log_sum_exp = |xs: &[f64]| {
+            let m = xs.iter().cloned().fold(f64::MIN, f64::max);
+            if m <= LOG_ZERO {
+                return LOG_ZERO;
+            }
+            m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+        };
+        let mut alpha: Vec<f64> = (0..n)
+            .map(|s| self.log_init[s] + self.log_emission(s, &seq[0]))
+            .collect();
+        for frame in seq.iter().skip(1) {
+            let mut next = vec![LOG_ZERO; n];
+            for (s, next_s) in next.iter_mut().enumerate() {
+                let terms: Vec<f64> = (0..n)
+                    .map(|p| alpha[p] + self.log_trans[p * n + s])
+                    .collect();
+                *next_s = log_sum_exp(&terms) + self.log_emission(s, frame);
+            }
+            alpha = next;
+        }
+        log_sum_exp(&alpha)
+    }
+}
+
+/// One HMM per class; classification by maximum log-likelihood.
+#[derive(Debug, Clone, Default)]
+pub struct HmmClassifier {
+    models: Vec<Option<GaussianHmm>>,
+}
+
+impl HmmClassifier {
+    /// Trains per-class HMMs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if the dataset is empty or inconsistent.
+    pub fn fit(
+        data: &[(Vec<Vec<f32>>, usize)],
+        n_states: usize,
+        iterations: usize,
+    ) -> Result<Self, FitError> {
+        if data.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let n_classes = data.iter().map(|(_, y)| *y).max().unwrap_or(0) + 1;
+        let mut models = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let class_seqs: Vec<Vec<Vec<f32>>> = data
+                .iter()
+                .filter(|(_, y)| *y == c)
+                .map(|(s, _)| s.clone())
+                .collect();
+            if class_seqs.is_empty() {
+                models.push(None);
+            } else {
+                models.push(Some(GaussianHmm::fit(&class_seqs, n_states, iterations)?));
+            }
+        }
+        Ok(HmmClassifier { models })
+    }
+
+    /// Predicts the class of one frame sequence.
+    pub fn predict(&self, seq: &[Vec<f32>]) -> usize {
+        self.models
+            .iter()
+            .enumerate()
+            .filter_map(|(c, m)| m.as_ref().map(|m| (c, m.log_likelihood(seq))))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite likelihoods"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Display name matching the related-work baseline.
+    pub fn name(&self) -> &'static str {
+        "HMM (FEMO-style)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sequences whose classes differ only in temporal order.
+    fn ordered_data() -> Vec<(Vec<Vec<f32>>, usize)> {
+        let mut data = Vec::new();
+        for k in 0..10 {
+            let jitter = k as f32 * 0.01;
+            // Class 0: low then high. Class 1: high then low.
+            let low_high: Vec<Vec<f32>> = (0..8)
+                .map(|t| vec![if t < 4 { 0.0 } else { 1.0 } + jitter])
+                .collect();
+            let high_low: Vec<Vec<f32>> = (0..8)
+                .map(|t| vec![if t < 4 { 1.0 } else { 0.0 } + jitter])
+                .collect();
+            data.push((low_high, 0));
+            data.push((high_low, 1));
+        }
+        data
+    }
+
+    #[test]
+    fn distinguishes_temporal_order() {
+        let data = ordered_data();
+        let clf = HmmClassifier::fit(&data, 3, 5).unwrap();
+        let correct = data
+            .iter()
+            .filter(|(s, y)| clf.predict(s) == *y)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn likelihood_prefers_matching_model() {
+        let seqs: Vec<Vec<Vec<f32>>> = (0..5)
+            .map(|k| {
+                (0..6)
+                    .map(|t| vec![t as f32 * 0.5 + k as f32 * 0.01])
+                    .collect()
+            })
+            .collect();
+        let rising = GaussianHmm::fit(&seqs, 3, 4).unwrap();
+        let rising_seq: Vec<Vec<f32>> = (0..6).map(|t| vec![t as f32 * 0.5]).collect();
+        let falling_seq: Vec<Vec<f32>> = (0..6).map(|t| vec![(5 - t) as f32 * 0.5]).collect();
+        assert!(rising.log_likelihood(&rising_seq) > rising.log_likelihood(&falling_seq));
+    }
+
+    #[test]
+    fn viterbi_path_is_monotone_for_ramp() {
+        let seqs: Vec<Vec<Vec<f32>>> =
+            (0..4).map(|_| (0..9).map(|t| vec![t as f32]).collect()).collect();
+        let hmm = GaussianHmm::fit(&seqs, 3, 5).unwrap();
+        let path = hmm.viterbi(&seqs[0]);
+        assert_eq!(path.len(), 9);
+        for w in path.windows(2) {
+            assert!(w[1] >= w[0], "ramp path should be monotone: {path:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(GaussianHmm::fit(&[], 3, 2).is_err());
+        assert!(HmmClassifier::fit(&[], 3, 2).is_err());
+        let bad = vec![(vec![], 0usize)];
+        assert!(HmmClassifier::fit(&bad, 2, 1).is_err());
+    }
+
+    #[test]
+    fn missing_class_is_skipped() {
+        // Labels 0 and 2, no 1.
+        let seq = |v: f32| -> Vec<Vec<f32>> { (0..4).map(|_| vec![v]).collect() };
+        let data = vec![
+            (seq(0.0), 0),
+            (seq(0.1), 0),
+            (seq(5.0), 2),
+            (seq(5.1), 2),
+        ];
+        let clf = HmmClassifier::fit(&data, 2, 2).unwrap();
+        assert_eq!(clf.predict(&seq(0.05)), 0);
+        assert_eq!(clf.predict(&seq(5.05)), 2);
+    }
+
+    #[test]
+    fn empty_sequence_likelihood_is_log_zero() {
+        let seqs = vec![vec![vec![0.0f32]; 3]; 2];
+        let hmm = GaussianHmm::fit(&seqs, 2, 1).unwrap();
+        assert!(hmm.log_likelihood(&[]) <= -1e29);
+        assert!(hmm.viterbi(&[]).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! k-nearest-neighbours classifier.
+
+use crate::{validate, Classifier, FitError};
+
+/// Euclidean k-NN with majority voting (ties broken toward the nearer
+/// neighbour's class).
+#[derive(Debug, Clone, Default)]
+pub struct KNearestNeighbors {
+    k: usize,
+    x: Vec<Vec<f32>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KNearestNeighbors {
+    /// Creates a k-NN classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KNearestNeighbors {
+            k,
+            ..Default::default()
+        }
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (_, _, n_classes) = validate(x, y)?;
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        let mut dists: Vec<(f32, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (sq_dist(xi, x), yi))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, c) in dists.iter().take(self.k.min(dists.len())) {
+            votes[c] += 1;
+        }
+        // Majority; ties fall to the class of the nearest member.
+        let best = votes.iter().copied().max().unwrap_or(0);
+        dists
+            .iter()
+            .take(self.k.min(dists.len()))
+            .find(|&&(_, c)| votes[c] == best)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "Nearest Neighbors"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+    use crate::accuracy;
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = blobs(20, 6, 1);
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y).unwrap();
+        assert!(accuracy(&knn, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn k1_memorises_training_set() {
+        let (x, y) = blobs(10, 4, 2);
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y).unwrap();
+        assert_eq!(accuracy(&knn, &x, &y), 1.0);
+    }
+
+    #[test]
+    fn majority_voting() {
+        let x = vec![
+            vec![0.0],
+            vec![0.2],
+            vec![0.4],
+            vec![10.0],
+        ];
+        let y = vec![0, 0, 0, 1];
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y).unwrap();
+        // Even near the lone outlier's side, 3-NN majority is class 0
+        // at moderate distance.
+        assert_eq!(knn.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        let mut knn = KNearestNeighbors::new(1);
+        assert_eq!(knn.fit(&[], &[]), Err(FitError::EmptyTrainingSet));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KNearestNeighbors::new(0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_fine() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let mut knn = KNearestNeighbors::new(10);
+        knn.fit(&x, &y).unwrap();
+        let _ = knn.predict(&[0.4]);
+    }
+}

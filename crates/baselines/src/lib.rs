@@ -1,0 +1,188 @@
+//! # m2ai-baselines — classical classifiers for the Fig. 9 comparison
+//!
+//! The paper compares M²AI against ten scikit-learn classifiers:
+//! k-nearest neighbours, one-vs-all linear SVM, one-vs-all RBF SVM,
+//! Gaussian process, decision tree, random forest, adaptive boosting,
+//! Bayesian net (implemented here as Gaussian naive Bayes — the
+//! standard scikit-learn stand-in) and quadratic discriminant analysis,
+//! plus the HMM approach of prior work (FEMO). This crate implements
+//! all of them from scratch on `f32` feature vectors.
+//!
+//! Vector classifiers implement [`Classifier`]; the HMM, which consumes
+//! sequences, lives in [`hmm`].
+//!
+//! # Example
+//!
+//! ```
+//! use m2ai_baselines::{Classifier, knn::KNearestNeighbors};
+//!
+//! let x = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]];
+//! let y = vec![0, 0, 1, 1];
+//! let mut knn = KNearestNeighbors::new(1);
+//! knn.fit(&x, &y).unwrap();
+//! assert_eq!(knn.predict(&[0.05, 0.0]), 0);
+//! assert_eq!(knn.predict(&[5.0, 5.1]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boost;
+pub mod gp;
+pub mod hmm;
+pub mod knn;
+pub mod linalg;
+pub mod nb;
+pub mod qda;
+pub mod svm;
+pub mod tree;
+
+/// Errors from fitting a baseline classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Feature vectors have inconsistent lengths.
+    InconsistentFeatures,
+    /// Labels and features have different lengths.
+    LabelMismatch,
+    /// Numerical failure (e.g. a singular covariance matrix).
+    Numerical(&'static str),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "training set is empty"),
+            FitError::InconsistentFeatures => {
+                write!(f, "feature vectors have inconsistent lengths")
+            }
+            FitError::LabelMismatch => write!(f, "labels and features differ in length"),
+            FitError::Numerical(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A multiclass classifier over fixed-length feature vectors.
+pub trait Classifier {
+    /// Fits the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] on empty/ill-formed training data.
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError>;
+
+    /// Predicts the class of one feature vector.
+    fn predict(&self, x: &[f32]) -> usize;
+
+    /// Short human-readable name (used in the Fig. 9 table).
+    fn name(&self) -> &'static str;
+}
+
+/// Validates a training set and returns `(n_samples, n_features,
+/// n_classes)`.
+///
+/// # Errors
+///
+/// See [`FitError`].
+pub(crate) fn validate(x: &[Vec<f32>], y: &[usize]) -> Result<(usize, usize, usize), FitError> {
+    if x.is_empty() {
+        return Err(FitError::EmptyTrainingSet);
+    }
+    if x.len() != y.len() {
+        return Err(FitError::LabelMismatch);
+    }
+    let d = x[0].len();
+    if d == 0 || x.iter().any(|row| row.len() != d) {
+        return Err(FitError::InconsistentFeatures);
+    }
+    let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+    Ok((x.len(), d, n_classes))
+}
+
+/// Accuracy of a fitted classifier on a labelled set.
+pub fn accuracy<C: Classifier + ?Sized>(clf: &C, x: &[Vec<f32>], y: &[usize]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let hits = x
+        .iter()
+        .zip(y)
+        .filter(|(xi, yi)| clf.predict(xi) == **yi)
+        .count();
+    hits as f64 / x.len() as f64
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared synthetic datasets for the baseline tests.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three well-separated Gaussian blobs in `dim` dimensions.
+    pub fn blobs(n_per_class: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..n_per_class {
+                let mut v = vec![0.0f32; dim];
+                for (j, vj) in v.iter_mut().enumerate() {
+                    let center = if j % 3 == c { 3.0 } else { 0.0 };
+                    *vj = center + rng.gen_range(-0.7..0.7);
+                }
+                x.push(v);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    /// XOR-style data that linear models cannot separate.
+    pub fn xor(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen_range(-1.0f32..1.0);
+            let b = rng.gen_range(-1.0f32..1.0);
+            x.push(vec![a, b]);
+            y.push(usize::from((a > 0.0) != (b > 0.0)));
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_errors() {
+        assert_eq!(validate(&[], &[]), Err(FitError::EmptyTrainingSet));
+        assert_eq!(
+            validate(&[vec![1.0]], &[0, 1]),
+            Err(FitError::LabelMismatch)
+        );
+        assert_eq!(
+            validate(&[vec![1.0], vec![1.0, 2.0]], &[0, 1]),
+            Err(FitError::InconsistentFeatures)
+        );
+        assert_eq!(validate(&[vec![1.0], vec![2.0]], &[0, 2]), Ok((2, 1, 3)));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            FitError::EmptyTrainingSet,
+            FitError::InconsistentFeatures,
+            FitError::LabelMismatch,
+            FitError::Numerical("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Small dense real linear algebra: Cholesky and Gauss–Jordan, `f64`.
+//!
+//! Sized for the baseline models (feature dimensions ≤ a few hundred).
+
+/// Cholesky factorisation of a symmetric positive-definite matrix
+/// (row-major `n × n`): returns lower-triangular `L` with `A = L·Lᵀ`.
+///
+/// Returns `None` if the matrix is not positive definite.
+pub fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A·x = b` given the Cholesky factor `L` of `A`.
+pub fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), n, "rhs size mismatch");
+    // Forward: L·y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Backward: Lᵀ·x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+/// Log-determinant of `A` from its Cholesky factor.
+pub fn cholesky_logdet(l: &[f64], n: usize) -> f64 {
+    (0..n).map(|i| l[i * n + i].ln()).sum::<f64>() * 2.0
+}
+
+/// Inverts a square matrix by Gauss–Jordan elimination with partial
+/// pivoting. Returns `None` when singular.
+pub fn invert(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    let mut m = a.to_vec();
+    let mut inv = vec![0.0; n * n];
+    for i in 0..n {
+        inv[i * n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if m[r * n + col].abs() > m[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if m[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..n {
+                m.swap(col * n + j, pivot * n + j);
+                inv.swap(col * n + j, pivot * n + j);
+            }
+        }
+        let diag = m[col * n + col];
+        for j in 0..n {
+            m[col * n + j] /= diag;
+            inv[col * n + j] /= diag;
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = m[r * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                m[r * n + j] -= factor * m[col * n + j];
+                inv[r * n + j] -= factor * inv[col * n + j];
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_known_matrix() {
+        // A = [[4, 2], [2, 3]] ⇒ L = [[2, 0], [1, √2]]
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip() {
+        let a = [4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0];
+        let l = cholesky(&a, 3).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x = cholesky_solve(&l, 3, &b);
+        // Verify A·x = b.
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| a[i * 3 + j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_none());
+    }
+
+    #[test]
+    fn logdet_matches_product() {
+        let a = [4.0, 2.0, 2.0, 3.0]; // det = 8
+        let l = cholesky(&a, 2).unwrap();
+        assert!((cholesky_logdet(&l, 2) - 8.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let a = [2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0];
+        let inv = invert(&a, 3).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let prod: f64 = (0..3).map(|k| a[i * 3 + k] * inv[k * 3 + j]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_rejects_singular() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(invert(&a, 2).is_none());
+    }
+}

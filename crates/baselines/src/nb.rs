@@ -1,0 +1,139 @@
+//! Gaussian naive Bayes (the scikit-learn "Bayesian Net" stand-in of
+//! the paper's Fig. 9 line-up).
+
+use crate::{validate, Classifier, FitError};
+
+/// Gaussian naive Bayes: per-class, per-feature independent normals
+/// with a variance floor for numerical safety.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNaiveBayes {
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        GaussianNaiveBayes::default()
+    }
+
+    fn log_likelihood(&self, class: usize, x: &[f32]) -> f64 {
+        let mut ll = self.priors[class].ln();
+        for (j, &xj) in x.iter().enumerate() {
+            let mean = self.means[class][j];
+            let var = self.vars[class][j];
+            let d = xj as f64 - mean;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, d, n_classes) = validate(x, y)?;
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![vec![0.0f64; d]; n_classes];
+        for (xi, &yi) in x.iter().zip(y) {
+            counts[yi] += 1;
+            for (m, &v) in means[yi].iter_mut().zip(xi) {
+                *m += v as f64;
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                means[c].iter_mut().for_each(|m| *m /= *count as f64);
+            }
+        }
+        let mut vars = vec![vec![0.0f64; d]; n_classes];
+        for (xi, &yi) in x.iter().zip(y) {
+            for j in 0..d {
+                let diff = xi[j] as f64 - means[yi][j];
+                vars[yi][j] += diff * diff;
+            }
+        }
+        // Variance floor: a fraction of the overall feature variance.
+        let mut global_var = 0.0f64;
+        for xi in x {
+            for &v in xi {
+                global_var += (v as f64) * (v as f64);
+            }
+        }
+        let floor = (global_var / (n * d) as f64).max(1e-9) * 1e-4 + 1e-9;
+        for (c, count) in counts.iter().enumerate() {
+            let denom = (*count).max(1) as f64;
+            for v in vars[c].iter_mut() {
+                *v = (*v / denom).max(floor);
+            }
+        }
+        self.priors = counts
+            .iter()
+            .map(|&c| (c.max(1) as f64) / n as f64)
+            .collect();
+        self.means = means;
+        self.vars = vars;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        (0..self.priors.len())
+            .map(|c| self.log_likelihood(c, x))
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite likelihoods"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive Bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use crate::testutil::blobs;
+
+    #[test]
+    fn fits_gaussian_blobs_well() {
+        let (x, y) = blobs(30, 5, 41);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y).unwrap();
+        assert!(accuracy(&nb, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn respects_priors() {
+        // Heavily imbalanced data at an ambiguous point favours the
+        // majority class.
+        let mut x = vec![vec![0.0f32]; 90];
+        let mut y = vec![0usize; 90];
+        x.extend(vec![vec![0.5f32]; 10]);
+        y.extend(vec![1usize; 10]);
+        // Add spread so variances are sane.
+        for (i, xi) in x.iter_mut().enumerate() {
+            xi[0] += ((i % 7) as f32 - 3.0) * 0.1;
+        }
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y).unwrap();
+        assert_eq!(nb.predict(&[0.25]), 0);
+    }
+
+    #[test]
+    fn constant_feature_does_not_crash() {
+        let x = vec![vec![1.0, 5.0], vec![1.0, 5.1], vec![1.0, 9.0], vec![1.0, 9.1]];
+        let y = vec![0, 0, 1, 1];
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&x, &y).unwrap();
+        assert_eq!(nb.predict(&[1.0, 5.05]), 0);
+        assert_eq!(nb.predict(&[1.0, 9.05]), 1);
+    }
+
+    #[test]
+    fn fit_errors() {
+        let mut nb = GaussianNaiveBayes::new();
+        assert!(nb.fit(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Quadratic discriminant analysis.
+
+use crate::linalg::{cholesky, cholesky_logdet, invert};
+use crate::{validate, Classifier, FitError};
+
+/// QDA: per-class full-covariance Gaussians with shrinkage
+/// regularisation toward the spherical covariance.
+#[derive(Debug, Clone)]
+pub struct Qda {
+    /// Shrinkage coefficient in `[0, 1]`: `Σ̂ = (1−s)·Σ + s·σ²I`.
+    pub shrinkage: f64,
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    precisions: Vec<Vec<f64>>, // inverse covariances, row-major d×d
+    logdets: Vec<f64>,
+    dim: usize,
+}
+
+impl Qda {
+    /// Creates a QDA model with the given shrinkage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shrinkage` is outside `[0, 1]`.
+    pub fn new(shrinkage: f64) -> Self {
+        assert!((0.0..=1.0).contains(&shrinkage), "shrinkage must be in [0,1]");
+        Qda {
+            shrinkage,
+            priors: Vec::new(),
+            means: Vec::new(),
+            precisions: Vec::new(),
+            logdets: Vec::new(),
+            dim: 0,
+        }
+    }
+
+    fn discriminant(&self, class: usize, x: &[f32]) -> f64 {
+        let d = self.dim;
+        let mean = &self.means[class];
+        let prec = &self.precisions[class];
+        let diff: Vec<f64> = (0..d).map(|j| x[j] as f64 - mean[j]).collect();
+        let mut quad = 0.0;
+        for i in 0..d {
+            let mut row = 0.0;
+            for j in 0..d {
+                row += prec[i * d + j] * diff[j];
+            }
+            quad += diff[i] * row;
+        }
+        self.priors[class].ln() - 0.5 * self.logdets[class] - 0.5 * quad
+    }
+}
+
+impl Default for Qda {
+    fn default() -> Self {
+        Qda::new(0.1)
+    }
+}
+
+impl Classifier for Qda {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, d, n_classes) = validate(x, y)?;
+        self.dim = d;
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![vec![0.0f64; d]; n_classes];
+        for (xi, &yi) in x.iter().zip(y) {
+            counts[yi] += 1;
+            for j in 0..d {
+                means[yi][j] += xi[j] as f64;
+            }
+        }
+        for (c, cnt) in counts.iter().enumerate() {
+            let denom = (*cnt).max(1) as f64;
+            means[c].iter_mut().for_each(|m| *m /= denom);
+        }
+
+        self.priors = counts
+            .iter()
+            .map(|&c| (c.max(1) as f64) / n as f64)
+            .collect();
+        self.means = means;
+        self.precisions.clear();
+        self.logdets.clear();
+
+        for c in 0..n_classes {
+            let mut cov = vec![0.0f64; d * d];
+            let mut trace = 0.0;
+            for (xi, &yi) in x.iter().zip(y) {
+                if yi != c {
+                    continue;
+                }
+                let diff: Vec<f64> = (0..d).map(|j| xi[j] as f64 - self.means[c][j]).collect();
+                for i in 0..d {
+                    for j in 0..d {
+                        cov[i * d + j] += diff[i] * diff[j];
+                    }
+                }
+            }
+            let denom = counts[c].max(2) as f64 - 1.0;
+            cov.iter_mut().for_each(|v| *v /= denom);
+            for i in 0..d {
+                trace += cov[i * d + i];
+            }
+            // Shrink toward spherical; guard a fully-degenerate class.
+            let sigma2 = (trace / d as f64).max(1e-9);
+            for i in 0..d {
+                for j in 0..d {
+                    cov[i * d + j] *= 1.0 - self.shrinkage;
+                    if i == j {
+                        cov[i * d + j] += self.shrinkage * sigma2 + 1e-9;
+                    }
+                }
+            }
+            let l = cholesky(&cov, d)
+                .ok_or(FitError::Numerical("class covariance not positive definite"))?;
+            let prec = invert(&cov, d)
+                .ok_or(FitError::Numerical("class covariance is singular"))?;
+            self.logdets.push(cholesky_logdet(&l, d));
+            self.precisions.push(prec);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        (0..self.priors.len())
+            .map(|c| self.discriminant(c, x))
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite discriminants"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "QDA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use crate::testutil::blobs;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fits_blobs() {
+        let (x, y) = blobs(25, 4, 51);
+        let mut qda = Qda::default();
+        qda.fit(&x, &y).unwrap();
+        assert!(accuracy(&qda, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn separates_by_covariance_shape() {
+        // Same mean, different covariance: QDA can separate, LDA-style
+        // linear methods cannot.
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..150 {
+            // Class 0: tight blob.
+            x.push(vec![rng.gen_range(-0.3f32..0.3), rng.gen_range(-0.3f32..0.3)]);
+            y.push(0);
+            // Class 1: wide ring-ish spread.
+            x.push(vec![rng.gen_range(-3.0f32..3.0), rng.gen_range(-3.0f32..3.0)]);
+            y.push(1);
+        }
+        let mut qda = Qda::new(0.05);
+        qda.fit(&x, &y).unwrap();
+        assert_eq!(qda.predict(&[0.05, -0.02]), 0);
+        assert_eq!(qda.predict(&[2.5, 2.5]), 1);
+    }
+
+    #[test]
+    fn shrinkage_saves_degenerate_classes() {
+        // A class with fewer samples than dimensions would be singular
+        // without shrinkage.
+        let x = vec![
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.1, 0.0, 0.0, 0.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+            vec![5.1, 5.0, 5.0, 5.0],
+        ];
+        let y = vec![0, 0, 1, 1];
+        let mut qda = Qda::new(0.5);
+        qda.fit(&x, &y).unwrap();
+        assert_eq!(qda.predict(&[0.05, 0.0, 0.0, 0.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrinkage")]
+    fn invalid_shrinkage_panics() {
+        Qda::new(1.5);
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert!(Qda::default().fit(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Support vector machines: one-vs-rest linear (Pegasos) and RBF
+//! (kernelised Pegasos).
+
+use crate::{validate, Classifier, FitError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One-vs-rest linear SVM trained with the Pegasos subgradient method.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Regularisation strength λ.
+    pub lambda: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    weights: Vec<Vec<f32>>, // per class: d weights + bias
+    n_classes: usize,
+}
+
+impl LinearSvm {
+    /// Creates a linear SVM with sensible defaults for the M2AI
+    /// feature scale.
+    pub fn new() -> Self {
+        LinearSvm {
+            lambda: 1e-3,
+            epochs: 60,
+            seed: 13,
+            weights: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn margin(w: &[f32], x: &[f32]) -> f32 {
+        let d = x.len();
+        let mut m = w[d]; // bias
+        for i in 0..d {
+            m += w[i] * x[i];
+        }
+        m
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        LinearSvm::new()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, d, n_classes) = validate(x, y)?;
+        self.n_classes = n_classes;
+        self.weights = vec![vec![0.0; d + 1]; n_classes];
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for (c, w) in self.weights.iter_mut().enumerate() {
+            let mut t = 0usize;
+            for _ in 0..self.epochs {
+                for _ in 0..n {
+                    t += 1;
+                    let i = rng.gen_range(0..n);
+                    let target = if y[i] == c { 1.0f32 } else { -1.0 };
+                    let eta = 1.0 / (self.lambda * t as f32);
+                    let m = target * LinearSvm::margin(w, &x[i]);
+                    // Regularisation shrink (not on the bias).
+                    let shrink = 1.0 - eta * self.lambda;
+                    for wj in w.iter_mut().take(d) {
+                        *wj *= shrink;
+                    }
+                    if m < 1.0 {
+                        for j in 0..d {
+                            w[j] += eta * target * x[i][j];
+                        }
+                        w[d] += eta * target;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        self.weights
+            .iter()
+            .map(|w| LinearSvm::margin(w, x))
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite margins"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear SVM"
+    }
+}
+
+/// One-vs-rest SVM with a radial-basis-function kernel, trained with
+/// kernelised Pegasos (all training points kept as potential support
+/// vectors — fine at the dataset sizes of these experiments).
+#[derive(Debug, Clone)]
+pub struct RbfSvm {
+    /// Kernel width: `k(x, z) = exp(−γ‖x−z‖²)`.
+    pub gamma: f32,
+    /// Regularisation strength λ.
+    pub lambda: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    x: Vec<Vec<f32>>,
+    alphas: Vec<Vec<f32>>, // per class, per training point
+    targets: Vec<Vec<f32>>,
+    steps: usize,
+}
+
+impl RbfSvm {
+    /// Creates an RBF SVM.
+    pub fn new(gamma: f32) -> Self {
+        RbfSvm {
+            gamma,
+            lambda: 1e-3,
+            epochs: 30,
+            seed: 17,
+            x: Vec::new(),
+            alphas: Vec::new(),
+            targets: Vec::new(),
+            steps: 1,
+        }
+    }
+
+    fn kernel(&self, a: &[f32], b: &[f32]) -> f32 {
+        let d2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-self.gamma * d2).exp()
+    }
+
+    fn decision(&self, class: usize, x: &[f32]) -> f32 {
+        let scale = 1.0 / (self.lambda * self.steps as f32);
+        self.alphas[class]
+            .iter()
+            .zip(&self.x)
+            .zip(&self.targets[class])
+            .filter(|((a, _), _)| **a != 0.0)
+            .map(|((a, xi), t)| a * t * self.kernel(xi, x))
+            .sum::<f32>()
+            * scale
+    }
+}
+
+impl Classifier for RbfSvm {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, _, n_classes) = validate(x, y)?;
+        self.x = x.to_vec();
+        self.alphas = vec![vec![0.0; n]; n_classes];
+        self.targets = (0..n_classes)
+            .map(|c| y.iter().map(|&yi| if yi == c { 1.0 } else { -1.0 }).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total = self.epochs * n;
+        self.steps = total.max(1);
+        // Kernelised Pegasos: α_i counts margin violations at draw i.
+        for c in 0..n_classes {
+            let mut t = 0usize;
+            for _ in 0..self.epochs {
+                for _ in 0..n {
+                    t += 1;
+                    let i = rng.gen_range(0..n);
+                    let scale = 1.0 / (self.lambda * t as f32);
+                    let mut dec = 0.0f32;
+                    for j in 0..n {
+                        let a = self.alphas[c][j];
+                        if a != 0.0 {
+                            dec += a * self.targets[c][j] * self.kernel(&self.x[j], &self.x[i]);
+                        }
+                    }
+                    dec *= scale;
+                    if self.targets[c][i] * dec < 1.0 {
+                        self.alphas[c][i] += 1.0;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        (0..self.alphas.len())
+            .map(|c| self.decision(c, x))
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite decisions"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "RBF SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use crate::testutil::{blobs, xor};
+
+    #[test]
+    fn linear_separates_blobs() {
+        let (x, y) = blobs(25, 6, 3);
+        let mut svm = LinearSvm::new();
+        svm.fit(&x, &y).unwrap();
+        assert!(accuracy(&svm, &x, &y) > 0.95, "{}", accuracy(&svm, &x, &y));
+    }
+
+    #[test]
+    fn linear_fails_on_xor_but_rbf_succeeds() {
+        let (x, y) = xor(200, 4);
+        let mut lin = LinearSvm::new();
+        lin.fit(&x, &y).unwrap();
+        let lin_acc = accuracy(&lin, &x, &y);
+        let mut rbf = RbfSvm::new(2.0);
+        rbf.fit(&x, &y).unwrap();
+        let rbf_acc = accuracy(&rbf, &x, &y);
+        assert!(lin_acc < 0.75, "linear should struggle on XOR: {lin_acc}");
+        assert!(rbf_acc > 0.85, "rbf should solve XOR: {rbf_acc}");
+    }
+
+    #[test]
+    fn rbf_separates_blobs() {
+        let (x, y) = blobs(15, 4, 5);
+        let mut svm = RbfSvm::new(0.5);
+        svm.fit(&x, &y).unwrap();
+        assert!(accuracy(&svm, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(10, 4, 6);
+        let mut a = LinearSvm::new();
+        let mut b = LinearSvm::new();
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for probe in &x {
+            assert_eq!(a.predict(probe), b.predict(probe));
+        }
+    }
+
+    #[test]
+    fn fit_errors_propagate() {
+        let mut svm = LinearSvm::new();
+        assert!(svm.fit(&[], &[]).is_err());
+        let mut rbf = RbfSvm::new(1.0);
+        assert!(rbf.fit(&[vec![1.0]], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(LinearSvm::new().name(), "Linear SVM");
+        assert_eq!(RbfSvm::new(1.0).name(), "RBF SVM");
+    }
+}

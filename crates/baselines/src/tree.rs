@@ -1,0 +1,328 @@
+//! Decision trees (CART with Gini impurity) and random forests.
+
+use crate::{validate, Classifier, FitError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART decision tree with Gini impurity.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum depth of the tree.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// If set, the number of random features examined per split
+    /// (random-forest mode); `None` examines all features.
+    pub feature_subsample: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    /// Creates a tree with the given maximum depth.
+    pub fn new(max_depth: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: 2,
+            feature_subsample: None,
+            seed: 19,
+            root: None,
+        }
+    }
+
+    fn gini(counts: &[usize], total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let mut g = 1.0;
+        for &c in counts {
+            let p = c as f64 / total as f64;
+            g -= p * p;
+        }
+        g
+    }
+
+    fn majority(y: &[usize], idx: &[usize], n_classes: usize) -> usize {
+        let mut counts = vec![0usize; n_classes];
+        for &i in idx {
+            counts[y[i]] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(cls, _)| cls)
+            .unwrap_or(0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &self,
+        x: &[Vec<f32>],
+        y: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Node {
+        let majority = DecisionTree::majority(y, idx, n_classes);
+        if depth >= self.max_depth || idx.len() < self.min_samples_split {
+            return Node::Leaf { class: majority };
+        }
+        // Pure node?
+        if idx.iter().all(|&i| y[i] == y[idx[0]]) {
+            return Node::Leaf { class: majority };
+        }
+        let d = x[0].len();
+        let features: Vec<usize> = match self.feature_subsample {
+            Some(k) => {
+                let k = k.min(d).max(1);
+                (0..k).map(|_| rng.gen_range(0..d)).collect()
+            }
+            None => (0..d).collect(),
+        };
+        let mut best: Option<(f64, usize, f32)> = None;
+        for &f in &features {
+            // Candidate thresholds: midpoints of sorted unique values.
+            let mut vals: Vec<f32> = idx.iter().map(|&i| x[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            for w in vals.windows(2) {
+                let thr = 0.5 * (w[0] + w[1]);
+                let mut lc = vec![0usize; n_classes];
+                let mut rc = vec![0usize; n_classes];
+                for &i in idx {
+                    if x[i][f] <= thr {
+                        lc[y[i]] += 1;
+                    } else {
+                        rc[y[i]] += 1;
+                    }
+                }
+                let ln: usize = lc.iter().sum();
+                let rn: usize = rc.iter().sum();
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let score = (ln as f64 * DecisionTree::gini(&lc, ln)
+                    + rn as f64 * DecisionTree::gini(&rc, rn))
+                    / idx.len() as f64;
+                if best.map(|(s, _, _)| score < s).unwrap_or(true) {
+                    best = Some((score, f, thr));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            return Node::Leaf { class: majority };
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Node::Leaf { class: majority };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &left_idx, n_classes, depth + 1, rng)),
+            right: Box::new(self.build(x, y, &right_idx, n_classes, depth + 1, rng)),
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, _, n_classes) = validate(x, y)?;
+        let idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.root = Some(self.build(x, y, &idx, n_classes, 0, &mut rng));
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        let mut node = self.root.as_ref().expect("fit before predict");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+}
+
+/// A bagged ensemble of feature-subsampled decision trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth of each tree.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Creates a forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees == 0`.
+    pub fn new(n_trees: usize, max_depth: usize) -> Self {
+        assert!(n_trees > 0, "forest needs at least one tree");
+        RandomForest {
+            n_trees,
+            max_depth,
+            seed: 23,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize]) -> Result<(), FitError> {
+        let (n, d, n_classes) = validate(x, y)?;
+        self.n_classes = n_classes;
+        self.trees.clear();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let subsample = ((d as f64).sqrt().ceil() as usize).max(1);
+        for t in 0..self.n_trees {
+            // Bootstrap sample.
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let mut tree = DecisionTree::new(self.max_depth);
+            tree.feature_subsample = Some(subsample);
+            tree.seed = self.seed.wrapping_add(t as u64 * 101);
+            tree.fit(&bx, &by)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(x)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "Random Forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy;
+    use crate::testutil::{blobs, xor};
+
+    #[test]
+    fn tree_fits_blobs() {
+        let (x, y) = blobs(20, 4, 7);
+        let mut tree = DecisionTree::new(6);
+        tree.fit(&x, &y).unwrap();
+        assert!(accuracy(&tree, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn tree_solves_xor() {
+        let (x, y) = xor(200, 8);
+        let mut tree = DecisionTree::new(4);
+        tree.fit(&x, &y).unwrap();
+        assert!(accuracy(&tree, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn depth_one_is_a_stump() {
+        let (x, y) = xor(200, 9);
+        let mut stump = DecisionTree::new(1);
+        stump.fit(&x, &y).unwrap();
+        // A stump cannot solve XOR.
+        assert!(accuracy(&stump, &x, &y) < 0.8);
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_stumpy_tree() {
+        let (x, y) = blobs(20, 6, 10);
+        let mut tree = DecisionTree::new(2);
+        tree.fit(&x, &y).unwrap();
+        let mut forest = RandomForest::new(25, 2);
+        forest.fit(&x, &y).unwrap();
+        assert!(accuracy(&forest, &x, &y) >= accuracy(&tree, &x, &y) - 0.05);
+    }
+
+    #[test]
+    fn forest_deterministic() {
+        let (x, y) = blobs(10, 4, 11);
+        let mut a = RandomForest::new(5, 3);
+        let mut b = RandomForest::new(5, 3);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for probe in &x {
+            assert_eq!(a.predict(probe), b.predict(probe));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before predict")]
+    fn predict_before_fit_panics() {
+        DecisionTree::new(3).predict(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        RandomForest::new(0, 3);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let x = vec![vec![1.0, 1.0]; 6];
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut tree = DecisionTree::new(5);
+        tree.fit(&x, &y).unwrap();
+        // Unsplittable: majority class everywhere (either, tie is fine).
+        let p = tree.predict(&[1.0, 1.0]);
+        assert!(p < 2);
+    }
+}

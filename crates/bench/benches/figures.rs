@@ -1,0 +1,41 @@
+//! `cargo bench` figure regeneration (fast budget).
+//!
+//! Runs every experiment of the paper's evaluation at the `Fast`
+//! budget: the same code paths as the full harness
+//! (`cargo run --release -p m2ai-bench --bin experiments -- all`),
+//! with smaller datasets and fewer epochs so a bench run stays in the
+//! minutes range. Absolute accuracies are below the full-budget run;
+//! orderings still show. Full-budget numbers are recorded in
+//! EXPERIMENTS.md.
+
+fn main() {
+    // Respect `cargo bench -- --test` style filters minimally: any arg
+    // selects a single figure.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = m2ai_bench::Budget::Fast;
+    let chosen: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("fig") || *a == "all" || *a == "table1")
+        .map(String::as_str)
+        .collect();
+    if chosen.is_empty() {
+        m2ai_bench::run_all(budget);
+    } else {
+        for c in chosen {
+            match c {
+                "fig2" => m2ai_bench::fig2(budget),
+                "fig3" => m2ai_bench::fig3(budget),
+                "fig9" | "table1" => m2ai_bench::fig9_and_table1(budget),
+                "fig10" => m2ai_bench::fig10(budget),
+                "fig11" => m2ai_bench::fig11(budget),
+                "fig12" => m2ai_bench::fig12(budget),
+                "fig13" => m2ai_bench::fig13(budget),
+                "fig14" => m2ai_bench::fig14(budget),
+                "fig15" => m2ai_bench::fig15(budget),
+                "fig16" => m2ai_bench::fig16(budget),
+                "fig17" => m2ai_bench::fig17(budget),
+                _ => m2ai_bench::run_all(budget),
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks: the per-stage costs behind the paper's
+//! "realtime" claim (Section V). One antenna round is 100 ms, so every
+//! per-frame stage must come in far below that.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use m2ai_core::calibration::PhaseCalibrator;
+use m2ai_core::dataset::{learn_calibration, ExperimentConfig};
+use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
+use m2ai_core::network::{build_model, Architecture};
+use m2ai_dsp::eigen::hermitian_eigen;
+use m2ai_dsp::fft::fft;
+use m2ai_dsp::music::{correlation_matrix, pseudospectrum, MusicConfig, SourceCount};
+use m2ai_dsp::Complex;
+use m2ai_nn::Parameterized;
+use m2ai_rfsim::geometry::Point2;
+use m2ai_rfsim::reader::{Reader, ReaderConfig};
+use m2ai_rfsim::room::Room;
+use m2ai_rfsim::scene::SceneSnapshot;
+use std::hint::black_box;
+
+fn synth_snapshots(n_ant: usize, n_snaps: usize) -> Vec<Vec<Complex>> {
+    (0..n_snaps)
+        .map(|t| {
+            (0..n_ant)
+                .map(|k| Complex::cis(0.3 * t as f64 + 0.7 * k as f64))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_dsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsp");
+    for n in [256usize, 1024] {
+        let x: Vec<Complex> = (0..n).map(|t| Complex::cis(0.1 * t as f64)).collect();
+        g.bench_function(format!("fft_{n}"), |b| b.iter(|| fft(black_box(&x))));
+    }
+    let snaps = synth_snapshots(4, 16);
+    let r = correlation_matrix(&snaps).unwrap();
+    g.bench_function("hermitian_eigen_4x4", |b| {
+        b.iter(|| hermitian_eigen(black_box(&r)).unwrap())
+    });
+    let cfg = MusicConfig {
+        source_count: SourceCount::Fixed(2),
+        ..MusicConfig::paper_default()
+    };
+    g.bench_function("music_pseudospectrum_180", |b| {
+        b.iter(|| pseudospectrum(black_box(&snaps), &cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rfsim");
+    let scene = SceneSnapshot::with_tags(vec![
+        Point2::new(4.0, 4.0),
+        Point2::new(5.5, 3.5),
+        Point2::new(6.0, 4.5),
+        Point2::new(4.5, 5.0),
+        Point2::new(5.0, 4.2),
+        Point2::new(6.5, 3.8),
+    ]);
+    g.bench_function("inventory_round_6tags_lab", |b| {
+        let mut reader = Reader::new(Room::laboratory(), ReaderConfig::default(), 6);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.1;
+            black_box(reader.inventory_round(&scene, t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+
+    // Pre-record 2 s of readings from the paper-default scene.
+    let config = ExperimentConfig::paper_default();
+    let room = config.room.build();
+    let mut reader = Reader::new(
+        room,
+        ReaderConfig {
+            n_antennas: 4,
+            seed: config.seed,
+            ..ReaderConfig::default()
+        },
+        6,
+    );
+    let scene = SceneSnapshot::with_tags(vec![
+        Point2::new(5.5, 4.0),
+        Point2::new(5.7, 4.2),
+        Point2::new(5.9, 4.1),
+        Point2::new(8.0, 4.3),
+        Point2::new(8.2, 4.5),
+        Point2::new(8.4, 4.2),
+    ]);
+    let readings = reader.run(|_| scene.clone(), 2.0);
+    let layout = FrameLayout::new(6, 4, FeatureMode::Joint);
+    let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(6, 4), 0.4);
+    g.bench_function("build_frame_6tags_joint", |b| {
+        b.iter(|| builder.build_frame(black_box(&readings), 0.4))
+    });
+
+    let mut cal_config = config.clone();
+    cal_config.samples_per_class = 1;
+    g.bench_function("learn_calibration_21s", |b| {
+        b.iter(|| learn_calibration(black_box(&cal_config)))
+    });
+    g.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    let layout = FrameLayout::new(6, 4, FeatureMode::Joint);
+    let model = build_model(&layout, 12, Architecture::CnnLstm, 1);
+    let frames = vec![vec![0.1f32; layout.frame_dim()]; 12];
+    g.bench_function("inference_12frames", |b| {
+        b.iter(|| model.predict(black_box(&frames)))
+    });
+    g.bench_function("train_step_1sample", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |mut m| {
+                m.zero_grad();
+                black_box(m.loss_and_backprop(&frames, 3))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dsp, bench_simulator, bench_pipeline, bench_network);
+criterion_main!(benches);

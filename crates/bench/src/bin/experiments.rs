@@ -1,0 +1,49 @@
+//! Experiment harness regenerating every table and figure of the M2AI
+//! paper's evaluation (Section VI).
+//!
+//! ```text
+//! cargo run --release -p m2ai-bench --bin experiments -- all
+//! cargo run --release -p m2ai-bench --bin experiments -- fig9 --fast
+//! ```
+
+use m2ai_bench::{run_all, Budget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = if args.iter().any(|a| a == "--fast") {
+        Budget::Fast
+    } else {
+        Budget::Full
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    for w in which {
+        match w {
+            "all" => run_all(budget),
+            "fig2" => m2ai_bench::fig2(budget),
+            "fig3" => m2ai_bench::fig3(budget),
+            "fig9" | "table1" => m2ai_bench::fig9_and_table1(budget),
+            "fig10" => m2ai_bench::fig10(budget),
+            "fig11" => m2ai_bench::fig11(budget),
+            "fig12" => m2ai_bench::fig12(budget),
+            "fig13" => m2ai_bench::fig13(budget),
+            "fig14" => m2ai_bench::fig14(budget),
+            "fig15" => m2ai_bench::fig15(budget),
+            "fig16" => m2ai_bench::fig16(budget),
+            "fig17" => m2ai_bench::fig17(budget),
+            "ablation-aoa" => m2ai_bench::ablation_aoa(budget),
+            "ext-transfer" => m2ai_bench::ext_transfer(budget),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!(
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer; flag --fast"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Phase calibration across hopping channels (Section III-A, Eq. 1).
+//!
+//! Frequency hopping injects a per-channel phase offset (Fig. 3). The
+//! paper's remedy: record a stationary interval, take the median phase
+//! per channel, and map every measurement onto a common reference
+//! channel: `φ̂(t) = φ_j(t) − φ̄_j + φ̄_r`.
+//!
+//! Medians here are *circular* (phases wrap at 2π), and offsets are
+//! learned per `(tag, antenna, channel)` link so that the π reporting
+//! ambiguity — constant per link — is absorbed too. Channels never
+//! observed during the stationary interval fall back to the nearest
+//! observed channel's offset (offsets vary smoothly with frequency,
+//! Fig. 3).
+
+use m2ai_dsp::phase::wrap_positive;
+use m2ai_dsp::stats::circular_median;
+use m2ai_rfsim::channel::{common_channel_index, N_CHANNELS};
+use m2ai_rfsim::reading::TagReading;
+
+/// Learned per-link, per-channel calibration offsets.
+#[derive(Debug, Clone)]
+pub struct PhaseCalibrator {
+    n_tags: usize,
+    n_antennas: usize,
+    /// `medians[link][channel]`: circular median phase, or NaN if the
+    /// channel was never observed for that link.
+    medians: Vec<Vec<f64>>,
+    /// Reference (common-channel) median per link.
+    reference: Vec<f64>,
+    enabled: bool,
+}
+
+impl PhaseCalibrator {
+    /// Learns offsets from readings of a stationary interval.
+    ///
+    /// The interval should span at least one full hop cycle (20 s with
+    /// the standard 400 ms dwell) so every channel is visited; missing
+    /// channels are interpolated from the nearest observed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tags` or `n_antennas` is zero.
+    pub fn learn(readings: &[TagReading], n_tags: usize, n_antennas: usize) -> Self {
+        assert!(n_tags > 0 && n_antennas > 0, "need tags and antennas");
+        let n_links = n_tags * n_antennas;
+        // Bucket phases per (link, channel).
+        let mut buckets: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); N_CHANNELS]; n_links];
+        for r in readings {
+            let tag = r.tag.0;
+            if tag >= n_tags || r.antenna >= n_antennas || r.channel >= N_CHANNELS {
+                continue;
+            }
+            buckets[tag * n_antennas + r.antenna][r.channel].push(r.phase_rad);
+        }
+        let mut medians = vec![vec![f64::NAN; N_CHANNELS]; n_links];
+        for (link, chans) in buckets.iter().enumerate() {
+            for (c, phases) in chans.iter().enumerate() {
+                if !phases.is_empty() {
+                    medians[link][c] = circular_median(phases);
+                }
+            }
+        }
+        // Fill gaps from the nearest observed channel.
+        for link in medians.iter_mut() {
+            let observed: Vec<usize> = (0..N_CHANNELS).filter(|&c| !link[c].is_nan()).collect();
+            if observed.is_empty() {
+                continue;
+            }
+            for c in 0..N_CHANNELS {
+                if link[c].is_nan() {
+                    let nearest = *observed
+                        .iter()
+                        .min_by_key(|&&o| o.abs_diff(c))
+                        .expect("non-empty");
+                    link[c] = link[nearest];
+                }
+            }
+        }
+        let r = common_channel_index();
+        let reference: Vec<f64> = medians
+            .iter()
+            .map(|link| if link[r].is_nan() { 0.0 } else { link[r] })
+            .collect();
+        PhaseCalibrator {
+            n_tags,
+            n_antennas,
+            medians,
+            reference,
+            enabled: true,
+        }
+    }
+
+    /// A pass-through calibrator (the Fig. 10 "no calibration" arm).
+    pub fn disabled(n_tags: usize, n_antennas: usize) -> Self {
+        PhaseCalibrator {
+            n_tags,
+            n_antennas,
+            medians: Vec::new(),
+            reference: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// `true` if this calibrator actually corrects phases.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Calibrated phase of a reading, in `[0, 2π)` (Eq. 1).
+    ///
+    /// Readings from unknown links or with no learned offset pass
+    /// through unchanged.
+    pub fn calibrate(&self, reading: &TagReading) -> f64 {
+        if !self.enabled {
+            return reading.phase_rad;
+        }
+        let tag = reading.tag.0;
+        if tag >= self.n_tags
+            || reading.antenna >= self.n_antennas
+            || reading.channel >= N_CHANNELS
+        {
+            return reading.phase_rad;
+        }
+        let link = tag * self.n_antennas + reading.antenna;
+        let med = self.medians[link][reading.channel];
+        if med.is_nan() {
+            return reading.phase_rad;
+        }
+        wrap_positive(reading.phase_rad - med + self.reference[link])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2ai_rfsim::channel::channel_frequency_hz;
+    use m2ai_rfsim::reading::TagId;
+
+    fn reading(tag: usize, antenna: usize, channel: usize, phase: f64) -> TagReading {
+        TagReading {
+            time_s: 0.0,
+            tag: TagId(tag),
+            antenna,
+            channel,
+            frequency_hz: channel_frequency_hz(channel),
+            phase_rad: wrap_positive(phase),
+            rssi_dbm: -30.0,
+            doppler_hz: 0.0,
+        }
+    }
+
+    /// Synthetic stationary readings: true phase θ per link plus a
+    /// per-channel offset.
+    fn stationary(offsets: &[f64], theta: f64) -> Vec<TagReading> {
+        let mut out = Vec::new();
+        for c in 0..N_CHANNELS {
+            for _ in 0..5 {
+                out.push(reading(0, 0, c, theta + offsets[c]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn removes_channel_offsets() {
+        let offsets: Vec<f64> = (0..N_CHANNELS).map(|c| 0.11 * c as f64).collect();
+        let theta = 1.2;
+        let cal = PhaseCalibrator::learn(&stationary(&offsets, theta), 1, 1);
+        // A fresh reading on any channel calibrates to the same value.
+        let r_common = common_channel_index();
+        let expect = wrap_positive(theta + offsets[r_common]);
+        for c in [0usize, 7, 23, 49] {
+            let got = cal.calibrate(&reading(0, 0, c, theta + offsets[c] + 0.5));
+            let want = wrap_positive(expect + 0.5);
+            let diff = (got - want).abs().min(2.0 * std::f64::consts::PI - (got - want).abs());
+            assert!(diff < 1e-6, "channel {c}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn disabled_passes_through() {
+        let cal = PhaseCalibrator::disabled(2, 4);
+        assert!(!cal.is_enabled());
+        let r = reading(1, 2, 30, 2.2);
+        assert_eq!(cal.calibrate(&r), r.phase_rad);
+    }
+
+    #[test]
+    fn unseen_channels_borrow_nearest() {
+        // Observe only channels 0..10; channel 45 should reuse 9's
+        // offset (nearest observed).
+        let offsets: Vec<f64> = (0..N_CHANNELS).map(|c| 0.05 * c as f64).collect();
+        let theta = 0.4;
+        let mut readings = Vec::new();
+        for c in 0..10 {
+            for _ in 0..5 {
+                readings.push(reading(0, 0, c, theta + offsets[c]));
+            }
+        }
+        let cal = PhaseCalibrator::learn(&readings, 1, 1);
+        // Calibrating an unseen channel should not panic and should
+        // apply channel 9's offset (nearest).
+        let got = cal.calibrate(&reading(0, 0, 45, theta + offsets[9] + 0.2));
+        let reference = cal.calibrate(&reading(0, 0, 9, theta + offsets[9] + 0.2));
+        assert!((got - reference).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_link_independence() {
+        // Two antennas with different offsets stay separate.
+        let mut readings = Vec::new();
+        for c in 0..N_CHANNELS {
+            for _ in 0..3 {
+                readings.push(reading(0, 0, c, 1.0 + 0.1 * c as f64));
+                readings.push(reading(0, 1, c, 2.0 + 0.2 * c as f64));
+            }
+        }
+        let cal = PhaseCalibrator::learn(&readings, 1, 2);
+        let a = cal.calibrate(&reading(0, 0, 5, 1.5));
+        let b = cal.calibrate(&reading(0, 1, 5, 1.5));
+        assert!((a - b).abs() > 0.01, "links must calibrate independently");
+    }
+
+    #[test]
+    fn unknown_link_passes_through() {
+        let cal = PhaseCalibrator::learn(&stationary(&vec![0.0; N_CHANNELS], 1.0), 1, 1);
+        let foreign = reading(5, 0, 3, 0.7);
+        assert_eq!(cal.calibrate(&foreign), foreign.phase_rad);
+    }
+
+    #[test]
+    fn wrapped_phases_calibrate_correctly() {
+        // Phases straddling the 0/2π boundary: circular median must not
+        // split the cluster.
+        let mut readings = Vec::new();
+        for c in 0..N_CHANNELS {
+            for k in 0..5 {
+                let jitter = (k as f64 - 2.0) * 0.02;
+                readings.push(reading(0, 0, c, 6.25 + jitter)); // ≈ 2π−0.03
+            }
+        }
+        let cal = PhaseCalibrator::learn(&readings, 1, 1);
+        let got = cal.calibrate(&reading(0, 0, 10, 6.25));
+        // Everything maps near the reference median ≈ 6.25.
+        let d = (got - 6.25).abs().min(2.0 * std::f64::consts::PI - (got - 6.25).abs());
+        assert!(d < 0.1, "got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need tags")]
+    fn zero_tags_panics() {
+        PhaseCalibrator::learn(&[], 0, 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! Labelled dataset generation: activity scenes → reader → frames.
+//!
+//! [`ExperimentConfig`] exposes every knob the paper's evaluation
+//! sweeps: room (Fig. 12), number of simultaneous persons (Fig. 11),
+//! tags per person (Fig. 15), antennas (Fig. 14), subject distance
+//! (Fig. 13), calibration on/off (Fig. 10) and the preprocessing mode
+//! (Fig. 16).
+
+use crate::calibration::PhaseCalibrator;
+use crate::frames::{FeatureMode, FrameBuilder, FrameLayout};
+use m2ai_motion::activity::catalog;
+use m2ai_motion::scene::ActivityScene;
+use m2ai_motion::volunteer::Volunteer;
+use m2ai_rfsim::geometry::{Point2, Vec2};
+use m2ai_rfsim::reader::{Reader, ReaderConfig};
+use m2ai_rfsim::room::Room;
+use m2ai_rfsim::scene::SceneSnapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the paper's two environments to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoomKind {
+    /// 13.75 × 10.50 m furnished lab — high multipath.
+    Laboratory,
+    /// 8.75 × 7.50 m empty hall — low multipath.
+    Hall,
+}
+
+impl RoomKind {
+    /// Instantiates the room model.
+    pub fn build(self) -> Room {
+        match self {
+            RoomKind::Laboratory => Room::laboratory(),
+            RoomKind::Hall => Room::hall(),
+        }
+    }
+}
+
+/// Full description of one experimental condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Environment.
+    pub room: RoomKind,
+    /// Simultaneously-acting persons (1–3).
+    pub n_persons: usize,
+    /// Tags per person (1–3: hand, arm, shoulder).
+    pub tags_per_person: usize,
+    /// Reader antenna ports (2–4).
+    pub n_antennas: usize,
+    /// Recorded samples per activity class.
+    pub samples_per_class: usize,
+    /// Frames per sample (`T`).
+    pub frames_per_sample: usize,
+    /// Frame window length in seconds.
+    pub frame_duration_s: f64,
+    /// Preprocessing mode.
+    pub feature_mode: FeatureMode,
+    /// Run the Eq. 1 phase calibration (Fig. 10 arm).
+    pub calibrate: bool,
+    /// Distance from the array to the scenario placement centre (m).
+    pub distance_m: f64,
+    /// Per-recording uniform jitter (±, metres) applied to the
+    /// placement centre, so absolute position is not a class cue —
+    /// volunteers never stand in exactly the same spot twice.
+    pub placement_jitter_m: f64,
+    /// Master seed (reader deployment + scene randomisation).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's default condition: laboratory, two persons, three
+    /// tags each, four antennas, calibrated joint features.
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            room: RoomKind::Laboratory,
+            n_persons: 2,
+            tags_per_person: 3,
+            n_antennas: 4,
+            samples_per_class: 20,
+            frames_per_sample: 10,
+            // 0.5 s frames deliberately span hop boundaries (400 ms
+            // dwell): without Eq. 1 calibration the per-channel phase
+            // rotations mix inside each correlation window and MUSIC
+            // degrades — the Fig. 10 effect.
+            frame_duration_s: 0.5,
+            feature_mode: FeatureMode::Joint,
+            calibrate: true,
+            distance_m: 4.0,
+            placement_jitter_m: 0.25,
+            seed: 42,
+        }
+    }
+
+    /// Total tags in the scene.
+    pub fn n_tags(&self) -> usize {
+        self.n_persons * self.tags_per_person
+    }
+
+    /// Frame layout implied by this configuration.
+    pub fn layout(&self) -> FrameLayout {
+        FrameLayout::new(self.n_tags(), self.n_antennas, self.feature_mode)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain values.
+    pub fn assert_valid(&self) {
+        assert!((1..=3).contains(&self.n_persons), "n_persons must be 1..=3");
+        assert!(
+            (1..=3).contains(&self.tags_per_person),
+            "tags_per_person must be 1..=3"
+        );
+        assert!(
+            (2..=4).contains(&self.n_antennas),
+            "n_antennas must be 2..=4"
+        );
+        assert!(self.samples_per_class > 0, "need samples");
+        assert!(self.frames_per_sample > 0, "need frames");
+        assert!(self.frame_duration_s > 0.0, "frame duration must be positive");
+        assert!(self.distance_m > 0.5, "subjects too close to the array");
+    }
+
+    fn reader_config(&self, room: &Room) -> ReaderConfig {
+        ReaderConfig {
+            n_antennas: self.n_antennas,
+            array_center: Point2::new(room.width / 2.0, 0.3),
+            array_axis: Vec2::new(1.0, 0.0),
+            seed: self.seed,
+            ..ReaderConfig::default()
+        }
+    }
+
+    fn placement(&self, room: &Room) -> Point2 {
+        room.clamp_inside(
+            Point2::new(room.width / 2.0, 0.3 + self.distance_m),
+            0.8,
+        )
+    }
+}
+
+/// A generated dataset plus the metadata needed to build models on it.
+#[derive(Debug, Clone)]
+pub struct DatasetBundle {
+    /// Labelled samples: `(frame sequence, class index 0..12)`.
+    pub samples: Vec<(Vec<Vec<f32>>, usize)>,
+    /// Frame geometry.
+    pub layout: FrameLayout,
+    /// Number of activity classes (always 12).
+    pub n_classes: usize,
+    /// The configuration that produced this dataset.
+    pub config: ExperimentConfig,
+}
+
+/// Number of activity classes in the catalogue.
+pub const N_CLASSES: usize = 12;
+
+/// Learns a calibrator from a stationary interval, as the paper's
+/// deployment procedure prescribes (~1 hop cycle with still subjects).
+pub fn learn_calibration(config: &ExperimentConfig) -> PhaseCalibrator {
+    let room = config.room.build();
+    let scenarios = catalog(config.n_persons);
+    let volunteers: Vec<Volunteer> = (0..3).map(Volunteer::preset).collect();
+    let scene = ActivityScene::with_placement(
+        &scenarios[0],
+        &volunteers,
+        config.tags_per_person,
+        config.seed,
+        config.placement(&room),
+    );
+    // Freeze the scene at t = 0: stationary tags, no moving blockers.
+    let frozen = SceneSnapshot {
+        tag_positions: scene.snapshot(0.0).tag_positions,
+        tag_velocities: Vec::new(),
+        blockers: Vec::new(),
+    };
+    let mut reader = Reader::new(room.clone(), config.reader_config(&room), config.n_tags());
+    // 21 s covers all 50 channels at the 400 ms dwell.
+    let readings = reader.run(|_| frozen.clone(), 21.0);
+    PhaseCalibrator::learn(&readings, config.n_tags(), config.n_antennas)
+}
+
+/// Generates the labelled dataset for one experimental condition.
+///
+/// Deterministic: the same configuration yields the same dataset.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn generate_dataset(config: &ExperimentConfig) -> DatasetBundle {
+    config.assert_valid();
+    let room = config.room.build();
+    let scenarios = catalog(config.n_persons);
+    let layout = config.layout();
+    let calibrator = if config.calibrate {
+        learn_calibration(config)
+    } else {
+        PhaseCalibrator::disabled(config.n_tags(), config.n_antennas)
+    };
+    let builder = FrameBuilder::new(layout, calibrator, config.frame_duration_s);
+    let duration = config.frames_per_sample as f64 * config.frame_duration_s + 0.2;
+
+    let mut samples = Vec::with_capacity(N_CLASSES * config.samples_per_class);
+    for (class_idx, scenario) in scenarios.iter().enumerate() {
+        for k in 0..config.samples_per_class {
+            // Rotate through the volunteer pool per recording.
+            let volunteers: Vec<Volunteer> = (0..3)
+                .map(|p| Volunteer::preset(class_idx + k + p * 3))
+                .collect();
+            let scene_seed = config
+                .seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((class_idx * 1009 + k) as u64);
+            // Jitter the spot where this recording happens.
+            let mut jrng = StdRng::seed_from_u64(scene_seed ^ 0x7A77);
+            let j = config.placement_jitter_m;
+            let base = config.placement(&room);
+            let spot = room.clamp_inside(
+                Point2::new(
+                    base.x + jrng.gen_range(-j..=j),
+                    base.y + jrng.gen_range(-j..=j),
+                ),
+                0.8,
+            );
+            let scene = ActivityScene::with_placement(
+                scenario,
+                &volunteers,
+                config.tags_per_person,
+                scene_seed,
+                spot,
+            );
+            let mut reader =
+                Reader::new(room.clone(), config.reader_config(&room), config.n_tags());
+            let readings = reader.run(|t| scene.snapshot(t), duration);
+            let frames = builder.build_sample(&readings, 0.0, config.frames_per_sample);
+            samples.push((frames, class_idx));
+        }
+    }
+    DatasetBundle {
+        samples,
+        layout,
+        n_classes: N_CLASSES,
+        config: config.clone(),
+    }
+}
+
+/// Pools a frame down to a compact vector (per-tag 10°-binned spectrum
+/// plus the direct features) — shared by the classical baselines.
+pub fn pooled_frame(frame: &[f32], layout: &FrameLayout) -> Vec<f32> {
+    let spec_dim = layout.spectrum_dim();
+    let mut out = Vec::new();
+    if spec_dim > 0 {
+        let bins = 18; // 180° / 10°
+        let per_bin = layout.n_angles / bins;
+        for tag in 0..layout.n_tags {
+            let base = tag * layout.n_angles;
+            for b in 0..bins {
+                let start = base + b * per_bin;
+                let sum: f32 = frame[start..start + per_bin].iter().sum();
+                out.push(sum / per_bin as f32);
+            }
+        }
+    }
+    out.extend_from_slice(&frame[spec_dim..]);
+    out
+}
+
+/// Flattens a frame sequence into one fixed vector for the vector
+/// baselines of Fig. 9: per-feature mean and standard deviation over
+/// time (order-insensitive — by design these models lack temporal
+/// memory, which is the paper's point).
+pub fn flatten_for_classical(sample: &[Vec<f32>], layout: &FrameLayout) -> Vec<f32> {
+    let pooled: Vec<Vec<f32>> = sample.iter().map(|f| pooled_frame(f, layout)).collect();
+    let d = pooled.first().map(|p| p.len()).unwrap_or(0);
+    let t = pooled.len().max(1) as f32;
+    let mut mean = vec![0.0f32; d];
+    for p in &pooled {
+        for (m, v) in mean.iter_mut().zip(p) {
+            *m += v / t;
+        }
+    }
+    let mut std = vec![0.0f32; d];
+    for p in &pooled {
+        for (s, (v, m)) in std.iter_mut().zip(p.iter().zip(&mean)) {
+            *s += (v - m) * (v - m) / t;
+        }
+    }
+    std.iter_mut().for_each(|s| *s = s.sqrt());
+    mean.extend_from_slice(&std);
+    mean
+}
+
+/// Per-frame pooled sequence for the HMM baseline.
+pub fn sequence_for_hmm(sample: &[Vec<f32>], layout: &FrameLayout) -> Vec<Vec<f32>> {
+    sample.iter().map(|f| pooled_frame(f, layout)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            samples_per_class: 1,
+            frames_per_sample: 4,
+            calibrate: false, // skip the 21 s calibration run in unit tests
+            ..ExperimentConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn dataset_shape_and_labels() {
+        let config = tiny_config();
+        let bundle = generate_dataset(&config);
+        assert_eq!(bundle.samples.len(), 12);
+        assert_eq!(bundle.n_classes, 12);
+        for (i, (frames, label)) in bundle.samples.iter().enumerate() {
+            assert_eq!(*label, i); // one sample per class, in order
+            assert_eq!(frames.len(), 4);
+            assert_eq!(frames[0].len(), bundle.layout.frame_dim());
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let config = tiny_config();
+        let a = generate_dataset(&config);
+        let b = generate_dataset(&config);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut config = tiny_config();
+        let a = generate_dataset(&config);
+        config.seed = 777;
+        let b = generate_dataset(&config);
+        assert_ne!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn frames_carry_signal() {
+        let bundle = generate_dataset(&tiny_config());
+        let nonzero = bundle
+            .samples
+            .iter()
+            .flat_map(|(frames, _)| frames.iter())
+            .filter(|f| f.iter().any(|&v| v != 0.0))
+            .count();
+        let total: usize = bundle.samples.iter().map(|(f, _)| f.len()).sum();
+        assert!(
+            nonzero * 10 >= total * 9,
+            "too many empty frames: {nonzero}/{total}"
+        );
+    }
+
+    #[test]
+    fn classical_flattening_dims() {
+        let config = tiny_config();
+        let bundle = generate_dataset(&config);
+        let layout = bundle.layout;
+        let (frames, _) = &bundle.samples[0];
+        let flat = flatten_for_classical(frames, &layout);
+        // 6 tags × 18 bins + 24 direct = 132 pooled; ×2 (mean+std).
+        assert_eq!(flat.len(), 264);
+        assert!(flat.iter().all(|v| v.is_finite()));
+        let seq = sequence_for_hmm(frames, &layout);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq[0].len(), 132);
+    }
+
+    #[test]
+    fn config_validation_panics() {
+        let mut bad = tiny_config();
+        bad.n_antennas = 5;
+        assert!(std::panic::catch_unwind(|| bad.assert_valid()).is_err());
+        let mut bad2 = tiny_config();
+        bad2.n_persons = 0;
+        assert!(std::panic::catch_unwind(|| bad2.assert_valid()).is_err());
+    }
+
+    #[test]
+    fn calibration_learns_from_stationary_interval() {
+        let mut config = tiny_config();
+        config.calibrate = true;
+        let cal = learn_calibration(&config);
+        assert!(cal.is_enabled());
+    }
+
+    #[test]
+    fn room_kinds_build() {
+        assert_eq!(RoomKind::Laboratory.build().name, "laboratory");
+        assert_eq!(RoomKind::Hall.build().name, "hall");
+    }
+}

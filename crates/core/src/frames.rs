@@ -1,0 +1,473 @@
+//! Spectrum-frame construction (Section IV-A, Fig. 5).
+//!
+//! A *frame* summarises one time window of reads. The full M²AI input
+//! concatenates, per window:
+//!
+//! * the **pseudospectrum frame** — per tag, a 180-bin MUSIC angle
+//!   spectrum computed from per-round array snapshots;
+//! * the **periodogram frame** — per tag, one power value per antenna.
+//!
+//! ## The π-ambiguity and phase doubling
+//!
+//! The R420 reports `φ` or `φ + π` per link. Doubling every calibrated
+//! phase (`z = A·e^{i·2φ}`) erases the ambiguity (`e^{i2(φ+π)} =
+//! e^{i2φ}`) at the cost of doubling the effective array spacing —
+//! which is exactly why the paper spaces antennas at λ/8: after the
+//! backscatter round trip (×2) and the ambiguity doubling (×2) the
+//! effective spacing is λ/2, the classic unambiguous limit.
+//!
+//! Four degraded feature modes reproduce the Fig. 16 ablation.
+
+use crate::calibration::PhaseCalibrator;
+use m2ai_dsp::music::{pseudospectrum, MusicConfig, SourceCount};
+use m2ai_dsp::Complex;
+use m2ai_rfsim::reading::TagReading;
+
+/// Which preprocessing feeds the network (Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureMode {
+    /// Pseudospectrum + periodogram (full M²AI).
+    Joint,
+    /// MUSIC pseudospectrum only.
+    MusicOnly,
+    /// Periodogram (FFT power) only.
+    PeriodogramOnly,
+    /// Raw calibrated per-antenna phases (cos/sin encoded).
+    PhaseOnly,
+    /// Raw per-antenna RSSI means.
+    RssiOnly,
+}
+
+impl FeatureMode {
+    /// Display label used in the Fig. 16 table.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureMode::Joint => "M2AI (joint)",
+            FeatureMode::MusicOnly => "MUSIC-based",
+            FeatureMode::PeriodogramOnly => "FFT-based",
+            FeatureMode::PhaseOnly => "Phase-based",
+            FeatureMode::RssiOnly => "RSSI-based",
+        }
+    }
+}
+
+/// Dimensions of one feature frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// Tags in the scene (`n` in the paper's `n × 180`).
+    pub n_tags: usize,
+    /// Antenna ports (`N`).
+    pub n_antennas: usize,
+    /// Angle bins of the pseudospectrum (paper: 180).
+    pub n_angles: usize,
+    /// Active feature mode.
+    pub mode: FeatureMode,
+}
+
+impl FrameLayout {
+    /// Layout for the paper's default configuration.
+    pub fn new(n_tags: usize, n_antennas: usize, mode: FeatureMode) -> Self {
+        FrameLayout {
+            n_tags,
+            n_antennas,
+            n_angles: 180,
+            mode,
+        }
+    }
+
+    /// Length of the conv-branch (spectrum) part of a frame.
+    pub fn spectrum_dim(&self) -> usize {
+        match self.mode {
+            FeatureMode::Joint | FeatureMode::MusicOnly => self.n_tags * self.n_angles,
+            _ => 0,
+        }
+    }
+
+    /// Length of the directly-merged part of a frame.
+    pub fn direct_dim(&self) -> usize {
+        match self.mode {
+            FeatureMode::Joint | FeatureMode::PeriodogramOnly | FeatureMode::RssiOnly => {
+                self.n_tags * self.n_antennas
+            }
+            FeatureMode::MusicOnly => 0,
+            FeatureMode::PhaseOnly => self.n_tags * self.n_antennas * 2,
+        }
+    }
+
+    /// Total frame length.
+    pub fn frame_dim(&self) -> usize {
+        self.spectrum_dim() + self.direct_dim()
+    }
+}
+
+/// Builds feature frames from calibrated reader output.
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    /// Frame geometry and mode.
+    pub layout: FrameLayout,
+    /// Calibration to apply to every phase.
+    pub calibrator: PhaseCalibrator,
+    /// Window length of one frame in seconds.
+    pub frame_duration_s: f64,
+    /// Duration of one antenna round (`n_antennas × 25 ms`).
+    pub round_duration_s: f64,
+    /// Physical antenna spacing in wavelengths (λ/8 ⇒ 0.125).
+    pub spacing_wavelengths: f64,
+}
+
+impl FrameBuilder {
+    /// Creates a builder with the paper's timing (25 ms slots).
+    pub fn new(
+        layout: FrameLayout,
+        calibrator: PhaseCalibrator,
+        frame_duration_s: f64,
+    ) -> Self {
+        FrameBuilder {
+            layout,
+            calibrator,
+            frame_duration_s,
+            round_duration_s: layout.n_antennas as f64 * 0.025,
+            spacing_wavelengths: 0.125,
+        }
+    }
+
+    /// MUSIC configuration implied by the layout (see the module docs
+    /// for why the spacing doubles).
+    pub fn music_config(&self) -> MusicConfig {
+        let n = self.layout.n_antennas;
+        MusicConfig {
+            n_antennas: n,
+            // Phase doubling ⇒ effective spacing 2d; the dsp layer then
+            // applies the round-trip ×2 itself.
+            spacing_wavelengths: 2.0 * self.spacing_wavelengths,
+            round_trip: true,
+            n_angles: self.layout.n_angles,
+            forward_backward: true,
+            smoothing_subarray: if n >= 4 { Some(3) } else { None },
+            source_count: SourceCount::Mdl,
+            diagonal_loading: 1e-6,
+        }
+    }
+
+    /// Per-round array snapshots for one tag within `[t0, t0+frame)`.
+    ///
+    /// A round contributes a snapshot only if every antenna read the
+    /// tag in that round. Phases are calibrated and doubled.
+    fn snapshots(&self, readings: &[TagReading], tag: usize, t0: f64) -> Vec<Vec<Complex>> {
+        let n_ant = self.layout.n_antennas;
+        let t1 = t0 + self.frame_duration_s;
+        let mut per_round: std::collections::BTreeMap<i64, Vec<Option<Complex>>> =
+            std::collections::BTreeMap::new();
+        for r in readings {
+            if r.tag.0 != tag || r.time_s < t0 || r.time_s >= t1 || r.antenna >= n_ant {
+                continue;
+            }
+            let round = (r.time_s / self.round_duration_s).floor() as i64;
+            let slot = per_round
+                .entry(round)
+                .or_insert_with(|| vec![None; n_ant]);
+            let phase = self.calibrator.calibrate(r);
+            let amp = 10f64.powf(r.rssi_dbm / 20.0);
+            slot[r.antenna] = Some(Complex::from_polar(amp, 2.0 * phase));
+        }
+        per_round
+            .into_values()
+            .filter_map(|slots| {
+                slots
+                    .into_iter()
+                    .collect::<Option<Vec<Complex>>>()
+            })
+            .collect()
+    }
+
+    /// Builds the frame covering `[t0, t0 + frame_duration)`.
+    ///
+    /// Tags unseen in the window contribute zeros (as an undetected tag
+    /// would on real hardware).
+    pub fn build_frame(&self, readings: &[TagReading], t0: f64) -> Vec<f32> {
+        let lay = self.layout;
+        let mut spectrum = vec![0.0f32; lay.spectrum_dim()];
+        let mut direct = vec![0.0f32; lay.direct_dim()];
+        let music_cfg = self.music_config();
+        let t1 = t0 + self.frame_duration_s;
+
+        for tag in 0..lay.n_tags {
+            let snaps = self.snapshots(readings, tag, t0);
+            // Pseudospectrum part.
+            if matches!(lay.mode, FeatureMode::Joint | FeatureMode::MusicOnly)
+                && snaps.len() >= 2
+            {
+                if let Ok(spec) = pseudospectrum(&snaps, &music_cfg) {
+                    let spec = spec.normalized();
+                    let base = tag * lay.n_angles;
+                    // MUSIC peaks are needle-sharp; log-compress into
+                    // [0, 1] (30 dB floor) and smooth over ±2° so the
+                    // conv encoder sees stable, slightly-translated
+                    // structure instead of 1-bin spikes.
+                    let compressed: Vec<f32> = spec
+                        .power
+                        .iter()
+                        .map(|&p| ((p.max(1e-3).log10() / 3.0) + 1.0) as f32)
+                        .collect();
+                    let n = compressed.len();
+                    const K: [f32; 9] =
+                        [0.03, 0.06, 0.12, 0.18, 0.22, 0.18, 0.12, 0.06, 0.03];
+                    for i in 0..n {
+                        let mut acc = 0.0;
+                        for (o, w) in K.iter().enumerate() {
+                            let idx = (i + o + n - 4) % n;
+                            acc += w * compressed[idx];
+                        }
+                        spectrum[base + i] = acc;
+                    }
+                }
+            }
+            // Direct part.
+            match lay.mode {
+                FeatureMode::Joint | FeatureMode::PeriodogramOnly => {
+                    // Mean backscatter power per antenna (Parseval ⇒
+                    // the mean of the periodogram bins), on an absolute
+                    // log scale so the temporal power waveform of
+                    // radial gestures (squat/raise/push) stays visible
+                    // across frames.
+                    for a in 0..lay.n_antennas {
+                        let series: Vec<Complex> = snaps.iter().map(|s| s[a]).collect();
+                        if series.is_empty() {
+                            continue;
+                        }
+                        let p = m2ai_dsp::periodogram::mean_power(&series);
+                        let db = 10.0 * (p + 1e-12).log10();
+                        direct[tag * lay.n_antennas + a] =
+                            (((db + 80.0) / 60.0).clamp(0.0, 1.5)) as f32;
+                    }
+                }
+                FeatureMode::RssiOnly => {
+                    let mut sums = vec![0.0f64; lay.n_antennas];
+                    let mut counts = vec![0usize; lay.n_antennas];
+                    for r in readings {
+                        if r.tag.0 == tag
+                            && r.time_s >= t0
+                            && r.time_s < t1
+                            && r.antenna < lay.n_antennas
+                        {
+                            sums[r.antenna] += r.rssi_dbm;
+                            counts[r.antenna] += 1;
+                        }
+                    }
+                    for a in 0..lay.n_antennas {
+                        if counts[a] > 0 {
+                            // Scale dBm into a small numeric range.
+                            direct[tag * lay.n_antennas + a] =
+                                ((sums[a] / counts[a] as f64) / 20.0) as f32;
+                        }
+                    }
+                }
+                FeatureMode::PhaseOnly => {
+                    let mut sums = vec![Complex::ZERO; lay.n_antennas];
+                    for r in readings {
+                        if r.tag.0 == tag
+                            && r.time_s >= t0
+                            && r.time_s < t1
+                            && r.antenna < lay.n_antennas
+                        {
+                            let phase = self.calibrator.calibrate(r);
+                            sums[r.antenna] += Complex::cis(2.0 * phase);
+                        }
+                    }
+                    for a in 0..lay.n_antennas {
+                        let m = sums[a];
+                        if m.norm() > 0.0 {
+                            let u = m.scale(1.0 / m.norm());
+                            direct[(tag * lay.n_antennas + a) * 2] = u.re as f32;
+                            direct[(tag * lay.n_antennas + a) * 2 + 1] = u.im as f32;
+                        }
+                    }
+                }
+                FeatureMode::MusicOnly => {}
+            }
+        }
+
+        spectrum.extend_from_slice(&direct);
+        spectrum
+    }
+
+    /// Builds a `T`-frame sample starting at `start_s`.
+    pub fn build_sample(
+        &self,
+        readings: &[TagReading],
+        start_s: f64,
+        n_frames: usize,
+    ) -> Vec<Vec<f32>> {
+        (0..n_frames)
+            .map(|k| self.build_frame(readings, start_s + k as f64 * self.frame_duration_s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2ai_rfsim::geometry::Point2;
+    use m2ai_rfsim::reader::{Reader, ReaderConfig};
+    use m2ai_rfsim::room::Room;
+    use m2ai_rfsim::scene::SceneSnapshot;
+
+    fn clean_reader_config() -> ReaderConfig {
+        ReaderConfig {
+            hopping_offsets: false,
+            phase_noise_std: 0.01,
+            rssi_noise_db: 0.1,
+            pi_ambiguity: true,
+            ..ReaderConfig::default()
+        }
+    }
+
+    /// Room with essentially no multipath: very lossy walls.
+    fn anechoic() -> Room {
+        Room::rectangular("anechoic", 10.0, 8.0, 60.0)
+    }
+
+    #[test]
+    fn layout_dimensions() {
+        let l = FrameLayout::new(6, 4, FeatureMode::Joint);
+        assert_eq!(l.spectrum_dim(), 1080);
+        assert_eq!(l.direct_dim(), 24);
+        assert_eq!(l.frame_dim(), 1104);
+        assert_eq!(
+            FrameLayout::new(6, 4, FeatureMode::MusicOnly).frame_dim(),
+            1080
+        );
+        assert_eq!(
+            FrameLayout::new(6, 4, FeatureMode::PeriodogramOnly).frame_dim(),
+            24
+        );
+        assert_eq!(
+            FrameLayout::new(6, 4, FeatureMode::PhaseOnly).frame_dim(),
+            48
+        );
+        assert_eq!(FrameLayout::new(6, 4, FeatureMode::RssiOnly).frame_dim(), 24);
+    }
+
+    #[test]
+    fn frame_has_expected_shape_and_range() {
+        let mut reader = Reader::new(anechoic(), clean_reader_config(), 1);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(5.0, 4.0)]);
+        let readings = reader.run(|_| scene.clone(), 1.0);
+        let layout = FrameLayout::new(1, 4, FeatureMode::Joint);
+        let cal = PhaseCalibrator::disabled(1, 4);
+        let fb = FrameBuilder::new(layout, cal, 0.5);
+        let frame = fb.build_frame(&readings, 0.0);
+        assert_eq!(frame.len(), layout.frame_dim());
+        assert!(frame.iter().all(|v| v.is_finite()));
+        assert!(frame.iter().any(|&v| v > 0.0), "frame must not be empty");
+        // Log-compressed + smoothed pseudospectrum peaks somewhere in
+        // (0, 1]: the raw max of 1 is spread over the ±4° kernel.
+        let max_spec = frame[..180].iter().cloned().fold(0.0f32, f32::max);
+        assert!(max_spec > 0.15 && max_spec <= 1.0, "peak {max_spec}");
+    }
+
+    #[test]
+    fn pseudospectrum_peak_near_true_angle() {
+        // Tag broadside of the array: direct-path AoA is 90°.
+        let mut reader = Reader::new(anechoic(), clean_reader_config(), 1);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(5.0, 4.3)]);
+        let readings = reader.run(|_| scene.clone(), 2.0);
+        let layout = FrameLayout::new(1, 4, FeatureMode::MusicOnly);
+        let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 2.0);
+        let frame = fb.build_frame(&readings, 0.0);
+        let peak = frame
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            (peak as f64 - 90.0).abs() < 12.0,
+            "peak at {peak}°, expected ≈90°"
+        );
+    }
+
+    #[test]
+    fn empty_window_gives_zero_frame() {
+        let layout = FrameLayout::new(2, 4, FeatureMode::Joint);
+        let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(2, 4), 0.5);
+        let frame = fb.build_frame(&[], 0.0);
+        assert_eq!(frame.len(), layout.frame_dim());
+        assert!(frame.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sample_has_t_frames() {
+        let mut reader = Reader::new(anechoic(), clean_reader_config(), 1);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(5.0, 3.0)]);
+        let readings = reader.run(|_| scene.clone(), 3.0);
+        let layout = FrameLayout::new(1, 4, FeatureMode::Joint);
+        let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+        let sample = fb.build_sample(&readings, 0.0, 6);
+        assert_eq!(sample.len(), 6);
+        assert!(sample.iter().all(|f| f.len() == layout.frame_dim()));
+    }
+
+    #[test]
+    fn phase_doubling_erases_pi_flips() {
+        // Two readers identical except for the π ambiguity must produce
+        // (nearly) identical joint frames after doubling.
+        let mut with_amb = clean_reader_config();
+        with_amb.pi_ambiguity = true;
+        let mut without = clean_reader_config();
+        without.pi_ambiguity = false;
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(4.5, 3.5)]);
+        let run = |cfg: ReaderConfig| {
+            let mut reader = Reader::new(anechoic(), cfg, 1);
+            reader.run(|_| scene.clone(), 2.0)
+        };
+        let layout = FrameLayout::new(1, 4, FeatureMode::MusicOnly);
+        let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 2.0);
+        let fa = fb.build_frame(&run(with_amb), 0.0);
+        let fs = fb.build_frame(&run(without), 0.0);
+        let diff: f32 = fa.iter().zip(&fs).map(|(a, b)| (a - b).abs()).sum();
+        let scale: f32 = fs.iter().map(|v| v.abs()).sum();
+        assert!(diff / scale < 0.05, "relative diff {}", diff / scale);
+    }
+
+    #[test]
+    fn all_modes_build_nonempty_frames() {
+        let mut reader = Reader::new(anechoic(), clean_reader_config(), 2);
+        let scene = SceneSnapshot::with_tags(vec![
+            Point2::new(4.0, 3.0),
+            Point2::new(6.0, 3.5),
+        ]);
+        let readings = reader.run(|_| scene.clone(), 1.0);
+        for mode in [
+            FeatureMode::Joint,
+            FeatureMode::MusicOnly,
+            FeatureMode::PeriodogramOnly,
+            FeatureMode::PhaseOnly,
+            FeatureMode::RssiOnly,
+        ] {
+            let layout = FrameLayout::new(2, 4, mode);
+            let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(2, 4), 1.0);
+            let frame = fb.build_frame(&readings, 0.0);
+            assert_eq!(frame.len(), layout.frame_dim(), "{mode:?}");
+            assert!(
+                frame.iter().any(|&v| v != 0.0),
+                "{mode:?} produced an all-zero frame"
+            );
+        }
+    }
+
+    #[test]
+    fn mode_labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> = [
+            FeatureMode::Joint,
+            FeatureMode::MusicOnly,
+            FeatureMode::PeriodogramOnly,
+            FeatureMode::PhaseOnly,
+            FeatureMode::RssiOnly,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Network assembly (Fig. 6) and the Fig. 17 architecture ablations.
+
+use crate::frames::FrameLayout;
+use m2ai_nn::layers::{Layer, Sequential, TwoBranchEncoder};
+use m2ai_nn::lstm::LstmStack;
+use m2ai_nn::model::SequenceClassifier;
+
+/// Which engine architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    /// Full M²AI: CNN encoder → 2×32-cell LSTM → softmax.
+    CnnLstm,
+    /// CNN encoder with a per-frame softmax (no temporal memory).
+    CnnOnly,
+    /// Raw frames straight into the LSTM (no spatial feature
+    /// extraction).
+    LstmOnly,
+}
+
+impl Architecture {
+    /// Display label used in the Fig. 17 table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::CnnLstm => "CNN+LSTM (M2AI)",
+            Architecture::CnnOnly => "CNN only",
+            Architecture::LstmOnly => "LSTM only",
+        }
+    }
+}
+
+/// Width of the merged per-frame representation.
+const MERGE_DIM: usize = 64;
+/// LSTM stack layout from the paper: two layers of 32 memory cells.
+const LSTM_CELLS: [usize; 2] = [32, 32];
+
+/// Builds the convolutional branch over the pseudospectrum part
+/// (tags as channels over 180 angle bins — the CONV-E stack).
+fn conv_branch(n_tags: usize, n_angles: usize, seed: u64) -> (Sequential, usize) {
+    // CONV-E1/E2/E3 analogues with progressively shrinking extent.
+    let c1_out = 12;
+    let c2_out = 16;
+    let c3_out = 16;
+    let l1 = (n_angles - 7) / 3 + 1;
+    let l2 = (l1 - 5) / 2 + 1;
+    let l3 = (l2 - 3) / 2 + 1;
+    let seq = Sequential::new(vec![
+        Layer::conv1d(n_tags, n_angles, c1_out, 7, 3, seed),
+        Layer::relu(),
+        Layer::conv1d(c1_out, l1, c2_out, 5, 2, seed ^ 0x11),
+        Layer::relu(),
+        Layer::conv1d(c2_out, l2, c3_out, 3, 2, seed ^ 0x22),
+        Layer::relu(),
+    ]);
+    (seq, c3_out * l3)
+}
+
+/// Builds the per-frame encoder appropriate for the layout: a
+/// two-branch CNN+merge when a spectrum part exists, a small dense
+/// encoder otherwise (Fig. 16's degraded inputs have no angle axis).
+fn build_encoder(layout: &FrameLayout, seed: u64) -> (m2ai_nn::model::Encoder, usize) {
+    let spec = layout.spectrum_dim();
+    let direct = layout.direct_dim();
+    if spec > 0 {
+        let (branch, feat) = conv_branch(layout.n_tags, layout.n_angles, seed);
+        let merge = Sequential::new(vec![
+            Layer::dense(feat + direct, MERGE_DIM, seed ^ 0x33),
+            Layer::relu(),
+        ]);
+        (TwoBranchEncoder::new(spec, branch, merge).into(), MERGE_DIM)
+    } else {
+        let seq = Sequential::new(vec![
+            Layer::dense(direct, MERGE_DIM, seed ^ 0x44),
+            Layer::relu(),
+        ]);
+        (seq.into(), MERGE_DIM)
+    }
+}
+
+/// Builds the classifier for a frame layout and architecture.
+///
+/// # Panics
+///
+/// Panics if the layout has zero total dimension.
+pub fn build_model(
+    layout: &FrameLayout,
+    n_classes: usize,
+    architecture: Architecture,
+    seed: u64,
+) -> SequenceClassifier {
+    assert!(layout.frame_dim() > 0, "layout has no features");
+    match architecture {
+        Architecture::CnnLstm => {
+            let (encoder, feat) = build_encoder(layout, seed);
+            SequenceClassifier::new(encoder, LstmStack::new(feat, &LSTM_CELLS, seed), n_classes, seed)
+        }
+        Architecture::CnnOnly => {
+            let (encoder, feat) = build_encoder(layout, seed);
+            SequenceClassifier::without_lstm(encoder, feat, n_classes, seed)
+        }
+        Architecture::LstmOnly => SequenceClassifier::new(
+            Sequential::default(),
+            LstmStack::new(layout.frame_dim(), &LSTM_CELLS, seed),
+            n_classes,
+            seed,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::FeatureMode;
+
+    fn frame(dim: usize, fill: f32) -> Vec<f32> {
+        vec![fill; dim]
+    }
+
+    #[test]
+    fn all_architectures_run_forward() {
+        let layout = FrameLayout::new(6, 4, FeatureMode::Joint);
+        for arch in [
+            Architecture::CnnLstm,
+            Architecture::CnnOnly,
+            Architecture::LstmOnly,
+        ] {
+            let model = build_model(&layout, 12, arch, 1);
+            let frames = vec![frame(layout.frame_dim(), 0.1); 3];
+            let p = model.predict_proba(&frames);
+            assert_eq!(p.len(), 12, "{arch:?}");
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn degraded_modes_get_dense_encoders() {
+        for mode in [
+            FeatureMode::PeriodogramOnly,
+            FeatureMode::PhaseOnly,
+            FeatureMode::RssiOnly,
+        ] {
+            let layout = FrameLayout::new(6, 4, mode);
+            let model = build_model(&layout, 12, Architecture::CnnLstm, 2);
+            let frames = vec![frame(layout.frame_dim(), 0.2); 2];
+            assert!(model.predict(&frames) < 12, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn music_only_keeps_conv_branch() {
+        let layout = FrameLayout::new(3, 4, FeatureMode::MusicOnly);
+        let model = build_model(&layout, 12, Architecture::CnnLstm, 3);
+        let frames = vec![frame(layout.frame_dim(), 0.05); 2];
+        assert!(model.predict(&frames) < 12);
+    }
+
+    #[test]
+    fn backward_runs_on_full_model() {
+        use m2ai_nn::Parameterized;
+        let layout = FrameLayout::new(2, 4, FeatureMode::Joint);
+        let mut model = build_model(&layout, 12, Architecture::CnnLstm, 4);
+        let frames = vec![frame(layout.frame_dim(), 0.3); 4];
+        model.zero_grad();
+        let loss = model.loss_and_backprop(&frames, 5);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!(model.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> = [
+            Architecture::CnnLstm,
+            Architecture::CnnOnly,
+            Architecture::LstmOnly,
+        ]
+        .iter()
+        .map(|a| a.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn antenna_count_changes_direct_dim_not_conv() {
+        let l2 = FrameLayout::new(6, 2, FeatureMode::Joint);
+        let l4 = FrameLayout::new(6, 4, FeatureMode::Joint);
+        let m2 = build_model(&l2, 12, Architecture::CnnLstm, 5);
+        let m4 = build_model(&l4, 12, Architecture::CnnLstm, 5);
+        assert!(m2.predict(&vec![frame(l2.frame_dim(), 0.1); 2]) < 12);
+        assert!(m4.predict(&vec![frame(l4.frame_dim(), 0.1); 2]) < 12);
+    }
+}

@@ -1,0 +1,190 @@
+//! Realtime (streaming) identification.
+//!
+//! The paper's deployment (Section V) streams LLRP reads to a backend
+//! that identifies activities *in realtime*. [`OnlineIdentifier`]
+//! packages that mode: push readings as they arrive, and it maintains a
+//! sliding sequence of spectrum frames, emitting a prediction whenever
+//! a fresh frame completes.
+
+use crate::frames::FrameBuilder;
+use m2ai_nn::model::SequenceClassifier;
+use m2ai_rfsim::reading::TagReading;
+use std::collections::VecDeque;
+
+/// A prediction emitted for one completed frame window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlinePrediction {
+    /// End time of the window that triggered this prediction.
+    pub time_s: f64,
+    /// Most likely activity class.
+    pub class: usize,
+    /// Class probabilities (mean per-frame softmax over the current
+    /// frame history).
+    pub probabilities: Vec<f32>,
+}
+
+/// Streaming wrapper: reader stream in, per-window predictions out.
+#[derive(Debug, Clone)]
+pub struct OnlineIdentifier {
+    builder: FrameBuilder,
+    model: SequenceClassifier,
+    /// Sliding window length in frames (the training `T`).
+    history_len: usize,
+    buffer: Vec<TagReading>,
+    frames: VecDeque<Vec<f32>>,
+    next_window_start: f64,
+}
+
+impl OnlineIdentifier {
+    /// Creates a streaming identifier.
+    ///
+    /// `history_len` should match the `frames_per_sample` the model was
+    /// trained with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_len` is zero.
+    pub fn new(builder: FrameBuilder, model: SequenceClassifier, history_len: usize) -> Self {
+        assert!(history_len > 0, "history must hold at least one frame");
+        OnlineIdentifier {
+            builder,
+            model,
+            history_len,
+            buffer: Vec::new(),
+            frames: VecDeque::new(),
+            next_window_start: 0.0,
+        }
+    }
+
+    /// Number of frames currently in the sliding history.
+    pub fn history_fill(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pushes a batch of readings (need not be aligned to windows);
+    /// returns one prediction per frame window completed by this batch.
+    ///
+    /// Readings may arrive slightly out of order within a window;
+    /// windows close when a reading at or past the window end shows up.
+    pub fn push(&mut self, readings: &[TagReading]) -> Vec<OnlinePrediction> {
+        let mut out = Vec::new();
+        let frame_len = self.builder.frame_duration_s;
+        for r in readings {
+            self.buffer.push(r.clone());
+            // Close every window that ends at or before this reading.
+            while r.time_s >= self.next_window_start + frame_len {
+                let frame = self
+                    .builder
+                    .build_frame(&self.buffer, self.next_window_start);
+                self.frames.push_back(frame);
+                if self.frames.len() > self.history_len {
+                    self.frames.pop_front();
+                }
+                self.next_window_start += frame_len;
+                // Drop readings older than the sliding history.
+                let horizon =
+                    self.next_window_start - frame_len * self.history_len as f64;
+                self.buffer.retain(|b| b.time_s >= horizon);
+
+                if self.frames.len() == self.history_len {
+                    let seq: Vec<Vec<f32>> = self.frames.iter().cloned().collect();
+                    let probabilities = self.model.predict_proba(&seq);
+                    let class = probabilities
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    out.push(OnlinePrediction {
+                        time_s: self.next_window_start,
+                        class,
+                        probabilities,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PhaseCalibrator;
+    use crate::frames::{FeatureMode, FrameLayout};
+    use crate::network::{build_model, Architecture};
+    use m2ai_rfsim::geometry::Point2;
+    use m2ai_rfsim::reader::{Reader, ReaderConfig};
+    use m2ai_rfsim::room::Room;
+    use m2ai_rfsim::scene::SceneSnapshot;
+
+    fn stream(duration: f64) -> Vec<TagReading> {
+        let mut reader = Reader::new(Room::hall(), ReaderConfig::default(), 1);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(4.4, 3.0)]);
+        reader.run(|_| scene.clone(), duration)
+    }
+
+    fn identifier(history: usize) -> OnlineIdentifier {
+        let layout = FrameLayout::new(1, 4, FeatureMode::Joint);
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+        let model = build_model(&layout, 12, Architecture::CnnLstm, 1);
+        OnlineIdentifier::new(builder, model, history)
+    }
+
+    #[test]
+    fn emits_after_history_fills() {
+        let mut ident = identifier(4);
+        // 1.9 s: only 3 full windows of 0.5 s close (a window closes
+        // when a reading beyond its end arrives) → no prediction yet.
+        let early = ident.push(&stream(1.9));
+        assert!(early.is_empty(), "history not full yet: {early:?}");
+        assert!(ident.history_fill() <= 4);
+        // Continue the stream past 2.5 s: predictions appear.
+        let rest: Vec<TagReading> = stream(4.0)
+            .into_iter()
+            .filter(|r| r.time_s >= 1.9)
+            .collect();
+        let preds = ident.push(&rest);
+        assert!(!preds.is_empty());
+        for p in &preds {
+            assert!(p.class < 12);
+            assert!((p.probabilities.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn one_prediction_per_window() {
+        let mut ident = identifier(2);
+        let preds = ident.push(&stream(4.05));
+        // Windows of 0.5 s over 4 s: 7 closed windows after the first
+        // fills history (window k closes at reading past (k+1)·0.5).
+        assert!(
+            (5..=8).contains(&preds.len()),
+            "got {} predictions",
+            preds.len()
+        );
+        // Times strictly increase by one window.
+        for w in preds.windows(2) {
+            assert!((w[1].time_s - w[0].time_s - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let readings = stream(4.0);
+        let mut batch_ident = identifier(3);
+        let batch = batch_ident.push(&readings);
+        let mut inc_ident = identifier(3);
+        let mut incremental = Vec::new();
+        for chunk in readings.chunks(17) {
+            incremental.extend(inc_ident.push(chunk));
+        }
+        assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    #[should_panic(expected = "history")]
+    fn zero_history_panics() {
+        identifier(0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! MUSIC (Eq. 10–12 of the paper) needs the full eigensystem of the
+//! spatial correlation matrix `R = E{r rᴴ}`, a small (N×N, N = number of
+//! antennas) Hermitian positive semi-definite matrix. The cyclic Jacobi
+//! method is simple, unconditionally stable and more than fast enough at
+//! these sizes; it also delivers orthonormal eigenvectors to machine
+//! precision, which the signal/noise subspace split relies on.
+
+use crate::{CMatrix, Complex, DspError};
+
+/// Result of a Hermitian eigendecomposition.
+///
+/// Eigenvalues are real (Hermitian input), sorted in **descending**
+/// order; `vectors.col(k)` is the unit eigenvector for `values[k]`, so
+/// the first `M` columns span the MUSIC *signal subspace* and the rest
+/// the *noise subspace* (Eq. 11).
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: CMatrix,
+}
+
+impl EigenDecomposition {
+    /// Returns the eigenvectors spanning the noise subspace, i.e. the
+    /// columns associated with the `n - signal_count` smallest
+    /// eigenvalues, as an `n × (n - signal_count)` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_count > n`.
+    pub fn noise_subspace(&self, signal_count: usize) -> CMatrix {
+        let n = self.values.len();
+        assert!(signal_count <= n, "signal_count exceeds dimension");
+        CMatrix::from_fn(n, n - signal_count, |i, j| {
+            self.vectors[(i, signal_count + j)]
+        })
+    }
+}
+
+/// Default relative off-diagonal tolerance for [`hermitian_eigen`].
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of a Hermitian matrix.
+///
+/// # Errors
+///
+/// * [`DspError::NotSquare`] if `a` is not square.
+/// * [`DspError::InvalidParameter`] if `a` is not Hermitian (within
+///   `1e-8` relative tolerance) or contains non-finite entries.
+/// * [`DspError::NoConvergence`] if the sweep budget is exhausted
+///   (does not happen for well-formed input).
+///
+/// # Example
+///
+/// ```
+/// use m2ai_dsp::{CMatrix, Complex, eigen::hermitian_eigen};
+/// let a = CMatrix::from_rows(2, 2, &[
+///     Complex::new(2.0, 0.0), Complex::new(0.0, 1.0),
+///     Complex::new(0.0, -1.0), Complex::new(2.0, 0.0),
+/// ]).unwrap();
+/// let e = hermitian_eigen(&a).unwrap();
+/// assert!((e.values[0] - 3.0).abs() < 1e-9);
+/// assert!((e.values[1] - 1.0).abs() < 1e-9);
+/// ```
+pub fn hermitian_eigen(a: &CMatrix) -> Result<EigenDecomposition, DspError> {
+    if !a.is_square() {
+        return Err(DspError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if a.as_slice().iter().any(|z| !z.is_finite()) {
+        return Err(DspError::InvalidParameter("matrix has non-finite entries"));
+    }
+    if !a.is_hermitian(1e-8) {
+        return Err(DspError::InvalidParameter("matrix is not Hermitian"));
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(EigenDecomposition {
+            values: Vec::new(),
+            vectors: CMatrix::zeros(0, 0),
+        });
+    }
+
+    let mut m = a.clone();
+    let mut v = CMatrix::identity(n);
+    let scale = m.frobenius_norm().max(1e-300);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        if m.off_diagonal_energy().sqrt() <= DEFAULT_TOL * scale {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                jacobi_rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+    if !converged && m.off_diagonal_energy().sqrt() > 1e-8 * scale {
+        return Err(DspError::NoConvergence {
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Collect (eigenvalue, column) pairs and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = CMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// One two-sided Jacobi rotation annihilating `m[(p, q)]`.
+fn jacobi_rotate(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    let r = apq.norm();
+    if r < 1e-300 {
+        return;
+    }
+    let phi = apq.arg();
+    let app = m[(p, p)].re;
+    let aqq = m[(q, q)].re;
+    // Real rotation angle after phasing out e^{iφ}.
+    let theta = 0.5 * (2.0 * r).atan2(app - aqq);
+    let (s, c) = theta.sin_cos();
+    let e_m = Complex::cis(-phi); // e^{-iφ}
+    let e_p = Complex::cis(phi); // e^{+iφ}
+
+    let n = m.rows();
+    // Column update: B = M · J with
+    //   J[p,p]=c, J[p,q]=-s, J[q,p]=e^{-iφ}s, J[q,q]=e^{-iφ}c
+    for i in 0..n {
+        let mip = m[(i, p)];
+        let miq = m[(i, q)];
+        m[(i, p)] = mip.scale(c) + miq * e_m.scale(s);
+        m[(i, q)] = -mip.scale(s) + miq * e_m.scale(c);
+    }
+    // Row update: A' = Jᴴ · B
+    for j in 0..n {
+        let mpj = m[(p, j)];
+        let mqj = m[(q, j)];
+        m[(p, j)] = mpj.scale(c) + mqj * e_p.scale(s);
+        m[(q, j)] = -mpj.scale(s) + mqj * e_p.scale(c);
+    }
+    // Clean up rounding on the annihilated pair and enforce real diagonal.
+    m[(p, q)] = Complex::ZERO;
+    m[(q, p)] = Complex::ZERO;
+    m[(p, p)] = Complex::new(m[(p, p)].re, 0.0);
+    m[(q, q)] = Complex::new(m[(q, q)].re, 0.0);
+    // Accumulate eigenvectors: V := V · J (same column update).
+    for i in 0..v.rows() {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip.scale(c) + viq * e_m.scale(s);
+        v[(i, q)] = -vip.scale(s) + viq * e_m.scale(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    /// ‖A·V − V·diag(λ)‖_F
+    fn residual(a: &CMatrix, e: &EigenDecomposition) -> f64 {
+        let av = a.mul(&e.vectors).unwrap();
+        let mut lam = CMatrix::zeros(e.values.len(), e.values.len());
+        for (i, &l) in e.values.iter().enumerate() {
+            lam[(i, i)] = c(l, 0.0);
+        }
+        let vl = e.vectors.mul(&lam).unwrap();
+        let mut s = 0.0;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                s += (av[(i, j)] - vl[(i, j)]).norm_sqr();
+            }
+        }
+        s.sqrt()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = CMatrix::zeros(3, 3);
+        a[(0, 0)] = c(1.0, 0.0);
+        a[(1, 1)] = c(5.0, 0.0);
+        a[(2, 2)] = c(3.0, 0.0);
+        let e = hermitian_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2_complex() {
+        // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+        let a = CMatrix::from_rows(2, 2, &[c(2.0, 0.0), c(0.0, 1.0), c(0.0, -1.0), c(2.0, 0.0)])
+            .unwrap();
+        let e = hermitian_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!(residual(&a, &e) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = CMatrix::from_rows(
+            3,
+            3,
+            &[
+                c(4.0, 0.0),
+                c(1.0, 2.0),
+                c(0.5, -1.0),
+                c(1.0, -2.0),
+                c(3.0, 0.0),
+                c(0.0, 1.5),
+                c(0.5, 1.0),
+                c(0.0, -1.5),
+                c(5.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let e = hermitian_eigen(&a).unwrap();
+        let vhv = e.vectors.hermitian_transpose().mul(&e.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vhv[(i, j)] - c(expect, 0.0)).norm() < 1e-10);
+            }
+        }
+        assert!(residual(&a, &e) < 1e-9);
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            &[c(1.0, 0.0), c(0.3, 0.4), c(0.3, -0.4), c(2.0, 0.0)],
+        )
+        .unwrap();
+        let e = hermitian_eigen(&a).unwrap();
+        // A = V Λ Vᴴ
+        let mut lam = CMatrix::zeros(2, 2);
+        for (i, &l) in e.values.iter().enumerate() {
+            lam[(i, i)] = c(l, 0.0);
+        }
+        let rec = e
+            .vectors
+            .mul(&lam)
+            .unwrap()
+            .mul(&e.vectors.hermitian_transpose())
+            .unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rec[(i, j)] - a[(i, j)]).norm() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_outer_product() {
+        // x·xᴴ has one eigenvalue ‖x‖² and the rest zero.
+        let x = [c(1.0, 1.0), c(2.0, -1.0), c(0.0, 3.0), c(-1.0, 0.5)];
+        let a = CMatrix::outer(&x, &x);
+        let e = hermitian_eigen(&a).unwrap();
+        let norm2: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        assert!((e.values[0] - norm2).abs() < 1e-9);
+        for &v in &e.values[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_subspace_is_orthogonal_to_signal() {
+        let x = [c(1.0, 0.2), c(0.5, -0.7), c(2.0, 0.0)];
+        let a = CMatrix::outer(&x, &x);
+        let e = hermitian_eigen(&a).unwrap();
+        let noise = e.noise_subspace(1);
+        assert_eq!((noise.rows(), noise.cols()), (3, 2));
+        // a(θ)=x must be orthogonal to the noise subspace.
+        for j in 0..noise.cols() {
+            let dot: Complex = (0..3).map(|i| x[i].conj() * noise[(i, j)]).sum();
+            assert!(dot.norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_and_non_hermitian() {
+        assert!(matches!(
+            hermitian_eigen(&CMatrix::zeros(2, 3)),
+            Err(DspError::NotSquare { .. })
+        ));
+        let bad =
+            CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(1.0, 0.0), c(9.0, 0.0), c(1.0, 0.0)])
+                .unwrap();
+        assert!(matches!(
+            hermitian_eigen(&bad),
+            Err(DspError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut a = CMatrix::identity(2);
+        a[(0, 0)] = c(f64::NAN, 0.0);
+        assert!(hermitian_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let e = hermitian_eigen(&CMatrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

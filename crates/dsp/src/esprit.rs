@@ -1,0 +1,354 @@
+//! ESPRIT: search-free angle-of-arrival estimation.
+//!
+//! MUSIC (Eq. 12) scans a 180-point grid; ESPRIT (Estimation of Signal
+//! Parameters via Rotational Invariance Techniques) exploits the shift
+//! invariance of a ULA to read the arrival angles directly off the
+//! eigenvalues of a small matrix — no grid, sub-degree resolution.
+//! Provided as an alternative estimator for applications that need
+//! angles rather than full spectra (and as a cross-check of the MUSIC
+//! implementation in tests).
+
+use crate::eigen::hermitian_eigen;
+use crate::music::{correlation_matrix, MusicConfig};
+use crate::{CMatrix, Complex, DspError};
+
+/// Inverts a small complex matrix by Gauss–Jordan with partial
+/// pivoting.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotSquare`] or
+/// [`DspError::InvalidParameter`] (singular).
+pub fn invert_small(a: &CMatrix) -> Result<CMatrix, DspError> {
+    if !a.is_square() {
+        return Err(DspError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut inv = CMatrix::identity(n);
+    for col in 0..n {
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if m[(r, col)].norm() > m[(pivot, col)].norm() {
+                pivot = r;
+            }
+        }
+        if m[(pivot, col)].norm() < 1e-12 {
+            return Err(DspError::InvalidParameter("matrix is singular"));
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot, j)];
+                m[(pivot, j)] = tmp;
+                let tmp = inv[(col, j)];
+                inv[(col, j)] = inv[(pivot, j)];
+                inv[(pivot, j)] = tmp;
+            }
+        }
+        let d = m[(col, col)].inv();
+        for j in 0..n {
+            m[(col, j)] *= d;
+            inv[(col, j)] *= d;
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = m[(r, col)];
+            if f == Complex::ZERO {
+                continue;
+            }
+            for j in 0..n {
+                let mc = m[(col, j)];
+                let ic = inv[(col, j)];
+                m[(r, j)] -= f * mc;
+                inv[(r, j)] -= f * ic;
+            }
+        }
+    }
+    Ok(inv)
+}
+
+/// Eigenvalues of a small (n ≤ 3) complex matrix, via closed forms.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotSquare`] for non-square input or
+/// [`DspError::InvalidParameter`] for n > 3 or empty input.
+pub fn small_eigenvalues(a: &CMatrix) -> Result<Vec<Complex>, DspError> {
+    if !a.is_square() {
+        return Err(DspError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    match a.rows() {
+        0 => Err(DspError::InvalidParameter("empty matrix")),
+        1 => Ok(vec![a[(0, 0)]]),
+        2 => {
+            // λ² − tr·λ + det = 0
+            let tr = a[(0, 0)] + a[(1, 1)];
+            let det = a[(0, 0)] * a[(1, 1)] - a[(0, 1)] * a[(1, 0)];
+            let disc = (tr * tr - det.scale(4.0)).sqrt();
+            Ok(vec![(tr + disc).scale(0.5), (tr - disc).scale(0.5)])
+        }
+        3 => {
+            // Characteristic polynomial λ³ − c2 λ² + c1 λ − c0 = 0 with
+            // c2 = tr, c1 = Σ principal 2×2 minors, c0 = det.
+            let m = |i: usize, j: usize| a[(i, j)];
+            let c2 = m(0, 0) + m(1, 1) + m(2, 2);
+            let minor = |i: usize, j: usize, k: usize, l: usize| {
+                m(i, i) * m(j, j) - m(k, l) * m(l, k)
+            };
+            let c1 = minor(0, 1, 0, 1) + minor(0, 2, 0, 2) + minor(1, 2, 1, 2);
+            let c0 = m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1))
+                - m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0))
+                + m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+            // Depressed cubic t³ + pt + q with λ = t + c2/3.
+            let shift = c2.scale(1.0 / 3.0);
+            let p = c1 - c2 * c2.scale(1.0 / 3.0);
+            let q = c0.scale(-1.0) + c1 * shift - shift * shift * shift.scale(2.0);
+            // Solve via Cardano with complex arithmetic:
+            // t = u − p/(3u), u³ = (−q + √(q² + 4p³/27)) / 2.
+            let inner = (q * q + (p * p * p).scale(4.0 / 27.0)).sqrt();
+            let mut u3 = (q.scale(-1.0) + inner).scale(0.5);
+            if u3.norm() < 1e-18 {
+                u3 = (q.scale(-1.0) - inner).scale(0.5);
+            }
+            let roots = if u3.norm() < 1e-18 {
+                // p and q both ~0: triple root at the shift.
+                vec![Complex::ZERO; 3]
+            } else {
+                let r = u3.norm().cbrt();
+                let theta = u3.arg() / 3.0;
+                (0..3)
+                    .map(|k| {
+                        let u = Complex::from_polar(
+                            r,
+                            theta + 2.0 * std::f64::consts::PI * k as f64 / 3.0,
+                        );
+                        u - p.scale(1.0 / 3.0) * u.inv()
+                    })
+                    .collect()
+            };
+            Ok(roots.into_iter().map(|t| t + shift).collect())
+        }
+        n => {
+            let _ = n;
+            Err(DspError::InvalidParameter(
+                "small_eigenvalues supports n <= 3",
+            ))
+        }
+    }
+}
+
+/// Estimates arrival angles (degrees) of `n_sources` signals with
+/// ESPRIT.
+///
+/// `config` supplies the array geometry exactly as for MUSIC; the
+/// grid fields are ignored. Works for `n_sources ≤ min(3, N−1)`.
+///
+/// # Errors
+///
+/// Propagates snapshot/eigendecomposition errors;
+/// [`DspError::InvalidParameter`] for unsupported source counts.
+pub fn esprit_angles(
+    snapshots: &[Vec<Complex>],
+    config: &MusicConfig,
+    n_sources: usize,
+) -> Result<Vec<f64>, DspError> {
+    config.validate()?;
+    let n = config.n_antennas;
+    if n_sources == 0 || n_sources > 3 || n_sources >= n {
+        return Err(DspError::InvalidParameter(
+            "n_sources must be in 1..=min(3, n_antennas-1)",
+        ));
+    }
+    let r = correlation_matrix(snapshots)?;
+    let eig = hermitian_eigen(&r)?;
+    // Signal subspace: first n_sources eigenvectors.
+    let us = CMatrix::from_fn(n, n_sources, |i, j| eig.vectors[(i, j)]);
+    // Shifted subarrays.
+    let u1 = CMatrix::from_fn(n - 1, n_sources, |i, j| us[(i, j)]);
+    let u2 = CMatrix::from_fn(n - 1, n_sources, |i, j| us[(i + 1, j)]);
+    // Ψ = (U1ᴴU1)⁻¹ U1ᴴ U2.
+    let u1h = u1.hermitian_transpose();
+    let gram = u1h.mul(&u1)?;
+    let psi = invert_small(&gram)?.mul(&u1h.mul(&u2)?)?;
+    let lambdas = small_eigenvalues(&psi)?;
+    // Steering convention: element k+1 lags by ψ = factor·cosθ, so
+    // U2 = U1·diag(e^{-jψ}) and cosθ = −arg(λ)/factor.
+    let mult = if config.round_trip { 2.0 } else { 1.0 };
+    let factor = 2.0 * std::f64::consts::PI * mult * config.spacing_wavelengths;
+    Ok(lambdas
+        .into_iter()
+        .map(|l| {
+            let cos_theta = (-l.arg() / factor).clamp(-1.0, 1.0);
+            cos_theta.acos().to_degrees()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::music::{steering_vector, SourceCount};
+
+    fn cfg(n: usize) -> MusicConfig {
+        MusicConfig {
+            n_antennas: n,
+            spacing_wavelengths: 0.25,
+            round_trip: false,
+            n_angles: 180,
+            forward_backward: false,
+            smoothing_subarray: None,
+            source_count: SourceCount::Fixed(1),
+            diagonal_loading: 0.0,
+        }
+    }
+
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn snapshots(config: &MusicConfig, angles: &[f64], n: usize, noise: f64) -> Vec<Vec<Complex>> {
+        let mut state = 42u64;
+        (0..n)
+            .map(|_| {
+                let phases: Vec<f64> = angles
+                    .iter()
+                    .map(|_| splitmix(&mut state) * std::f64::consts::TAU)
+                    .collect();
+                (0..config.n_antennas)
+                    .map(|k| {
+                        let mut z = Complex::ZERO;
+                        for (i, &a) in angles.iter().enumerate() {
+                            z += steering_vector(config, a)[k] * Complex::cis(phases[i]);
+                        }
+                        z + Complex::new(
+                            noise * (splitmix(&mut state) - 0.5),
+                            noise * (splitmix(&mut state) - 0.5),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn invert_small_roundtrip() {
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::new(2.0, 1.0),
+                Complex::new(0.0, -1.0),
+                Complex::new(1.0, 0.0),
+                Complex::new(3.0, 0.5),
+            ],
+        )
+        .unwrap();
+        let inv = invert_small(&a).unwrap();
+        let prod = a.mul(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { Complex::ONE } else { Complex::ZERO };
+                assert!((prod[(i, j)] - want).norm() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_rejects_singular() {
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            &[Complex::ONE, Complex::ONE, Complex::ONE, Complex::ONE],
+        )
+        .unwrap();
+        assert!(invert_small(&a).is_err());
+    }
+
+    #[test]
+    fn eigenvalues_of_diagonal() {
+        let mut d = CMatrix::zeros(3, 3);
+        d[(0, 0)] = Complex::new(1.0, 2.0);
+        d[(1, 1)] = Complex::new(-3.0, 0.0);
+        d[(2, 2)] = Complex::new(0.5, -0.5);
+        let mut eig = small_eigenvalues(&d).unwrap();
+        eig.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+        assert!((eig[0] - Complex::new(-3.0, 0.0)).norm() < 1e-8);
+        assert!((eig[1] - Complex::new(0.5, -0.5)).norm() < 1e-8);
+        assert!((eig[2] - Complex::new(1.0, 2.0)).norm() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalues_satisfy_characteristic_poly() {
+        let a = CMatrix::from_fn(3, 3, |i, j| {
+            Complex::new((i * 3 + j) as f64 * 0.3 - 1.0, (i as f64 - j as f64) * 0.4)
+        });
+        for lam in small_eigenvalues(&a).unwrap() {
+            // det(A − λI) ≈ 0 via direct 3×3 determinant.
+            let b = CMatrix::from_fn(3, 3, |i, j| {
+                a[(i, j)] - if i == j { lam } else { Complex::ZERO }
+            });
+            let det = b[(0, 0)] * (b[(1, 1)] * b[(2, 2)] - b[(1, 2)] * b[(2, 1)])
+                - b[(0, 1)] * (b[(1, 0)] * b[(2, 2)] - b[(1, 2)] * b[(2, 0)])
+                + b[(0, 2)] * (b[(1, 0)] * b[(2, 1)] - b[(1, 1)] * b[(2, 0)]);
+            assert!(det.norm() < 1e-6, "det {det} for λ {lam}");
+        }
+    }
+
+    #[test]
+    fn single_source_angle_recovered() {
+        let c = cfg(4);
+        for truth in [35.0, 90.0, 140.0] {
+            let snaps = snapshots(&c, &[truth], 64, 0.02);
+            let angles = esprit_angles(&snaps, &c, 1).unwrap();
+            assert!(
+                (angles[0] - truth).abs() < 1.0,
+                "want {truth}, got {angles:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_sources_recovered() {
+        let c = cfg(6);
+        let snaps = snapshots(&c, &[55.0, 120.0], 256, 0.02);
+        let mut angles = esprit_angles(&snaps, &c, 2).unwrap();
+        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((angles[0] - 55.0).abs() < 2.0, "{angles:?}");
+        assert!((angles[1] - 120.0).abs() < 2.0, "{angles:?}");
+    }
+
+    #[test]
+    fn agrees_with_music() {
+        let c = cfg(5);
+        let truth = 72.0;
+        let snaps = snapshots(&c, &[truth], 64, 0.05);
+        let esprit = esprit_angles(&snaps, &c, 1).unwrap()[0];
+        let spec = crate::music::pseudospectrum(&snaps, &c).unwrap();
+        let music = spec.peaks(1, 5.0)[0].0;
+        assert!((esprit - music).abs() < 2.0, "esprit {esprit} music {music}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let c = cfg(4);
+        let snaps = snapshots(&c, &[90.0], 8, 0.0);
+        assert!(esprit_angles(&snaps, &c, 0).is_err());
+        assert!(esprit_angles(&snaps, &c, 4).is_err());
+        assert!(small_eigenvalues(&CMatrix::zeros(4, 4)).is_err());
+        assert!(small_eigenvalues(&CMatrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Small FIR smoothing filters used to condition spectra before
+//! learning.
+
+use crate::DspError;
+
+/// A normalised Gaussian smoothing kernel of standard deviation
+/// `sigma` (in samples), truncated at ±3σ.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `sigma` is not positive.
+pub fn gaussian_kernel(sigma: f64) -> Result<Vec<f64>, DspError> {
+    if !(sigma > 0.0) {
+        return Err(DspError::InvalidParameter("sigma must be positive"));
+    }
+    let half = (3.0 * sigma).ceil() as usize;
+    let mut k: Vec<f64> = (0..=2 * half)
+        .map(|i| {
+            let x = i as f64 - half as f64;
+            (-x * x / (2.0 * sigma * sigma)).exp()
+        })
+        .collect();
+    let sum: f64 = k.iter().sum();
+    k.iter_mut().for_each(|v| *v /= sum);
+    Ok(k)
+}
+
+/// Circular (wrap-around) convolution of `data` with `kernel`.
+///
+/// Appropriate for angle spectra, where bin 0 and bin N−1 are
+/// neighbours in the underlying geometry.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either input is empty, or
+/// [`DspError::InvalidParameter`] if the kernel is longer than the data.
+pub fn convolve_circular(data: &[f64], kernel: &[f64]) -> Result<Vec<f64>, DspError> {
+    if data.is_empty() || kernel.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if kernel.len() > data.len() {
+        return Err(DspError::InvalidParameter("kernel longer than data"));
+    }
+    let n = data.len();
+    let half = kernel.len() / 2;
+    let mut out = vec![0.0; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, &w) in kernel.iter().enumerate() {
+            let idx = (i + j + n - half) % n;
+            acc += w * data[idx];
+        }
+        *o = acc;
+    }
+    Ok(out)
+}
+
+/// Centered moving average of window `w` (odd, clamped to data length),
+/// with edge truncation (no wrap).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for empty data or
+/// [`DspError::InvalidParameter`] for an even or zero window.
+pub fn moving_average(data: &[f64], w: usize) -> Result<Vec<f64>, DspError> {
+    if data.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if w == 0 || w % 2 == 0 {
+        return Err(DspError::InvalidParameter("window must be odd and > 0"));
+    }
+    let half = w / 2;
+    let n = data.len();
+    let out = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            data[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_kernel_normalised_and_symmetric() {
+        let k = gaussian_kernel(2.0).unwrap();
+        assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for i in 0..k.len() {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-12);
+        }
+        let mid = k.len() / 2;
+        assert!(k.iter().all(|&v| v <= k[mid]));
+    }
+
+    #[test]
+    fn gaussian_kernel_rejects_bad_sigma() {
+        assert!(gaussian_kernel(0.0).is_err());
+        assert!(gaussian_kernel(-1.0).is_err());
+    }
+
+    #[test]
+    fn circular_convolution_preserves_mass() {
+        let data = vec![0.0, 0.0, 10.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let k = gaussian_kernel(0.8).unwrap();
+        let out = convolve_circular(&data, &k).unwrap();
+        assert!((out.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        // Peak stays at the same index.
+        let argmax = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 2);
+    }
+
+    #[test]
+    fn circular_convolution_wraps() {
+        let data = vec![10.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let k = vec![0.25, 0.5, 0.25];
+        let out = convolve_circular(&data, &k).unwrap();
+        assert!((out[0] - 5.0).abs() < 1e-12);
+        assert!((out[5] - 2.5).abs() < 1e-12, "must wrap: {out:?}");
+        assert!((out[1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_input_validation() {
+        assert!(convolve_circular(&[], &[1.0]).is_err());
+        assert!(convolve_circular(&[1.0], &[]).is_err());
+        assert!(convolve_circular(&[1.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn moving_average_flattens_noise() {
+        let data: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let out = moving_average(&data, 5).unwrap();
+        let max_abs = out[2..38].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(max_abs < 0.25, "interior should flatten: {max_abs}");
+    }
+
+    #[test]
+    fn moving_average_validation() {
+        assert!(moving_average(&[], 3).is_err());
+        assert!(moving_average(&[1.0], 2).is_err());
+        assert!(moving_average(&[1.0], 0).is_err());
+        // Identity for window 1.
+        assert_eq!(moving_average(&[1.0, 2.0], 1).unwrap(), vec![1.0, 2.0]);
+    }
+}

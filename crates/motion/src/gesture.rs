@@ -1,0 +1,259 @@
+//! Limb-level motion primitives, expressed as tag offsets in the body
+//! frame.
+//!
+//! The body frame has +x pointing in the person's heading direction and
+//! +y to their left. Tags sit on the **hand**, **upper arm** and
+//! **shoulder** (the paper's default placement); each gesture moves
+//! these attachment points along characteristic trajectories whose
+//! spatial extent and tempo scale with the [`Volunteer`].
+
+use crate::volunteer::Volunteer;
+use m2ai_rfsim::geometry::Vec2;
+
+/// Where a tag is attached on the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSite {
+    /// Back of the hand — largest motion extent.
+    Hand,
+    /// Upper arm — medium extent.
+    Arm,
+    /// Shoulder — small extent, mostly body motion.
+    Shoulder,
+}
+
+impl TagSite {
+    /// The default three sites, in the paper's order.
+    pub const ALL: [TagSite; 3] = [TagSite::Hand, TagSite::Arm, TagSite::Shoulder];
+
+    /// Rest offset of this site in the body frame (metres, for a
+    /// `body_scale` of 1).
+    pub fn rest_offset(self) -> Vec2 {
+        match self {
+            TagSite::Hand => Vec2::new(0.15, 0.45),
+            TagSite::Arm => Vec2::new(0.05, 0.30),
+            TagSite::Shoulder => Vec2::new(0.0, 0.20),
+        }
+    }
+
+    /// How strongly arm gestures propagate to this site (hand moves
+    /// most, shoulder barely).
+    pub fn articulation(self) -> f64 {
+        match self {
+            TagSite::Hand => 1.0,
+            TagSite::Arm => 0.55,
+            TagSite::Shoulder => 0.12,
+        }
+    }
+}
+
+/// A repeating limb gesture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gesture {
+    /// Standing still (sway only).
+    Still,
+    /// Lateral hand wave at `freq_hz`.
+    Wave {
+        /// Wave cycles per second.
+        freq_hz: f64,
+    },
+    /// Squat cycle: tags draw toward the body centre and back.
+    Squat {
+        /// Seconds per squat.
+        period_s: f64,
+    },
+    /// Forward arm raise and lower.
+    RaiseArm {
+        /// Seconds per raise-lower cycle.
+        period_s: f64,
+    },
+    /// Push–pull of an object in front of the body.
+    PushPull {
+        /// Seconds per push-pull cycle.
+        period_s: f64,
+    },
+    /// Alternating arm swing (walking arms).
+    SwingArms {
+        /// Seconds per stride pair.
+        period_s: f64,
+    },
+    /// Sit down, hold, stand up over one cycle.
+    SitStand {
+        /// Seconds for the complete sit-hold-stand cycle.
+        period_s: f64,
+    },
+}
+
+impl Gesture {
+    /// Offset of `site` from its rest position at time `t`, in the body
+    /// frame, for the given volunteer.
+    pub fn offset(self, site: TagSite, t: f64, vol: &Volunteer) -> Vec2 {
+        let art = site.articulation();
+        let amp = vol.amplitude * art;
+        let tau = std::f64::consts::TAU;
+        match self {
+            Gesture::Still => Vec2::new(0.0, 0.0),
+            Gesture::Wave { freq_hz } => {
+                let w = tau * freq_hz * vol.tempo * t;
+                // Lateral sweep with slight forward component.
+                Vec2::new(0.10 * amp * (2.0 * w).sin(), 0.35 * amp * w.sin())
+            }
+            Gesture::Squat { period_s } => {
+                let w = tau * t * vol.tempo / period_s;
+                // Plan-view signature of a squat: all tags pull in
+                // toward the body centre (arms drop and fold).
+                let pull = 0.5 * (1.0 - w.cos()); // 0..1..0
+                let rest = site.rest_offset();
+                Vec2::new(-rest.x * 0.6 * pull, -rest.y * 0.6 * pull)
+                    + Vec2::new(-0.10 * vol.amplitude * pull, 0.0)
+            }
+            Gesture::RaiseArm { period_s } => {
+                let w = tau * t * vol.tempo / period_s;
+                let lift = 0.5 * (1.0 - w.cos());
+                // Arm rotates forward-up: forward extension, inward y.
+                Vec2::new(0.40 * amp * lift, -0.25 * amp * lift)
+            }
+            Gesture::PushPull { period_s } => {
+                let w = tau * t * vol.tempo / period_s;
+                Vec2::new(0.35 * amp * w.sin(), 0.0)
+            }
+            Gesture::SwingArms { period_s } => {
+                let w = tau * t * vol.tempo / period_s;
+                Vec2::new(0.22 * amp * w.sin(), 0.05 * amp * (2.0 * w).sin())
+            }
+            Gesture::SitStand { period_s } => {
+                let cycle = (t * vol.tempo / period_s).fract();
+                // Piecewise: sink (0..0.3), hold (0.3..0.7), rise (0.7..1).
+                let depth = if cycle < 0.3 {
+                    cycle / 0.3
+                } else if cycle < 0.7 {
+                    1.0
+                } else {
+                    (1.0 - cycle) / 0.3
+                };
+                // Sitting shifts the torso back and folds the arms.
+                Vec2::new(-0.30 * vol.amplitude * depth * art.max(0.5), 0.0)
+            }
+        }
+    }
+
+    /// Characteristic period of the gesture in seconds (for scheduling
+    /// sample windows); `None` for [`Gesture::Still`].
+    pub fn period_s(self) -> Option<f64> {
+        match self {
+            Gesture::Still => None,
+            Gesture::Wave { freq_hz } => Some(1.0 / freq_hz),
+            Gesture::Squat { period_s }
+            | Gesture::RaiseArm { period_s }
+            | Gesture::PushPull { period_s }
+            | Gesture::SwingArms { period_s }
+            | Gesture::SitStand { period_s } => Some(period_s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> Volunteer {
+        Volunteer::nominal()
+    }
+
+    #[test]
+    fn still_never_moves() {
+        for site in TagSite::ALL {
+            for i in 0..20 {
+                let o = Gesture::Still.offset(site, i as f64 * 0.3, &nominal());
+                assert_eq!(o, Vec2::new(0.0, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn hand_moves_more_than_shoulder() {
+        let g = Gesture::Wave { freq_hz: 1.0 };
+        let peak = |site: TagSite| -> f64 {
+            (0..100)
+                .map(|i| g.offset(site, i as f64 * 0.01, &nominal()).length())
+                .fold(0.0, f64::max)
+        };
+        assert!(peak(TagSite::Hand) > 2.0 * peak(TagSite::Shoulder));
+        assert!(peak(TagSite::Hand) > peak(TagSite::Arm));
+    }
+
+    #[test]
+    fn gestures_are_periodic() {
+        let vol = nominal();
+        for g in [
+            Gesture::Wave { freq_hz: 1.0 },
+            Gesture::Squat { period_s: 2.0 },
+            Gesture::RaiseArm { period_s: 2.0 },
+            Gesture::PushPull { period_s: 1.5 },
+            Gesture::SwingArms { period_s: 1.2 },
+        ] {
+            let p = g.period_s().unwrap();
+            for k in 0..5 {
+                let t = 0.37 + k as f64 * 0.21;
+                let a = g.offset(TagSite::Hand, t, &vol);
+                let b = g.offset(TagSite::Hand, t + p, &vol);
+                assert!((a - b).length() < 1e-9, "{g:?} not periodic");
+            }
+        }
+    }
+
+    #[test]
+    fn tempo_scales_period() {
+        let fast = Volunteer {
+            tempo: 2.0,
+            ..nominal()
+        };
+        let g = Gesture::PushPull { period_s: 2.0 };
+        // A tempo-2 volunteer completes the cycle in half the time.
+        let a = g.offset(TagSite::Hand, 0.5, &fast);
+        let b = g.offset(TagSite::Hand, 1.0, &nominal());
+        assert!((a - b).length() < 1e-9);
+    }
+
+    #[test]
+    fn squat_pulls_inward() {
+        let g = Gesture::Squat { period_s: 2.0 };
+        // At half period the pull is maximal; hand offset points toward
+        // the body (negative components relative to rest).
+        let o = g.offset(TagSite::Hand, 1.0, &nominal());
+        let rest = TagSite::Hand.rest_offset();
+        assert!((rest + o).length() < rest.length());
+    }
+
+    #[test]
+    fn sit_stand_holds_then_returns() {
+        let g = Gesture::SitStand { period_s: 4.0 };
+        let vol = nominal();
+        let seated = g.offset(TagSite::Shoulder, 2.0, &vol); // mid-hold
+        assert!(seated.length() > 0.05);
+        let standing = g.offset(TagSite::Shoulder, 0.0, &vol);
+        assert!(standing.length() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_scales_extent() {
+        let big = Volunteer {
+            amplitude: 1.2,
+            ..nominal()
+        };
+        let g = Gesture::Wave { freq_hz: 1.0 };
+        let t = 0.31;
+        let a = g.offset(TagSite::Hand, t, &big).length();
+        let b = g.offset(TagSite::Hand, t, &nominal()).length();
+        assert!((a / b - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rest_offsets_are_ordered() {
+        assert!(
+            TagSite::Hand.rest_offset().length() > TagSite::Arm.rest_offset().length()
+        );
+        assert!(
+            TagSite::Arm.rest_offset().length() > TagSite::Shoulder.rest_offset().length()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # m2ai-motion — human activity kinematics for RFID sensing
+//!
+//! The paper's experiments attach three passive tags (hand, arm,
+//! shoulder) to each of up to three volunteers performing twelve
+//! predefined two-person activity scenarios (Fig. 8), 3–6 m from the
+//! antenna array. This crate synthesises those scenes:
+//!
+//! * [`volunteer`] — per-person body/speed/amplitude variation and
+//!   smooth deterministic sway, standing in for the paper's ten
+//!   volunteers of varying age, gender, height and weight;
+//! * [`gesture`] — limb-level motion primitives (waving, squatting,
+//!   arm raises, push–pull, sitting) expressed as tag offsets in the
+//!   body frame;
+//! * [`trajectory`] — whole-body motion (shuttling, orbiting, swapping
+//!   positions);
+//! * [`activity`] — the catalogue of 12 scenarios for 1, 2 or 3
+//!   simultaneous persons (the paper's Fig. 8 set and its Fig. 11
+//!   multi-person extension);
+//! * [`scene`] — composition into time-indexed
+//!   [`m2ai_rfsim::scene::SceneSnapshot`]s that the simulated reader
+//!   consumes.
+//!
+//! The exact activity sketches in the paper's Fig. 8 are drawings
+//! without a textual legend; the catalogue here is a faithful
+//! *re-creation of the design intent*: pairs of simultaneous
+//! gestures/motions, including pairs that differ only in temporal order
+//! (so that models without temporal memory cannot separate them).
+//!
+//! # Example
+//!
+//! ```
+//! use m2ai_motion::{activity::catalog, scene::ActivityScene, volunteer::Volunteer};
+//!
+//! let scenarios = catalog(2);
+//! assert_eq!(scenarios.len(), 12);
+//! let scene = ActivityScene::new(
+//!     &scenarios[0],
+//!     &[Volunteer::preset(0), Volunteer::preset(1)],
+//!     3,
+//!     42,
+//! );
+//! let snap = scene.snapshot(1.0);
+//! assert_eq!(snap.tag_positions.len(), 6); // 2 persons × 3 tags
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod gesture;
+pub mod scene;
+pub mod trajectory;
+pub mod volunteer;

@@ -1,0 +1,243 @@
+//! Whole-body trajectories: where the person's torso is over time.
+
+use crate::volunteer::Volunteer;
+use m2ai_rfsim::geometry::{Point2, Vec2};
+
+/// A body trajectory anchored at a start position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trajectory {
+    /// Stay at the anchor (postural sway only).
+    Hold,
+    /// Shuttle back and forth along `heading` with half-extent
+    /// `half_length_m`, one full cycle per `period_s`.
+    Shuttle {
+        /// Direction of travel (need not be unit length).
+        heading: Vec2,
+        /// Half of the excursion in metres.
+        half_length_m: f64,
+        /// Seconds per out-and-back cycle.
+        period_s: f64,
+        /// Phase offset in radians (π starts on the opposite leg —
+        /// identical position marginals, opposite temporal order).
+        phase: f64,
+    },
+    /// Orbit a centre offset from the anchor.
+    Orbit {
+        /// Centre of the orbit relative to the anchor.
+        center_offset: Vec2,
+        /// Seconds per revolution.
+        period_s: f64,
+        /// Initial angle in radians.
+        phase: f64,
+        /// Reverse (clockwise) revolution — same positions visited,
+        /// opposite temporal order.
+        reverse: bool,
+    },
+    /// Move from the anchor toward `target_offset`, arriving at
+    /// `arrive_s`, then hold there.
+    MoveTo {
+        /// Destination relative to the anchor.
+        target_offset: Vec2,
+        /// Seconds to arrival (smooth-step profile).
+        arrive_s: f64,
+    },
+}
+
+impl Trajectory {
+    /// Body position at time `t` for a person anchored at `anchor`.
+    pub fn position(&self, anchor: Point2, t: f64, vol: &Volunteer) -> Point2 {
+        let tau = std::f64::consts::TAU;
+        match *self {
+            Trajectory::Hold => anchor,
+            Trajectory::Shuttle {
+                heading,
+                half_length_m,
+                period_s,
+                phase,
+            } => {
+                let w = phase + tau * t * vol.tempo / period_s;
+                anchor + heading.normalized() * (half_length_m * w.sin())
+            }
+            Trajectory::Orbit {
+                center_offset,
+                period_s,
+                phase,
+                reverse,
+            } => {
+                let center = anchor + center_offset;
+                let radius = center_offset.length();
+                let dir = if reverse { -1.0 } else { 1.0 };
+                // Start exactly at the anchor: initial angle points
+                // from the centre back toward the anchor.
+                let ang0 = (-center_offset.y).atan2(-center_offset.x);
+                let ang = ang0 + phase + dir * tau * t * vol.tempo / period_s;
+                center + Vec2::new(ang.cos(), ang.sin()) * radius
+            }
+            Trajectory::MoveTo {
+                target_offset,
+                arrive_s,
+            } => {
+                let s = (t * vol.tempo / arrive_s).clamp(0.0, 1.0);
+                // Smooth-step: zero velocity at both ends.
+                let eased = s * s * (3.0 - 2.0 * s);
+                anchor + target_offset * eased
+            }
+        }
+    }
+
+    /// Heading (unit vector) the body faces at time `t`.
+    ///
+    /// Headings are continuous in time: a shuttling person faces their
+    /// line of travel throughout (side-stepping on the return leg), a
+    /// mover faces the target, an orbiter faces along the tangent, and
+    /// a stationary person faces +x.
+    pub fn heading(&self, t: f64, vol: &Volunteer) -> Vec2 {
+        match *self {
+            Trajectory::Hold => Vec2::new(1.0, 0.0),
+            Trajectory::Shuttle { heading, .. } => heading.normalized(),
+            Trajectory::Orbit {
+                center_offset,
+                period_s,
+                phase,
+                reverse,
+            } => {
+                let dir = if reverse { -1.0 } else { 1.0 };
+                let ang0 = (-center_offset.y).atan2(-center_offset.x);
+                let ang = ang0
+                    + phase
+                    + dir * std::f64::consts::TAU * t * vol.tempo / period_s;
+                // Tangent of the circular motion.
+                Vec2::new(-dir * ang.sin(), dir * ang.cos())
+                    * if center_offset.length() > 0.0 { 1.0 } else { 0.0 }
+                    + if center_offset.length() > 0.0 {
+                        Vec2::new(0.0, 0.0)
+                    } else {
+                        Vec2::new(1.0, 0.0)
+                    }
+            }
+            Trajectory::MoveTo { target_offset, .. } => {
+                if target_offset.length() < 1e-9 {
+                    Vec2::new(1.0, 0.0)
+                } else {
+                    target_offset.normalized()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> Volunteer {
+        Volunteer::nominal()
+    }
+
+    const ANCHOR: Point2 = Point2::new(5.0, 4.0);
+
+    #[test]
+    fn hold_stays_put() {
+        let tr = Trajectory::Hold;
+        for i in 0..10 {
+            assert_eq!(tr.position(ANCHOR, i as f64, &vol()), ANCHOR);
+        }
+    }
+
+    #[test]
+    fn shuttle_stays_within_extent_and_returns() {
+        let tr = Trajectory::Shuttle {
+            heading: Vec2::new(1.0, 0.0),
+            half_length_m: 1.5,
+            period_s: 4.0,
+            phase: 0.0,
+        };
+        for i in 0..100 {
+            let p = tr.position(ANCHOR, i as f64 * 0.1, &vol());
+            assert!((p.x - ANCHOR.x).abs() <= 1.5 + 1e-9);
+            assert_eq!(p.y, ANCHOR.y);
+        }
+        let back = tr.position(ANCHOR, 4.0, &vol());
+        assert!(back.distance(ANCHOR) < 1e-9);
+    }
+
+    #[test]
+    fn orbit_keeps_constant_radius_and_starts_at_anchor() {
+        let tr = Trajectory::Orbit {
+            center_offset: Vec2::new(1.0, 0.0),
+            period_s: 6.0,
+            phase: 0.0,
+            reverse: false,
+        };
+        let center = ANCHOR + Vec2::new(1.0, 0.0);
+        let start = tr.position(ANCHOR, 0.0, &vol());
+        assert!(start.distance(ANCHOR) < 1e-9, "orbit starts at anchor");
+        for i in 0..60 {
+            let p = tr.position(ANCHOR, i as f64 * 0.1, &vol());
+            assert!((p.distance(center) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn move_to_arrives_and_holds() {
+        let tr = Trajectory::MoveTo {
+            target_offset: Vec2::new(2.0, -1.0),
+            arrive_s: 3.0,
+        };
+        let v = vol();
+        assert!(tr.position(ANCHOR, 0.0, &v).distance(ANCHOR) < 1e-9);
+        let arrived = tr.position(ANCHOR, 3.0, &v);
+        assert!(arrived.distance(ANCHOR + Vec2::new(2.0, -1.0)) < 1e-9);
+        let later = tr.position(ANCHOR, 10.0, &v);
+        assert!(later.distance(arrived) < 1e-9);
+    }
+
+    #[test]
+    fn move_to_velocity_is_smooth() {
+        let tr = Trajectory::MoveTo {
+            target_offset: Vec2::new(2.0, 0.0),
+            arrive_s: 2.0,
+        };
+        let v = vol();
+        // Velocity near start/end is near zero (smooth-step easing).
+        let vel = |t: f64| {
+            let dt = 1e-4;
+            (tr.position(ANCHOR, t + dt, &v) - tr.position(ANCHOR, t, &v)).length() / dt
+        };
+        assert!(vel(0.01) < 0.2);
+        assert!(vel(1.0) > 1.0); // fastest in the middle
+        assert!(vel(1.99) < 0.2);
+    }
+
+    #[test]
+    fn heading_points_along_motion() {
+        let tr = Trajectory::Shuttle {
+            heading: Vec2::new(0.0, 1.0),
+            half_length_m: 1.0,
+            period_s: 4.0,
+            phase: 0.0,
+        };
+        let h = tr.heading(0.0, &vol()); // moving in +y at t=0
+        assert!(h.y > 0.9);
+        let hold_heading = Trajectory::Hold.heading(1.0, &vol());
+        assert_eq!(hold_heading, Vec2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn tempo_speeds_up_shuttle() {
+        let tr = Trajectory::Shuttle {
+            heading: Vec2::new(1.0, 0.0),
+            half_length_m: 1.0,
+            period_s: 4.0,
+            phase: 0.0,
+        };
+        let fast = Volunteer {
+            tempo: 2.0,
+            ..Volunteer::nominal()
+        };
+        // Fast volunteer at t=1 equals nominal at t=2.
+        let a = tr.position(ANCHOR, 1.0, &fast);
+        let b = tr.position(ANCHOR, 2.0, &vol());
+        assert!(a.distance(b) < 1e-9);
+    }
+}

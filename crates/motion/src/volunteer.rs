@@ -1,0 +1,130 @@
+//! Per-person variation: body scale, tempo, amplitude, smooth sway.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Physical and behavioural parameters of one test subject.
+///
+/// The paper recruited ten volunteers "varying in age, gender, height
+/// and weight"; these parameters are the knobs through which that
+/// variation reaches the RF signal: taller people wear tags higher and
+/// farther apart, faster people complete gesture cycles sooner, and
+/// everyone sways idiosyncratically while standing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volunteer {
+    /// Limb-length multiplier (≈ height / 1.7 m); affects tag offsets.
+    pub body_scale: f64,
+    /// Gesture tempo multiplier (1.0 = nominal).
+    pub tempo: f64,
+    /// Gesture amplitude multiplier.
+    pub amplitude: f64,
+    /// Standing-sway magnitude in metres.
+    pub sway_m: f64,
+    /// Seed for this volunteer's idiosyncratic sway phases.
+    pub seed: u64,
+}
+
+impl Volunteer {
+    /// Nominal adult with no idiosyncrasy.
+    pub fn nominal() -> Self {
+        Volunteer {
+            body_scale: 1.0,
+            tempo: 1.0,
+            amplitude: 1.0,
+            sway_m: 0.015,
+            seed: 0,
+        }
+    }
+
+    /// One of the ten repeatable volunteer profiles used across the
+    /// experiments (index taken modulo 10).
+    pub fn preset(index: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + (index % 10) as u64);
+        Volunteer {
+            body_scale: rng.gen_range(0.88..1.12),
+            tempo: rng.gen_range(0.8..1.25),
+            amplitude: rng.gen_range(0.8..1.2),
+            sway_m: rng.gen_range(0.008..0.03),
+            seed: 0xB0D7 + index as u64,
+        }
+    }
+
+    /// Smooth, deterministic 2-D sway displacement at time `t`.
+    ///
+    /// A sum of three incommensurate sinusoids per axis — band-limited
+    /// like real postural sway, and reproducible (no RNG at sample
+    /// time).
+    pub fn sway(&self, t: f64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut axis = |t: f64| -> f64 {
+            let mut v = 0.0;
+            for (i, base_hz) in [0.23, 0.61, 1.13].iter().enumerate() {
+                let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let f = base_hz * (1.0 + 0.1 * i as f64);
+                v += (std::f64::consts::TAU * f * t + phase).sin() / (i + 1) as f64;
+            }
+            v / 1.83 // normalise the 1 + 1/2 + 1/3 envelope
+        };
+        (self.sway_m * axis(t), self.sway_m * axis(t + 37.0))
+    }
+}
+
+impl Default for Volunteer {
+    fn default() -> Self {
+        Volunteer::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_deterministic_and_distinct() {
+        let a = Volunteer::preset(3);
+        let b = Volunteer::preset(3);
+        assert_eq!(a, b);
+        let c = Volunteer::preset(4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn presets_wrap_mod_10() {
+        // Parameters repeat mod 10 (seed differs, parameters equal).
+        let a = Volunteer::preset(2);
+        let b = Volunteer::preset(12);
+        assert_eq!(a.body_scale, b.body_scale);
+        assert_eq!(a.tempo, b.tempo);
+    }
+
+    #[test]
+    fn sway_is_bounded_and_smooth() {
+        let v = Volunteer::preset(0);
+        let mut prev = v.sway(0.0);
+        for i in 1..200 {
+            let t = i as f64 * 0.05;
+            let (x, y) = v.sway(t);
+            assert!(x.abs() <= v.sway_m * 1.01, "sway x out of bounds");
+            assert!(y.abs() <= v.sway_m * 1.01, "sway y out of bounds");
+            // 50 ms steps move less than 20% of the amplitude.
+            assert!((x - prev.0).abs() < v.sway_m * 0.5);
+            prev = (x, y);
+        }
+    }
+
+    #[test]
+    fn sway_is_reproducible() {
+        let v = Volunteer::preset(5);
+        assert_eq!(v.sway(1.234), v.sway(1.234));
+    }
+
+    #[test]
+    fn parameters_within_documented_ranges() {
+        for i in 0..10 {
+            let v = Volunteer::preset(i);
+            assert!((0.88..1.12).contains(&v.body_scale));
+            assert!((0.8..1.25).contains(&v.tempo));
+            assert!((0.8..1.2).contains(&v.amplitude));
+        }
+    }
+}

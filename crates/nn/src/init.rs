@@ -1,0 +1,51 @@
+//! Weight initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Glorot/Xavier uniform initialisation: `U(±√(6/(fan_in+fan_out)))`.
+///
+/// Appropriate before tanh/sigmoid nonlinearities (LSTM gates).
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, n: usize, seed: u64) -> Vec<f32> {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A2B_3C4D);
+    (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
+}
+
+/// He/Kaiming uniform initialisation: `U(±√(6/fan_in))`.
+///
+/// Appropriate before ReLU nonlinearities (conv/dense stacks).
+pub fn he_uniform(fan_in: usize, n: usize, seed: u64) -> Vec<f32> {
+    let limit = (6.0 / fan_in as f64).sqrt() as f32;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E6F_7081);
+    (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_limit() {
+        let w = xavier_uniform(10, 20, 1000, 1);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= limit));
+        // Roughly zero-mean.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn he_within_limit() {
+        let w = he_uniform(25, 500, 2);
+        let limit = (6.0f32 / 25.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(xavier_uniform(4, 4, 16, 7), xavier_uniform(4, 4, 16, 7));
+        assert_ne!(xavier_uniform(4, 4, 16, 7), xavier_uniform(4, 4, 16, 8));
+        assert_eq!(he_uniform(4, 16, 7), he_uniform(4, 16, 7));
+    }
+}

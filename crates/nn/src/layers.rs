@@ -1,0 +1,633 @@
+//! Feed-forward layers and their composition.
+//!
+//! Layers follow a functional forward/backward contract: `forward`
+//! is pure (no internal caching), and `backward` receives the same
+//! input the forward pass saw, accumulates parameter gradients, and
+//! returns the gradient with respect to the input. This makes
+//! backpropagation-through-time trivial — the sequence model simply
+//! keeps the per-timestep inputs and replays them in reverse.
+
+use crate::init::he_uniform;
+use crate::Parameterized;
+
+/// A fully-connected layer `y = Wx + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim` weights.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a Dense layer with He-uniform weights.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Dense {
+            in_dim,
+            out_dim,
+            w: he_uniform(in_dim, in_dim * out_dim, seed),
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "Dense input size mismatch");
+        let mut y = self.b.clone();
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0;
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            y[o] += acc;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates gradients, returns `∂L/∂x`.
+    pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.out_dim);
+        let mut gx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = grad_out[o];
+            self.gb[o] += g;
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * x[i];
+                gx[i] += g * row[i];
+            }
+        }
+        gx
+    }
+}
+
+impl Parameterized for Dense {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// A 1-D convolution over `(channels, length)` inputs (valid padding).
+///
+/// This is the CONV-E/CONV-F building block of Fig. 6: the
+/// pseudospectrum frame enters as `n_tags` channels over 180 angle
+/// bins and is progressively reduced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv1d {
+    c_in: usize,
+    len_in: usize,
+    c_out: usize,
+    kernel: usize,
+    stride: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+}
+
+impl Conv1d {
+    /// Creates a convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit (`kernel > len_in`), or any
+    /// dimension is zero.
+    pub fn new(
+        c_in: usize,
+        len_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(c_in > 0 && c_out > 0 && kernel > 0 && stride > 0);
+        assert!(kernel <= len_in, "kernel must fit in the input length");
+        let fan_in = c_in * kernel;
+        Conv1d {
+            c_in,
+            len_in,
+            c_out,
+            kernel,
+            stride,
+            w: he_uniform(fan_in, c_out * c_in * kernel, seed),
+            b: vec![0.0; c_out],
+            gw: vec![0.0; c_out * c_in * kernel],
+            gb: vec![0.0; c_out],
+        }
+    }
+
+    /// Output length along the convolved axis.
+    pub fn len_out(&self) -> usize {
+        (self.len_in - self.kernel) / self.stride + 1
+    }
+
+    /// Flattened input dimension (`c_in × len_in`).
+    pub fn in_dim(&self) -> usize {
+        self.c_in * self.len_in
+    }
+
+    /// Flattened output dimension (`c_out × len_out`).
+    pub fn out_dim(&self) -> usize {
+        self.c_out * self.len_out()
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, ci: usize, k: usize) -> usize {
+        (o * self.c_in + ci) * self.kernel + k
+    }
+
+    /// Forward pass over a flattened `(c_in, len_in)` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != c_in × len_in`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim(), "Conv1d input size mismatch");
+        let len_out = self.len_out();
+        let mut y = vec![0.0; self.c_out * len_out];
+        for o in 0..self.c_out {
+            for j in 0..len_out {
+                let mut acc = self.b[o];
+                let start = j * self.stride;
+                for ci in 0..self.c_in {
+                    let xrow = &x[ci * self.len_in + start..ci * self.len_in + start + self.kernel];
+                    let wrow = &self.w
+                        [self.widx(o, ci, 0)..self.widx(o, ci, 0) + self.kernel];
+                    for k in 0..self.kernel {
+                        acc += wrow[k] * xrow[k];
+                    }
+                }
+                y[o * len_out + j] = acc;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates gradients, returns `∂L/∂x`.
+    pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        let len_out = self.len_out();
+        assert_eq!(grad_out.len(), self.c_out * len_out);
+        let mut gx = vec![0.0; self.in_dim()];
+        for o in 0..self.c_out {
+            for j in 0..len_out {
+                let g = grad_out[o * len_out + j];
+                if g == 0.0 {
+                    continue;
+                }
+                self.gb[o] += g;
+                let start = j * self.stride;
+                for ci in 0..self.c_in {
+                    let base_x = ci * self.len_in + start;
+                    let base_w = self.widx(o, ci, 0);
+                    for k in 0..self.kernel {
+                        self.gw[base_w + k] += g * x[base_x + k];
+                        gx[base_x + k] += g * self.w[base_w + k];
+                    }
+                }
+            }
+        }
+        gx
+    }
+}
+
+/// One layer of a [`Sequential`] network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// Fully-connected layer.
+    Dense(Dense),
+    /// 1-D convolution.
+    Conv1d(Conv1d),
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Layer {
+    /// Convenience constructor for a [`Dense`] layer.
+    pub fn dense(in_dim: usize, out_dim: usize, seed: u64) -> Layer {
+        Layer::Dense(Dense::new(in_dim, out_dim, seed))
+    }
+
+    /// Convenience constructor for a [`Conv1d`] layer.
+    pub fn conv1d(
+        c_in: usize,
+        len_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Layer {
+        Layer::Conv1d(Conv1d::new(c_in, len_in, c_out, kernel, stride, seed))
+    }
+
+    /// Convenience constructor for a ReLU.
+    pub fn relu() -> Layer {
+        Layer::Relu
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            Layer::Dense(d) => d.forward(x),
+            Layer::Conv1d(c) => c.forward(x),
+            Layer::Relu => x.iter().map(|&v| v.max(0.0)).collect(),
+        }
+    }
+
+    fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        match self {
+            Layer::Dense(d) => d.backward(x, grad_out),
+            Layer::Conv1d(c) => c.backward(x, grad_out),
+            Layer::Relu => x
+                .iter()
+                .zip(grad_out)
+                .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
+                .collect(),
+        }
+    }
+}
+
+impl Parameterized for Layer {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        match self {
+            Layer::Dense(d) => {
+                f(&mut d.w, &mut d.gw);
+                f(&mut d.b, &mut d.gb);
+            }
+            Layer::Conv1d(c) => {
+                f(&mut c.w, &mut c.gw);
+                f(&mut c.b, &mut c.gb);
+            }
+            Layer::Relu => {}
+        }
+    }
+}
+
+/// Saved activations from one [`Sequential::forward_cached`] call:
+/// the input each layer received, plus the final output.
+#[derive(Debug, Clone)]
+pub struct SeqCache {
+    inputs: Vec<Vec<f32>>,
+    /// Final output of the pass.
+    pub output: Vec<f32>,
+}
+
+/// A chain of layers applied in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Creates a network from layers (may be empty = identity).
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for l in &self.layers {
+            cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass that records the activations needed by
+    /// [`Sequential::backward`].
+    pub fn forward_cached(&self, x: &[f32]) -> SeqCache {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for l in &self.layers {
+            inputs.push(cur.clone());
+            cur = l.forward(&cur);
+        }
+        SeqCache { inputs, output: cur }
+    }
+
+    /// Backward pass through the whole chain.
+    pub fn backward(&mut self, cache: &SeqCache, grad_out: &[f32]) -> Vec<f32> {
+        let mut grad = grad_out.to_vec();
+        for (l, x) in self.layers.iter_mut().zip(&cache.inputs).rev() {
+            grad = l.backward(x, &grad);
+        }
+        grad
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the chain is empty (identity function).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Parameterized for Sequential {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+/// The two-input encoder of Fig. 6: a conv branch over the
+/// pseudospectrum part of the frame, the periodogram part passed
+/// through directly, both merged by fully-connected layers.
+///
+/// The input frame is the concatenation
+/// `[pseudospectrum (split) | periodogram (rest)]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoBranchEncoder {
+    /// Length of the first (conv-branch) part of the input.
+    pub split: usize,
+    /// Convolutional branch applied to the first part.
+    pub branch: Sequential,
+    /// Merge network applied to `[branch output | second part]`.
+    pub merge: Sequential,
+}
+
+/// Cache for [`TwoBranchEncoder::forward_cached`].
+#[derive(Debug, Clone)]
+pub struct TwoBranchCache {
+    branch: SeqCache,
+    merge: SeqCache,
+    /// Final output of the encoder.
+    pub output: Vec<f32>,
+}
+
+impl TwoBranchEncoder {
+    /// Creates the encoder.
+    pub fn new(split: usize, branch: Sequential, merge: Sequential) -> Self {
+        TwoBranchEncoder {
+            split,
+            branch,
+            merge,
+        }
+    }
+
+    /// Inference-only forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() < split`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert!(x.len() >= self.split, "input shorter than split point");
+        let feat = self.branch.forward(&x[..self.split]);
+        let mut merged = feat;
+        merged.extend_from_slice(&x[self.split..]);
+        self.merge.forward(&merged)
+    }
+
+    /// Caching forward pass.
+    pub fn forward_cached(&self, x: &[f32]) -> TwoBranchCache {
+        assert!(x.len() >= self.split, "input shorter than split point");
+        let branch = self.branch.forward_cached(&x[..self.split]);
+        let mut merged = branch.output.clone();
+        merged.extend_from_slice(&x[self.split..]);
+        let merge = self.merge.forward_cached(&merged);
+        let output = merge.output.clone();
+        TwoBranchCache {
+            branch,
+            merge,
+            output,
+        }
+    }
+
+    /// Backward pass; returns `∂L/∂x` over the full concatenated input.
+    pub fn backward(&mut self, cache: &TwoBranchCache, grad_out: &[f32]) -> Vec<f32> {
+        let grad_merged = self.merge.backward(&cache.merge, grad_out);
+        let feat_len = cache.branch.output.len();
+        let grad_spec = self.branch.backward(&cache.branch, &grad_merged[..feat_len]);
+        let mut gx = grad_spec;
+        gx.extend_from_slice(&grad_merged[feat_len..]);
+        gx
+    }
+}
+
+impl Parameterized for TwoBranchEncoder {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.branch.visit_params(f);
+        self.merge.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference numerical gradient of a scalar loss.
+    fn assert_matches_numeric<F>(
+        forward_loss: F,
+        analytic: &[f32],
+        x: &mut [f32],
+        tol: f32,
+    ) where
+        F: Fn(&[f32]) -> f32,
+    {
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let orig = x[i];
+            x[i] = orig + eps;
+            let lp = forward_loss(x);
+            x[i] = orig - eps;
+            let lm = forward_loss(x);
+            x[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic[i]).abs() < tol * (1.0 + num.abs()),
+                "grad[{i}]: numeric {num}, analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    fn sum_loss(y: &[f32]) -> f32 {
+        // Loss = Σ y²/2 so grad_out = y.
+        y.iter().map(|v| v * v * 0.5).sum()
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut d = Dense::new(2, 2, 0);
+        d.w = vec![1.0, 2.0, 3.0, 4.0];
+        d.b = vec![0.5, -0.5];
+        let y = d.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_input_gradient_is_numeric() {
+        let d = Dense::new(4, 3, 1);
+        let mut x = vec![0.3, -0.2, 0.8, 0.1];
+        let y = d.forward(&x);
+        let mut dm = d.clone();
+        let gx = dm.backward(&x, &y);
+        assert_matches_numeric(|x| sum_loss(&d.forward(x)), &gx, &mut x, 1e-2);
+    }
+
+    #[test]
+    fn dense_weight_gradient_is_numeric() {
+        let d = Dense::new(3, 2, 2);
+        let x = vec![0.5, -1.0, 0.25];
+        let y = d.forward(&x);
+        let mut dm = d.clone();
+        dm.backward(&x, &y);
+        // Numeric gradient wrt each weight.
+        let eps = 1e-3;
+        let mut probe = d.clone();
+        for i in 0..probe.w.len() {
+            let orig = probe.w[i];
+            probe.w[i] = orig + eps;
+            let lp = sum_loss(&probe.forward(&x));
+            probe.w[i] = orig - eps;
+            let lm = sum_loss(&probe.forward(&x));
+            probe.w[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dm.gw[i]).abs() < 1e-2, "w[{i}]");
+        }
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let c = Conv1d::new(2, 10, 3, 3, 2, 0);
+        assert_eq!(c.len_out(), 4);
+        assert_eq!(c.out_dim(), 12);
+        let y = c.forward(&vec![0.1; 20]);
+        assert_eq!(y.len(), 12);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // Single channel, identity-ish kernel.
+        let mut c = Conv1d::new(1, 4, 1, 2, 1, 0);
+        c.w = vec![1.0, -1.0];
+        c.b = vec![0.0];
+        let y = c.forward(&[3.0, 1.0, 4.0, 1.0]);
+        assert_eq!(y, vec![2.0, -3.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_gradients_are_numeric() {
+        let c = Conv1d::new(2, 8, 3, 3, 2, 5);
+        let mut x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y = c.forward(&x);
+        let mut cm = c.clone();
+        let gx = cm.backward(&x, &y);
+        assert_matches_numeric(|x| sum_loss(&c.forward(x)), &gx, &mut x, 1e-2);
+        // Weight gradients.
+        let eps = 1e-3;
+        let mut probe = c.clone();
+        for i in 0..probe.w.len() {
+            let orig = probe.w[i];
+            probe.w[i] = orig + eps;
+            let lp = sum_loss(&probe.forward(&x));
+            probe.w[i] = orig - eps;
+            let lm = sum_loss(&probe.forward(&x));
+            probe.w[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - cm.gw[i]).abs() < 2e-2, "w[{i}]: {num} vs {}", cm.gw[i]);
+        }
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let l = Layer::relu();
+        let y = l.forward(&[-1.0, 0.0, 2.0]);
+        assert_eq!(y, vec![0.0, 0.0, 2.0]);
+        let mut lm = l.clone();
+        let gx = lm.backward(&[-1.0, 0.0, 2.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(gx, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sequential_composition_gradient() {
+        let seq = Sequential::new(vec![
+            Layer::conv1d(1, 12, 2, 3, 2, 3),
+            Layer::relu(),
+            Layer::dense(10, 4, 4),
+            Layer::relu(),
+            Layer::dense(4, 2, 5),
+        ]);
+        let mut x: Vec<f32> = (0..12).map(|i| (i as f32 * 0.5).cos()).collect();
+        let cache = seq.forward_cached(&x);
+        let mut sm = seq.clone();
+        let gx = sm.backward(&cache, &cache.output);
+        assert_matches_numeric(|x| sum_loss(&seq.forward(x)), &gx, &mut x, 2e-2);
+    }
+
+    #[test]
+    fn sequential_cached_matches_plain() {
+        let seq = Sequential::new(vec![Layer::dense(3, 5, 1), Layer::relu()]);
+        let x = [0.1, -0.7, 0.4];
+        assert_eq!(seq.forward(&x), seq.forward_cached(&x).output);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let seq = Sequential::default();
+        assert!(seq.is_empty());
+        assert_eq!(seq.forward(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_branch_routes_both_inputs() {
+        let enc = TwoBranchEncoder::new(
+            6,
+            Sequential::new(vec![Layer::dense(6, 3, 1), Layer::relu()]),
+            Sequential::new(vec![Layer::dense(5, 4, 2)]),
+        );
+        let x = vec![0.1; 8]; // 6 spec + 2 direct
+        let y = enc.forward(&x);
+        assert_eq!(y.len(), 4);
+        assert_eq!(enc.forward_cached(&x).output, y);
+    }
+
+    #[test]
+    fn two_branch_gradient_is_numeric() {
+        let enc = TwoBranchEncoder::new(
+            6,
+            Sequential::new(vec![Layer::dense(6, 3, 7), Layer::relu()]),
+            Sequential::new(vec![Layer::dense(5, 2, 8)]),
+        );
+        let mut x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3).sin()).collect();
+        let cache = enc.forward_cached(&x);
+        let mut em = enc.clone();
+        let gx = em.backward(&cache, &cache.output);
+        assert_matches_numeric(|x| sum_loss(&enc.forward(x)), &gx, &mut x, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dense_rejects_wrong_size() {
+        Dense::new(3, 2, 0).forward(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn conv_rejects_oversized_kernel() {
+        Conv1d::new(1, 3, 1, 5, 1, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Softmax and cross-entropy (the paper's Eq. 17 objective).
+
+/// Numerically-stable softmax.
+///
+/// Returns a probability vector summing to 1; an empty input yields an
+/// empty output.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f32::MIN, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// Implements `E = −ln Pr(y | x)` (Eq. 17 for a single sample) with the
+/// standard combined gradient `p − one_hot(label)`.
+///
+/// # Panics
+///
+/// Panics if `label >= logits.len()` or `logits` is empty.
+pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    assert!(!logits.is_empty(), "logits must not be empty");
+    assert!(label < logits.len(), "label out of range");
+    let probs = softmax(logits);
+    let loss = -probs[label].max(1e-12).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let p = softmax(&[1000.0, -1000.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let (loss, _) = softmax_cross_entropy(&[20.0, 0.0, 0.0], 0);
+        assert!(loss < 1e-3);
+        let (bad_loss, _) = softmax_cross_entropy(&[20.0, 0.0, 0.0], 1);
+        assert!(bad_loss > 5.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_n() {
+        let (loss, _) = softmax_cross_entropy(&[0.0; 4], 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = [0.5f32, -0.3, 1.2, 0.0];
+        let label = 2;
+        let (_, grad) = softmax_cross_entropy(&logits, label);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits;
+            lp[i] += eps;
+            let (up, _) = softmax_cross_entropy(&lp, label);
+            lp[i] -= 2.0 * eps;
+            let (down, _) = softmax_cross_entropy(&lp, label);
+            let num = (up - down) / (2.0 * eps);
+            assert!((num - grad[i]).abs() < 1e-3, "grad[{i}]");
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[0.1, 0.9, -0.4], 1);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn label_out_of_range_panics() {
+        softmax_cross_entropy(&[0.0, 1.0], 2);
+    }
+}

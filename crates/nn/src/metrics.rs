@@ -1,0 +1,206 @@
+//! Evaluation metrics: accuracy and confusion matrices (Table I).
+
+/// A square confusion matrix over `n_classes` labels.
+///
+/// Rows are predicted labels, columns actual labels — the layout of the
+/// paper's Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// counts[predicted * n + actual]
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Records one prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.n_classes && predicted < self.n_classes);
+        self.counts[predicted * self.n_classes + actual] += 1;
+    }
+
+    /// Count of samples with the given actual label predicted as
+    /// `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[predicted * self.n_classes + actual]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass); 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes)
+            .map(|i| self.counts[i * self.n_classes + i])
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall: fraction of each actual class predicted
+    /// correctly (`None` if the class never appeared).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let total: u64 = (0..self.n_classes).map(|p| self.count(class, p)).sum();
+        if total == 0 {
+            return None;
+        }
+        Some(self.count(class, class) as f64 / total as f64)
+    }
+
+    /// Per-class precision (`None` if the class was never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let total: u64 = (0..self.n_classes).map(|a| self.count(a, class)).sum();
+        if total == 0 {
+            return None;
+        }
+        Some(self.count(class, class) as f64 / total as f64)
+    }
+
+    /// Column-normalised percentages, Table-I style: entry `(p, a)` is
+    /// the percentage of actual-class-`a` samples predicted as `p`.
+    pub fn percentages(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.n_classes]; self.n_classes];
+        for a in 0..self.n_classes {
+            let col_total: u64 = (0..self.n_classes).map(|p| self.count(a, p)).sum();
+            if col_total == 0 {
+                continue;
+            }
+            for p in 0..self.n_classes {
+                out[p][a] = 100.0 * self.count(a, p) as f64 / col_total as f64;
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct = self.percentages();
+        write!(f, "pred\\act ")?;
+        for a in 0..self.n_classes {
+            write!(f, " A{:02}", a + 1)?;
+        }
+        writeln!(f)?;
+        for p in 0..self.n_classes {
+            write!(f, "  A{:02}    ", p + 1)?;
+            for a in 0..self.n_classes {
+                write!(f, " {:3.0}", pct[p][a])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Accuracy of `(actual, predicted)` pairs; 0 for an empty slice.
+pub fn accuracy(pairs: &[(usize, usize)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().filter(|(a, p)| a == p).count() as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let mut cm = ConfusionMatrix::new(3);
+        for c in 0..3 {
+            for _ in 0..5 {
+                cm.record(c, c);
+            }
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.total(), 15);
+        for c in 0..3 {
+            assert_eq!(cm.recall(c), Some(1.0));
+            assert_eq!(cm.precision(c), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(1), Some(1.0));
+        assert_eq!(cm.precision(1), Some(0.5));
+    }
+
+    #[test]
+    fn percentages_sum_to_100_per_column() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 0);
+        let pct = cm.percentages();
+        for a in 0..3 {
+            let col: f64 = (0..3).map(|p| pct[p][a]).sum();
+            if a == 2 {
+                // actual class 2 appeared once
+                assert!((col - 100.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_behaviour() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(0), None);
+        assert_eq!(cm.precision(0), None);
+    }
+
+    #[test]
+    fn display_contains_every_class() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(1, 1);
+        let s = cm.to_string();
+        assert!(s.contains("A01") && s.contains("A03"));
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        assert_eq!(accuracy(&[]), 0.0);
+        assert_eq!(accuracy(&[(1, 1), (2, 0)]), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_record_panics() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The CNN→LSTM→softmax sequence classifier (Fig. 6).
+//!
+//! A [`SequenceClassifier`] applies a per-frame encoder (the CNN; shared
+//! weights across timesteps), feeds the encoded frames to a stacked
+//! LSTM, and attaches a softmax head *at every frame* ("a softmax
+//! classifier at the output layer is used to make a prediction at every
+//! spectrum frame", Section IV-B2). The training loss is the mean
+//! per-frame cross-entropy; inference averages the per-frame class
+//! probabilities.
+//!
+//! The Fig. 17 ablations fall out of the same type:
+//! * **CNN-only** — construct with [`SequenceClassifier::without_lstm`];
+//! * **LSTM-only** — use an empty [`Sequential`] encoder (identity).
+
+use crate::layers::{Dense, SeqCache, Sequential, TwoBranchCache, TwoBranchEncoder};
+use crate::loss::{softmax, softmax_cross_entropy};
+use crate::lstm::LstmStack;
+use crate::Parameterized;
+
+/// Per-frame encoder: a plain layer chain or the two-branch merge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Encoder {
+    /// Single-input chain (possibly empty = identity).
+    Sequential(Sequential),
+    /// Pseudospectrum + periodogram two-branch encoder.
+    TwoBranch(TwoBranchEncoder),
+}
+
+/// Cache produced by [`Encoder::forward_cached`].
+#[derive(Debug, Clone)]
+pub enum EncoderCache {
+    /// Cache of a sequential encoder.
+    Sequential(SeqCache),
+    /// Cache of a two-branch encoder.
+    TwoBranch(TwoBranchCache),
+}
+
+impl Encoder {
+    /// Inference-only forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            Encoder::Sequential(s) => s.forward(x),
+            Encoder::TwoBranch(t) => t.forward(x),
+        }
+    }
+
+    /// Caching forward pass.
+    pub fn forward_cached(&self, x: &[f32]) -> (Vec<f32>, EncoderCache) {
+        match self {
+            Encoder::Sequential(s) => {
+                let c = s.forward_cached(x);
+                (c.output.clone(), EncoderCache::Sequential(c))
+            }
+            Encoder::TwoBranch(t) => {
+                let c = t.forward_cached(x);
+                (c.output.clone(), EncoderCache::TwoBranch(c))
+            }
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache kind does not match the encoder kind.
+    pub fn backward(&mut self, cache: &EncoderCache, grad_out: &[f32]) -> Vec<f32> {
+        match (self, cache) {
+            (Encoder::Sequential(s), EncoderCache::Sequential(c)) => s.backward(c, grad_out),
+            (Encoder::TwoBranch(t), EncoderCache::TwoBranch(c)) => t.backward(c, grad_out),
+            _ => panic!("encoder/cache kind mismatch"),
+        }
+    }
+}
+
+impl From<Sequential> for Encoder {
+    fn from(s: Sequential) -> Encoder {
+        Encoder::Sequential(s)
+    }
+}
+
+impl From<TwoBranchEncoder> for Encoder {
+    fn from(t: TwoBranchEncoder) -> Encoder {
+        Encoder::TwoBranch(t)
+    }
+}
+
+impl Parameterized for Encoder {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        match self {
+            Encoder::Sequential(s) => s.visit_params(f),
+            Encoder::TwoBranch(t) => t.visit_params(f),
+        }
+    }
+}
+
+/// CNN(+LSTM) sequence classifier with a per-frame softmax head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceClassifier {
+    /// Shared per-frame encoder.
+    pub encoder: Encoder,
+    /// Temporal backbone; `None` is the CNN-only ablation.
+    pub lstm: Option<LstmStack>,
+    /// Classification head applied to every frame's representation.
+    pub head: Dense,
+    n_classes: usize,
+}
+
+impl SequenceClassifier {
+    /// Creates the full CNN+LSTM model. The head input dimension is the
+    /// LSTM stack's output dimension.
+    pub fn new(
+        encoder: impl Into<Encoder>,
+        lstm: LstmStack,
+        n_classes: usize,
+        seed: u64,
+    ) -> Self {
+        let head = Dense::new(lstm.out_dim(), n_classes, seed ^ 0x0DD5);
+        SequenceClassifier {
+            encoder: encoder.into(),
+            lstm: Some(lstm),
+            head,
+            n_classes,
+        }
+    }
+
+    /// Creates the CNN-only ablation: the head consumes the encoder's
+    /// `feature_dim`-dimensional output directly.
+    pub fn without_lstm(
+        encoder: impl Into<Encoder>,
+        feature_dim: usize,
+        n_classes: usize,
+        seed: u64,
+    ) -> Self {
+        SequenceClassifier {
+            encoder: encoder.into(),
+            lstm: None,
+            head: Dense::new(feature_dim, n_classes, seed ^ 0x0DD5),
+            n_classes,
+        }
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-frame logits for a sequence of frames (inference only).
+    pub fn forward_logits(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let feats: Vec<Vec<f32>> = frames.iter().map(|f| self.encoder.forward(f)).collect();
+        let reps: Vec<Vec<f32>> = match &self.lstm {
+            Some(stack) => stack.forward_sequence(&feats).outputs,
+            None => feats,
+        };
+        reps.iter().map(|r| self.head.forward(r)).collect()
+    }
+
+    /// Mean per-frame class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty frame sequence.
+    pub fn predict_proba(&self, frames: &[Vec<f32>]) -> Vec<f32> {
+        assert!(!frames.is_empty(), "need at least one frame");
+        let logits = self.forward_logits(frames);
+        let mut acc = vec![0.0f32; self.n_classes];
+        for l in &logits {
+            for (a, p) in acc.iter_mut().zip(softmax(l)) {
+                *a += p;
+            }
+        }
+        let t = logits.len() as f32;
+        acc.iter_mut().for_each(|a| *a /= t);
+        acc
+    }
+
+    /// Most likely class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty frame sequence.
+    pub fn predict(&self, frames: &[Vec<f32>]) -> usize {
+        let p = self.predict_proba(frames);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .expect("non-empty probabilities")
+    }
+
+    /// Forward + backward for one labelled sequence; accumulates
+    /// parameter gradients and returns the mean per-frame loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or `label >= n_classes`.
+    pub fn loss_and_backprop(&mut self, frames: &[Vec<f32>], label: usize) -> f32 {
+        assert!(!frames.is_empty(), "need at least one frame");
+        assert!(label < self.n_classes, "label out of range");
+
+        // Forward with caches.
+        let mut enc_caches = Vec::with_capacity(frames.len());
+        let mut feats = Vec::with_capacity(frames.len());
+        for f in frames {
+            let (out, cache) = self.encoder.forward_cached(f);
+            feats.push(out);
+            enc_caches.push(cache);
+        }
+        let lstm_cache = self.lstm.as_ref().map(|s| s.forward_sequence(&feats));
+        let reps: &[Vec<f32>] = match &lstm_cache {
+            Some(c) => &c.outputs,
+            None => &feats,
+        };
+
+        // Per-frame head + loss.
+        let t_len = frames.len();
+        let scale = 1.0 / t_len as f32;
+        let mut total_loss = 0.0;
+        let mut rep_grads = Vec::with_capacity(t_len);
+        for rep in reps {
+            let logits = self.head.forward(rep);
+            let (loss, grad_logits) = softmax_cross_entropy(&logits, label);
+            total_loss += loss * scale;
+            let grad_logits: Vec<f32> = grad_logits.iter().map(|g| g * scale).collect();
+            rep_grads.push(self.head.backward(rep, &grad_logits));
+        }
+
+        // Back through LSTM (if any) and the encoder.
+        let feat_grads: Vec<Vec<f32>> = match (&mut self.lstm, &lstm_cache) {
+            (Some(stack), Some(cache)) => stack.backward_sequence(cache, &rep_grads),
+            _ => rep_grads,
+        };
+        for (cache, g) in enc_caches.iter().zip(&feat_grads) {
+            self.encoder.backward(cache, g);
+        }
+        total_loss
+    }
+}
+
+impl Parameterized for SequenceClassifier {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.encoder.visit_params(f);
+        if let Some(l) = &mut self.lstm {
+            l.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Layer;
+    use crate::optim::Sgd;
+
+    fn tiny_model(seed: u64) -> SequenceClassifier {
+        let encoder = Sequential::new(vec![Layer::dense(4, 6, seed), Layer::relu()]);
+        let lstm = LstmStack::new(6, &[5], seed);
+        SequenceClassifier::new(encoder, lstm, 3, seed)
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let m = tiny_model(1);
+        let frames = vec![vec![0.2, -0.1, 0.5, 0.0]; 6];
+        let p = m.predict_proba(&frames);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn predict_in_range() {
+        let m = tiny_model(2);
+        let frames = vec![vec![0.1; 4]; 3];
+        assert!(m.predict(&frames) < 3);
+    }
+
+    #[test]
+    fn full_model_gradient_matches_numeric() {
+        let m = tiny_model(3);
+        let frames: Vec<Vec<f32>> = (0..3)
+            .map(|t| (0..4).map(|j| ((t * 4 + j) as f32 * 0.21).sin()).collect())
+            .collect();
+        let label = 1;
+        // Analytic gradient of all params.
+        let mut model = m.clone();
+        model.zero_grad();
+        model.loss_and_backprop(&frames, label);
+        let mut analytic = Vec::new();
+        model.visit_params(&mut |_, g| analytic.extend_from_slice(g));
+
+        // Numeric: perturb each parameter (sampled) of a fresh clone.
+        let loss_of = |mm: &SequenceClassifier| {
+            let logits = mm.forward_logits(&frames);
+            logits
+                .iter()
+                .map(|l| crate::loss::softmax_cross_entropy(l, label).0)
+                .sum::<f32>()
+                / logits.len() as f32
+        };
+        let eps = 1e-2;
+        let mut flat_index = 0usize;
+        let mut probe = m.clone();
+        let total = {
+            let mut c = probe.clone();
+            c.param_count()
+        };
+        let stride = (total / 60).max(1); // sample ~60 params
+        let mut checked = 0;
+        // Walk blocks, perturbing in place via visit_params.
+        let mut block_start = 0usize;
+        let mut blocks: Vec<usize> = Vec::new();
+        probe.visit_params(&mut |p, _| blocks.push(p.len()));
+        for (b, len) in blocks.iter().enumerate() {
+            for i in (0..*len).step_by(stride) {
+                let gi = analytic[block_start + i];
+                let mut plus = m.clone();
+                let mut minus = m.clone();
+                let mut idx = 0;
+                plus.visit_params(&mut |p, _| {
+                    if idx == b {
+                        p[i] += eps;
+                    }
+                    idx += 1;
+                });
+                idx = 0;
+                minus.visit_params(&mut |p, _| {
+                    if idx == b {
+                        p[i] -= eps;
+                    }
+                    idx += 1;
+                });
+                let num = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+                assert!(
+                    (num - gi).abs() < 5e-2 * (1.0 + num.abs()),
+                    "block {b} idx {i}: numeric {num}, analytic {gi}"
+                );
+                checked += 1;
+            }
+            block_start += len;
+            flat_index += len;
+        }
+        let _ = flat_index;
+        assert!(checked > 20, "too few parameters checked");
+    }
+
+    #[test]
+    fn learns_order_sensitive_toy_problem() {
+        // Class 0: pulse early; class 1: pulse late. A memory-less
+        // model cannot separate these from per-frame stats alone once
+        // probabilities are averaged — the LSTM model must.
+        let make = |early: bool| -> Vec<Vec<f32>> {
+            (0..6)
+                .map(|t| {
+                    let on = if early { t < 3 } else { t >= 3 };
+                    vec![if on { 1.0 } else { 0.0 }, 0.2, -0.1, 0.05]
+                })
+                .collect()
+        };
+        let encoder = Sequential::new(vec![Layer::dense(4, 6, 5), Layer::relu()]);
+        let lstm = LstmStack::new(6, &[8], 5);
+        let mut model = SequenceClassifier::new(encoder, lstm, 2, 5);
+        let mut opt = Sgd::new(0.2, 0.9, Some(5.0));
+        for _ in 0..150 {
+            model.zero_grad();
+            let mut loss = model.loss_and_backprop(&make(true), 0);
+            loss += model.loss_and_backprop(&make(false), 1);
+            let _ = loss;
+            opt.step(&mut model, 0.5);
+        }
+        assert_eq!(model.predict(&make(true)), 0);
+        assert_eq!(model.predict(&make(false)), 1);
+    }
+
+    #[test]
+    fn cnn_only_variant_runs() {
+        let encoder = Sequential::new(vec![Layer::dense(4, 6, 7), Layer::relu()]);
+        let mut m = SequenceClassifier::without_lstm(encoder, 6, 3, 7);
+        assert!(m.lstm.is_none());
+        let frames = vec![vec![0.3; 4]; 4];
+        let loss = m.loss_and_backprop(&frames, 2);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!(m.predict(&frames) < 3);
+    }
+
+    #[test]
+    fn lstm_only_variant_runs() {
+        // Identity encoder: raw frames straight into the LSTM.
+        let m = SequenceClassifier::new(Sequential::default(), LstmStack::new(4, &[5], 9), 3, 9);
+        let frames = vec![vec![0.1, 0.2, 0.3, 0.4]; 3];
+        assert!(m.predict(&frames) < 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_sequence_panics() {
+        tiny_model(0).predict(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        tiny_model(0).loss_and_backprop(&[vec![0.0; 4]], 9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Checkpointing: a small self-describing binary format for model
+//! parameters.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic  b"M2AI"      4 bytes
+//! version u32         currently 1
+//! blocks  u32         number of parameter blocks
+//! per block: len u32, then len × f32
+//! ```
+//!
+//! The format stores only parameter *values*; architecture is code.
+//! Loading into a model with a different block structure fails.
+
+use crate::Parameterized;
+
+const MAGIC: &[u8; 4] = b"M2AI";
+const VERSION: u32 = 1;
+
+/// Errors from [`load_params`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream is not an M2AI checkpoint.
+    BadMagic,
+    /// The version is unsupported.
+    BadVersion(u32),
+    /// The stream ended prematurely or has trailing bytes.
+    Truncated,
+    /// Block `index` has `got` values where the model expects
+    /// `expected`.
+    ShapeMismatch {
+        /// Block index.
+        index: usize,
+        /// Values expected by the model.
+        expected: usize,
+        /// Values present in the checkpoint.
+        got: usize,
+    },
+    /// The checkpoint has a different number of blocks than the model.
+    BlockCountMismatch {
+        /// Blocks expected by the model.
+        expected: usize,
+        /// Blocks present in the checkpoint.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an M2AI checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint data truncated or oversized"),
+            CheckpointError::ShapeMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "parameter block {index} size mismatch: expected {expected}, got {got}"
+            ),
+            CheckpointError::BlockCountMismatch { expected, got } => {
+                write!(f, "block count mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialises every parameter block of `model` into a byte vector.
+pub fn save_params(model: &mut dyn Parameterized) -> Vec<u8> {
+    let mut blocks: Vec<Vec<f32>> = Vec::new();
+    model.visit_params(&mut |p, _| blocks.push(p.to_vec()));
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for b in &blocks {
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        for v in b {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Restores parameters saved by [`save_params`] into `model`.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] if the bytes are malformed or the
+/// block structure differs from the model's.
+pub fn load_params(model: &mut dyn Parameterized, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+        if *pos + n > bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let n_blocks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut blocks: Vec<Vec<f32>> = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let raw = take(&mut pos, len * 4)?;
+        let block = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        blocks.push(block);
+    }
+    if pos != bytes.len() {
+        return Err(CheckpointError::Truncated);
+    }
+
+    // Validate structure before mutating anything.
+    let mut expected_sizes = Vec::new();
+    model.visit_params(&mut |p, _| expected_sizes.push(p.len()));
+    if expected_sizes.len() != blocks.len() {
+        return Err(CheckpointError::BlockCountMismatch {
+            expected: expected_sizes.len(),
+            got: blocks.len(),
+        });
+    }
+    for (i, (want, block)) in expected_sizes.iter().zip(&blocks).enumerate() {
+        if *want != block.len() {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                expected: *want,
+                got: block.len(),
+            });
+        }
+    }
+    let mut idx = 0;
+    model.visit_params(&mut |p, _| {
+        p.copy_from_slice(&blocks[idx]);
+        idx += 1;
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Sequential};
+
+    #[test]
+    fn roundtrip_preserves_params() {
+        let mut a = Sequential::new(vec![Layer::dense(3, 4, 1), Layer::relu(), Layer::dense(4, 2, 2)]);
+        let bytes = save_params(&mut a);
+        let mut b = Sequential::new(vec![Layer::dense(3, 4, 9), Layer::relu(), Layer::dense(4, 2, 8)]);
+        load_params(&mut b, &bytes).unwrap();
+        let x = [0.3, -0.5, 0.9];
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = Sequential::new(vec![Layer::dense(2, 2, 0)]);
+        let mut bytes = save_params(&mut m);
+        bytes[0] = b'X';
+        assert_eq!(load_params(&mut m, &bytes), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut m = Sequential::new(vec![Layer::dense(2, 2, 0)]);
+        let mut bytes = save_params(&mut m);
+        bytes[4] = 99;
+        assert!(matches!(
+            load_params(&mut m, &bytes),
+            Err(CheckpointError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing() {
+        let mut m = Sequential::new(vec![Layer::dense(2, 2, 0)]);
+        let bytes = save_params(&mut m);
+        assert_eq!(
+            load_params(&mut m, &bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            load_params(&mut m, &extended),
+            Err(CheckpointError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut a = Sequential::new(vec![Layer::dense(2, 2, 0)]);
+        let bytes = save_params(&mut a);
+        let mut b = Sequential::new(vec![Layer::dense(2, 3, 0)]);
+        assert!(matches!(
+            load_params(&mut b, &bytes),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        let mut c = Sequential::new(vec![Layer::dense(2, 2, 0), Layer::dense(2, 2, 1)]);
+        assert!(matches!(
+            load_params(&mut c, &bytes),
+            Err(CheckpointError::BlockCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_load_leaves_model_untouched() {
+        let mut a = Sequential::new(vec![Layer::dense(2, 2, 3)]);
+        let x = [1.0, -1.0];
+        let before = a.forward(&x);
+        let mut bad = Sequential::new(vec![Layer::dense(3, 3, 0)]);
+        let bytes = save_params(&mut bad);
+        assert!(load_params(&mut a, &bytes).is_err());
+        assert_eq!(a.forward(&x), before);
+    }
+
+    #[test]
+    fn error_messages_nonempty() {
+        for e in [
+            CheckpointError::BadMagic,
+            CheckpointError::BadVersion(2),
+            CheckpointError::Truncated,
+            CheckpointError::ShapeMismatch {
+                index: 0,
+                expected: 1,
+                got: 2,
+            },
+            CheckpointError::BlockCountMismatch {
+                expected: 1,
+                got: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

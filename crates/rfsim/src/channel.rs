@@ -1,0 +1,285 @@
+//! FCC frequency hopping and per-channel phase offsets.
+//!
+//! FCC Part 15 requires UHF readers to hop among 50 centre frequencies
+//! in the 902–928 MHz band. The Impinj R420 hops between 902.75 and
+//! 927.25 MHz in 500 kHz steps, dwelling 400 ms per channel (paper,
+//! Section V). Hopping injects a per-channel phase offset — from the
+//! oscillator phase difference and the tag antenna's non-uniform
+//! frequency response — that is *linear in frequency plus per-channel
+//! jitter*, exactly the structure the paper measures in Fig. 3 and
+//! removes with the Eq. (1) calibration.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Number of FCC hopping channels.
+pub const N_CHANNELS: usize = 50;
+
+/// Lowest channel centre frequency (Hz).
+pub const FIRST_CHANNEL_HZ: f64 = 902.75e6;
+
+/// Channel spacing (Hz).
+pub const CHANNEL_STEP_HZ: f64 = 0.5e6;
+
+/// Centre frequency of channel `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= N_CHANNELS`.
+pub fn channel_frequency_hz(index: usize) -> f64 {
+    assert!(index < N_CHANNELS, "channel index out of range");
+    FIRST_CHANNEL_HZ + index as f64 * CHANNEL_STEP_HZ
+}
+
+/// Index of the channel the paper uses as the common reference
+/// (910.25 MHz).
+pub fn common_channel_index() -> usize {
+    ((crate::COMMON_FREQUENCY_HZ - FIRST_CHANNEL_HZ) / CHANNEL_STEP_HZ).round() as usize
+}
+
+/// A pseudo-random hop schedule over the 50 channels.
+///
+/// The schedule repeats a seeded permutation; each channel is visited
+/// once per 20-second cycle (50 × 400 ms), as in the paper's setup.
+#[derive(Debug, Clone)]
+pub struct HopSchedule {
+    order: Vec<usize>,
+    /// Dwell time per channel in seconds (FCC: ≤ 400 ms).
+    pub dwell_s: f64,
+}
+
+impl HopSchedule {
+    /// Creates a schedule with the standard 400 ms dwell.
+    pub fn new(seed: u64) -> Self {
+        HopSchedule::with_dwell(seed, 0.4)
+    }
+
+    /// Creates a schedule with a custom dwell time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell_s` is not strictly positive.
+    pub fn with_dwell(seed: u64, dwell_s: f64) -> Self {
+        assert!(dwell_s > 0.0, "dwell must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..N_CHANNELS).collect();
+        order.shuffle(&mut rng);
+        HopSchedule { order, dwell_s }
+    }
+
+    /// Channel index active at time `t` (seconds from start).
+    pub fn channel_at(&self, t: f64) -> usize {
+        let slot = (t / self.dwell_s).floor().max(0.0) as usize;
+        self.order[slot % N_CHANNELS]
+    }
+
+    /// Centre frequency (Hz) active at time `t`.
+    pub fn frequency_at(&self, t: f64) -> f64 {
+        channel_frequency_hz(self.channel_at(t))
+    }
+}
+
+/// Per-antenna-port, per-channel phase offsets of one deployment.
+///
+/// `offset(a, c) = 2π·f_c·τ_a + jitter_{a,c}` (mod 2π): a
+/// linear-in-frequency term from the oscillator plus each port's cable
+/// group delay `τ_a` (ports have different cable runs, so the delays
+/// differ by a few nanoseconds), plus bounded per-channel jitter from
+/// the RF chain and tag antenna response. This is the structure the
+/// paper measures in Fig. 3 — and because the *differences between
+/// ports* are channel-dependent, uncalibrated hopping scrambles
+/// angle-of-arrival estimation, the effect behind Fig. 10.
+#[derive(Debug, Clone)]
+pub struct PhaseOffsets {
+    /// `offsets[antenna][channel]`.
+    offsets: Vec<Vec<f64>>,
+    /// Per-port group delays, in seconds.
+    pub group_delays_s: Vec<f64>,
+}
+
+impl PhaseOffsets {
+    /// Samples a deployment's offsets for `n_antennas` ports.
+    ///
+    /// `jitter_std` is the standard deviation (radians) of the
+    /// per-channel deviation from the linear law; the paper's Fig. 3
+    /// scatter suggests a fraction of a radian.
+    pub fn sample(seed: u64, jitter_std: f64, n_antennas: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        // Shared oscillator delay: tens of nanoseconds.
+        let base_delay_s = rng.gen_range(10e-9..60e-9);
+        let mut offsets = Vec::with_capacity(n_antennas);
+        let mut group_delays_s = Vec::with_capacity(n_antennas);
+        for _a in 0..n_antennas {
+            // Per-port cable run adds a few nanoseconds.
+            let tau = base_delay_s + rng.gen_range(0.0..8e-9);
+            group_delays_s.push(tau);
+            let port: Vec<f64> = (0..N_CHANNELS)
+                .map(|c| {
+                    let f = channel_frequency_hz(c);
+                    let linear = 2.0 * std::f64::consts::PI * f * tau;
+                    let jitter: f64 = if jitter_std > 0.0 {
+                        // Box-Muller normal sample.
+                        let u1: f64 = rng.gen_range(1e-12..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        jitter_std
+                            * (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos()
+                    } else {
+                        0.0
+                    };
+                    (linear + jitter).rem_euclid(2.0 * std::f64::consts::PI)
+                })
+                .collect();
+            offsets.push(port);
+        }
+        PhaseOffsets {
+            offsets,
+            group_delays_s,
+        }
+    }
+
+    /// Zero offsets (an ideal reader with no hopping artefacts).
+    pub fn ideal(n_antennas: usize) -> Self {
+        PhaseOffsets {
+            offsets: vec![vec![0.0; N_CHANNELS]; n_antennas],
+            group_delays_s: vec![0.0; n_antennas],
+        }
+    }
+
+    /// The offset (radians, `[0, 2π)`) of port `antenna` on channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `antenna` or `c` is out of range.
+    pub fn offset(&self, antenna: usize, c: usize) -> f64 {
+        self.offsets[antenna][c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_plan_matches_paper() {
+        assert!((channel_frequency_hz(0) - 902.75e6).abs() < 1.0);
+        assert!((channel_frequency_hz(N_CHANNELS - 1) - 927.25e6).abs() < 1.0);
+        let common = common_channel_index();
+        assert!((channel_frequency_hz(common) - 910.25e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel index")]
+    fn out_of_range_channel_panics() {
+        channel_frequency_hz(N_CHANNELS);
+    }
+
+    #[test]
+    fn schedule_visits_all_channels_per_cycle() {
+        let s = HopSchedule::new(42);
+        let mut seen = vec![false; N_CHANNELS];
+        for slot in 0..N_CHANNELS {
+            seen[s.channel_at(slot as f64 * s.dwell_s + 0.01)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Cycle length is 20 s with the standard dwell.
+        assert!((s.dwell_s * N_CHANNELS as f64 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = HopSchedule::new(7);
+        let b = HopSchedule::new(7);
+        let c = HopSchedule::new(8);
+        for t in [0.0, 0.5, 3.3, 19.9] {
+            assert_eq!(a.channel_at(t), b.channel_at(t));
+        }
+        assert!((0..50).any(|i| a.channel_at(i as f64 * 0.4) != c.channel_at(i as f64 * 0.4)));
+    }
+
+    #[test]
+    fn channel_stable_within_dwell() {
+        let s = HopSchedule::new(1);
+        assert_eq!(s.channel_at(0.0), s.channel_at(0.39));
+    }
+
+    #[test]
+    fn offsets_follow_linear_law() {
+        // Regress offset (unwrapped) against frequency: the fit residual
+        // must be small relative to the slope term — Fig. 3's law.
+        let po = PhaseOffsets::sample(3, 0.05, 4);
+        let freqs: Vec<f64> = (0..N_CHANNELS).map(channel_frequency_hz).collect();
+        let raw: Vec<f64> = (0..N_CHANNELS).map(|c| po.offset(0, c)).collect();
+        // Unwrap across channels (offsets are mod 2π).
+        let unwrapped = {
+            let mut out = vec![raw[0]];
+            for c in 1..N_CHANNELS {
+                let mut v = raw[c];
+                let prev = out[c - 1];
+                while v - prev > std::f64::consts::PI {
+                    v -= 2.0 * std::f64::consts::PI;
+                }
+                while v - prev < -std::f64::consts::PI {
+                    v += 2.0 * std::f64::consts::PI;
+                }
+                out.push(v);
+            }
+            out
+        };
+        // Least-squares slope must match 2π·τ.
+        let n = N_CHANNELS as f64;
+        let mx = freqs.iter().sum::<f64>() / n;
+        let my = unwrapped.iter().sum::<f64>() / n;
+        let sxy: f64 = freqs
+            .iter()
+            .zip(&unwrapped)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum();
+        let sxx: f64 = freqs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let slope = sxy / sxx;
+        let expected = 2.0 * std::f64::consts::PI * po.group_delays_s[0];
+        assert!(
+            (slope - expected).abs() < 0.1 * expected,
+            "slope {slope}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ideal_offsets_are_zero() {
+        let po = PhaseOffsets::ideal(4);
+        for a in 0..4 {
+            assert!((0..N_CHANNELS).all(|c| po.offset(a, c) == 0.0));
+        }
+    }
+
+    #[test]
+    fn offsets_deterministic_per_seed() {
+        let a = PhaseOffsets::sample(5, 0.1, 4);
+        let b = PhaseOffsets::sample(5, 0.1, 4);
+        for ant in 0..4 {
+            for c in 0..N_CHANNELS {
+                assert_eq!(a.offset(ant, c), b.offset(ant, c));
+            }
+        }
+    }
+
+    #[test]
+    fn ports_differ_per_channel() {
+        // The inter-port offset difference must vary with channel —
+        // this is what breaks uncalibrated AoA (Fig. 10).
+        let po = PhaseOffsets::sample(9, 0.05, 4);
+        let diffs: Vec<f64> = (0..N_CHANNELS)
+            .map(|c| {
+                let d = po.offset(1, c) - po.offset(0, c);
+                d.rem_euclid(2.0 * std::f64::consts::PI)
+            })
+            .collect();
+        let spread = diffs
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            - diffs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.3, "inter-port offsets too uniform: {spread}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Planar geometry primitives: points, vectors, segments, reflections.
+//!
+//! The simulator works in 2-D (the plan view of a room); antenna and tag
+//! heights are close enough in the paper's setup (antennas at 1.25 m,
+//! tags at 1–1.5 m) that the planar approximation preserves path-length
+//! differences to well under a wavelength per metre of travel.
+
+/// A point in the room plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+/// A displacement in the room plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// x component (m).
+    pub x: f64,
+    /// y component (m).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).length()
+    }
+
+    /// Displacement vector from `self` to `other`.
+    pub fn to(self, other: Point2) -> Vec2 {
+        other - self
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction; zero vector stays zero.
+    pub fn normalized(self) -> Vec2 {
+        let l = self.length();
+        if l > 0.0 {
+            Vec2::new(self.x / l, self.y / l)
+        } else {
+            self
+        }
+    }
+
+    /// Rotates by `angle` radians counter-clockwise.
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Angle of this vector from the +x axis, in radians `(-π, π]`.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl std::ops::Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, v: Vec2) -> Point2 {
+        Point2::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl std::ops::Sub for Point2 {
+    type Output = Vec2;
+    fn sub(self, other: Point2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl std::ops::Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point2,
+    /// End point.
+    pub b: Point2,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub const fn new(a: Point2, b: Point2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Minimum distance from a point to this segment.
+    pub fn distance_to_point(&self, p: Point2) -> f64 {
+        let ab = self.b - self.a;
+        let ap = p - self.a;
+        let len2 = ab.dot(ab);
+        if len2 <= 0.0 {
+            return self.a.distance(p);
+        }
+        let t = (ap.dot(ab) / len2).clamp(0.0, 1.0);
+        (self.a + ab * t).distance(p)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    pub fn point_at(&self, t: f64) -> Point2 {
+        self.a + (self.b - self.a) * t
+    }
+
+    /// Returns the intersection parameter of `self` with an infinite
+    /// line through `c`–`d`, if the segments properly intersect.
+    pub fn intersection(&self, other: &Segment) -> Option<Point2> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        if denom.abs() < 1e-12 {
+            return None; // parallel
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+            Some(self.point_at(t))
+        } else {
+            None
+        }
+    }
+}
+
+/// Reflects a point across the infinite line supporting `mirror`.
+///
+/// This is the core of the image method: a first-order wall reflection
+/// from `src` to `dst` has the same length as the straight line from the
+/// mirrored `src` to `dst`.
+pub fn mirror_point(p: Point2, mirror: &Segment) -> Point2 {
+    let d = (mirror.b - mirror.a).normalized();
+    let ap = p - mirror.a;
+    let proj = d * ap.dot(d);
+    let foot = mirror.a + proj;
+    let offset = p - foot;
+    foot + (-offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(v.cross(Vec2::new(1.0, 0.0)), -4.0);
+        let u = v.normalized();
+        assert!((u.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!(v.x.abs() < 1e-12 && (v.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_arithmetic() {
+        let p = Point2::new(1.0, 2.0);
+        let q = p + Vec2::new(2.0, -1.0);
+        assert_eq!(q, Point2::new(3.0, 1.0));
+        assert_eq!(q - p, Vec2::new(2.0, -1.0));
+        assert!((p.distance(q) - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_point_distance() {
+        let s = Segment::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
+        assert_eq!(s.distance_to_point(Point2::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.distance_to_point(Point2::new(-4.0, 3.0)), 5.0);
+        assert_eq!(s.distance_to_point(Point2::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = Segment::new(Point2::new(1.0, 1.0), Point2::new(1.0, 1.0));
+        assert!((s.distance_to_point(Point2::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_intersect() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(4.0, 4.0));
+        let s2 = Segment::new(Point2::new(0.0, 4.0), Point2::new(4.0, 0.0));
+        let p = s1.intersection(&s2).unwrap();
+        assert!((p.x - 2.0).abs() < 1e-12 && (p.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_parallel_no_intersection() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(4.0, 0.0));
+        let s2 = Segment::new(Point2::new(0.0, 1.0), Point2::new(4.0, 1.0));
+        assert!(s1.intersection(&s2).is_none());
+    }
+
+    #[test]
+    fn segments_disjoint_no_intersection() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let s2 = Segment::new(Point2::new(3.0, 0.0), Point2::new(4.0, 1.0));
+        assert!(s1.intersection(&s2).is_none());
+    }
+
+    #[test]
+    fn mirror_across_horizontal_wall() {
+        let wall = Segment::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
+        let p = Point2::new(3.0, 2.0);
+        let m = mirror_point(p, &wall);
+        assert!((m.x - 3.0).abs() < 1e-12 && (m.y + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_twice_is_identity() {
+        let wall = Segment::new(Point2::new(1.0, -1.0), Point2::new(4.0, 7.0));
+        let p = Point2::new(3.0, 2.0);
+        let mm = mirror_point(mirror_point(p, &wall), &wall);
+        assert!(mm.distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn image_method_preserves_path_length() {
+        // Reflection path src→wall→dst equals |mirror(src) → dst|.
+        let wall = Segment::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
+        let src = Point2::new(2.0, 3.0);
+        let dst = Point2::new(8.0, 1.0);
+        let img = mirror_point(src, &wall);
+        // Reflection point: intersection of img→dst with the wall.
+        let hit = Segment::new(img, dst).intersection(&wall).unwrap();
+        let bounced = src.distance(hit) + hit.distance(dst);
+        assert!((bounced - img.distance(dst)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,418 @@
+//! Image-method multipath enumeration with body occlusion.
+//!
+//! For a tag at `src` and the antenna array centred at `dst` this module
+//! enumerates the propagation paths the paper's Fig. 2 talks about:
+//!
+//! * the **direct** line-of-sight path;
+//! * one **first-order reflection** per wall (via the image method);
+//! * one **scatter** path per furniture scatterer.
+//!
+//! Each path carries its total length, its angle of arrival at the
+//! array, and a linear amplitude combining free-space spreading,
+//! reflection/scatter loss, and occlusion loss from any [`Blocker`]
+//! intersecting a leg of the path.
+
+use crate::geometry::{mirror_point, Point2, Segment, Vec2};
+use crate::room::Room;
+use crate::scene::Blocker;
+
+/// What kind of propagation mechanism produced a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Direct line of sight.
+    Direct,
+    /// Single reflection off wall `i`.
+    WallReflection(usize),
+    /// Re-radiation from furniture scatterer `i`.
+    Scatter(usize),
+    /// Double bounce off wall `i` then wall `j`.
+    DoubleReflection(usize, usize),
+}
+
+/// One propagation path from a tag to the antenna array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationPath {
+    /// Total one-way geometric length in metres.
+    pub length: f64,
+    /// Angle of arrival at the array in degrees `[0, 180]`, measured
+    /// from the array axis as in Fig. 4(c).
+    pub aoa_deg: f64,
+    /// Linear amplitude (free space × reflection × occlusion).
+    pub amplitude: f64,
+    /// Mechanism that produced this path.
+    pub kind: PathKind,
+    /// `true` if at least one blocker occludes a leg of the path.
+    pub blocked: bool,
+}
+
+/// Converts a dB loss into a linear amplitude factor.
+pub fn db_loss_to_amplitude(loss_db: f64) -> f64 {
+    10f64.powf(-loss_db / 20.0)
+}
+
+/// Free-space amplitude after travelling `d` metres (normalised to 1 at
+/// 1 m; clamped below 0.1 m to avoid the near-field singularity).
+pub fn free_space_amplitude(d: f64) -> f64 {
+    1.0 / d.max(0.1)
+}
+
+/// Total occlusion loss (dB) a straight leg suffers from the blockers.
+///
+/// The endpoints themselves are exempted within a small radius so a tag
+/// worn *on* a person is not considered blocked by that person's own
+/// body cylinder.
+pub fn occlusion_loss_db(leg: &Segment, blockers: &[Blocker]) -> f64 {
+    let mut loss = 0.0;
+    for b in blockers {
+        // Skip blockers essentially sitting on an endpoint (own body).
+        if b.center.distance(leg.a) <= b.radius + 0.05
+            || b.center.distance(leg.b) <= b.radius + 0.05
+        {
+            continue;
+        }
+        if leg.distance_to_point(b.center) < b.radius {
+            loss += b.attenuation_db;
+        }
+    }
+    loss
+}
+
+/// Angle of arrival (degrees in `[0, 180]`) of a ray arriving at the
+/// array centre from `from`, for an array whose axis points along
+/// `axis`.
+pub fn arrival_angle_deg(array_center: Point2, axis: Vec2, from: Point2) -> f64 {
+    let incoming = array_center.to(from); // direction the energy comes FROM
+    let cos_theta = incoming.normalized().dot(axis.normalized());
+    cos_theta.clamp(-1.0, 1.0).acos().to_degrees()
+}
+
+/// Enumerates every propagation path from `tag` to the array centre.
+///
+/// `array_axis` orients the ULA (the AoA reference); `blockers` add
+/// occlusion loss per leg. Paths whose amplitude falls below
+/// `min_amplitude` are discarded (they contribute nothing but noise
+/// floor). First-order reflections and scatterers only; see
+/// [`enumerate_paths_second_order`] for the double-bounce extension.
+pub fn enumerate_paths(
+    room: &Room,
+    tag: Point2,
+    array_center: Point2,
+    array_axis: Vec2,
+    blockers: &[Blocker],
+    min_amplitude: f64,
+) -> Vec<PropagationPath> {
+    let mut paths = Vec::new();
+
+    // Direct path.
+    {
+        let leg = Segment::new(tag, array_center);
+        let occ = occlusion_loss_db(&leg, blockers);
+        let length = leg.length();
+        let amplitude = free_space_amplitude(length) * db_loss_to_amplitude(occ);
+        paths.push(PropagationPath {
+            length,
+            aoa_deg: arrival_angle_deg(array_center, array_axis, tag),
+            amplitude,
+            kind: PathKind::Direct,
+            blocked: occ > 0.0,
+        });
+    }
+
+    // First-order wall reflections via the image method.
+    for (i, wall) in room.walls.iter().enumerate() {
+        let image = mirror_point(tag, &wall.segment);
+        let virtual_leg = Segment::new(image, array_center);
+        let Some(hit) = virtual_leg.intersection(&wall.segment) else {
+            continue; // reflection point falls outside the wall extent
+        };
+        let leg1 = Segment::new(tag, hit);
+        let leg2 = Segment::new(hit, array_center);
+        let occ = occlusion_loss_db(&leg1, blockers) + occlusion_loss_db(&leg2, blockers);
+        let length = leg1.length() + leg2.length();
+        let amplitude = free_space_amplitude(length)
+            * db_loss_to_amplitude(wall.reflection_loss_db + occ);
+        if amplitude < min_amplitude {
+            continue;
+        }
+        paths.push(PropagationPath {
+            length,
+            aoa_deg: arrival_angle_deg(array_center, array_axis, hit),
+            amplitude,
+            kind: PathKind::WallReflection(i),
+            blocked: occ > 0.0,
+        });
+    }
+
+    // Furniture scatter paths.
+    for (i, sc) in room.scatterers.iter().enumerate() {
+        let leg1 = Segment::new(tag, sc.position);
+        let leg2 = Segment::new(sc.position, array_center);
+        let occ = occlusion_loss_db(&leg1, blockers) + occlusion_loss_db(&leg2, blockers);
+        let length = leg1.length() + leg2.length();
+        let amplitude =
+            free_space_amplitude(length) * db_loss_to_amplitude(sc.scatter_loss_db + occ);
+        if amplitude < min_amplitude {
+            continue;
+        }
+        paths.push(PropagationPath {
+            length,
+            aoa_deg: arrival_angle_deg(array_center, array_axis, sc.position),
+            amplitude,
+            kind: PathKind::Scatter(i),
+            blocked: occ > 0.0,
+        });
+    }
+
+    paths
+}
+
+/// Second-order (double-bounce) wall reflections, appended to the
+/// first-order path set.
+///
+/// The image method composes: mirror the tag across wall `i`, mirror
+/// the image across wall `j` (`j ≠ i`), and trace back through both
+/// reflection points. Double bounces are 10–20 dB below first-order
+/// paths in typical rooms but visibly enrich the angular spectrum in
+/// highly reflective environments.
+pub fn enumerate_paths_second_order(
+    room: &Room,
+    tag: Point2,
+    array_center: Point2,
+    array_axis: Vec2,
+    blockers: &[Blocker],
+    min_amplitude: f64,
+) -> Vec<PropagationPath> {
+    let mut paths = enumerate_paths(room, tag, array_center, array_axis, blockers, min_amplitude);
+    for (i, wall_i) in room.walls.iter().enumerate() {
+        let image1 = mirror_point(tag, &wall_i.segment);
+        for (j, wall_j) in room.walls.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let image2 = mirror_point(image1, &wall_j.segment);
+            // Trace back: array ← hit_j ← hit_i ← tag.
+            let Some(hit_j) = Segment::new(image2, array_center).intersection(&wall_j.segment)
+            else {
+                continue;
+            };
+            let Some(hit_i) = Segment::new(image1, hit_j).intersection(&wall_i.segment) else {
+                continue;
+            };
+            let leg1 = Segment::new(tag, hit_i);
+            let leg2 = Segment::new(hit_i, hit_j);
+            let leg3 = Segment::new(hit_j, array_center);
+            let occ = occlusion_loss_db(&leg1, blockers)
+                + occlusion_loss_db(&leg2, blockers)
+                + occlusion_loss_db(&leg3, blockers);
+            let length = leg1.length() + leg2.length() + leg3.length();
+            let amplitude = free_space_amplitude(length)
+                * db_loss_to_amplitude(
+                    wall_i.reflection_loss_db + wall_j.reflection_loss_db + occ,
+                );
+            if amplitude < min_amplitude {
+                continue;
+            }
+            paths.push(PropagationPath {
+                length,
+                aoa_deg: arrival_angle_deg(array_center, array_axis, hit_j),
+                amplitude,
+                kind: PathKind::DoubleReflection(i, j),
+                blocked: occ > 0.0,
+            });
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_room() -> Room {
+        Room::rectangular("t", 10.0, 8.0, 6.0)
+    }
+
+    #[test]
+    fn direct_path_always_present() {
+        let room = simple_room();
+        let paths = enumerate_paths(
+            &room,
+            Point2::new(5.0, 5.0),
+            Point2::new(5.0, 1.0),
+            Vec2::new(1.0, 0.0),
+            &[],
+            0.0,
+        );
+        assert!(paths.iter().any(|p| p.kind == PathKind::Direct));
+        let direct = paths.iter().find(|p| p.kind == PathKind::Direct).unwrap();
+        assert!((direct.length - 4.0).abs() < 1e-9);
+        // Tag straight "up" from array centre: 90° from an x-axis array.
+        assert!((direct.aoa_deg - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_wall_reflections_in_open_room() {
+        let room = simple_room();
+        let paths = enumerate_paths(
+            &room,
+            Point2::new(4.0, 5.0),
+            Point2::new(6.0, 2.0),
+            Vec2::new(1.0, 0.0),
+            &[],
+            0.0,
+        );
+        let reflections = paths
+            .iter()
+            .filter(|p| matches!(p.kind, PathKind::WallReflection(_)))
+            .count();
+        assert_eq!(reflections, 4);
+    }
+
+    #[test]
+    fn reflection_longer_and_weaker_than_direct() {
+        let room = simple_room();
+        let paths = enumerate_paths(
+            &room,
+            Point2::new(3.0, 6.0),
+            Point2::new(7.0, 2.0),
+            Vec2::new(1.0, 0.0),
+            &[],
+            0.0,
+        );
+        let direct = paths.iter().find(|p| p.kind == PathKind::Direct).unwrap();
+        for p in paths.iter().filter(|p| p.kind != PathKind::Direct) {
+            assert!(p.length > direct.length, "{:?}", p.kind);
+            assert!(p.amplitude < direct.amplitude, "{:?}", p.kind);
+        }
+    }
+
+    #[test]
+    fn blocker_attenuates_direct_path() {
+        let room = simple_room();
+        let tag = Point2::new(5.0, 6.0);
+        let array = Point2::new(5.0, 1.0);
+        let axis = Vec2::new(1.0, 0.0);
+        let clear = enumerate_paths(&room, tag, array, axis, &[], 0.0);
+        let blocker = Blocker::person(Point2::new(5.0, 3.5));
+        let blocked = enumerate_paths(&room, tag, array, axis, &[blocker], 0.0);
+        let d_clear = clear.iter().find(|p| p.kind == PathKind::Direct).unwrap();
+        let d_blocked = blocked.iter().find(|p| p.kind == PathKind::Direct).unwrap();
+        assert!(d_blocked.blocked);
+        assert!(d_blocked.amplitude < d_clear.amplitude * 0.5);
+    }
+
+    #[test]
+    fn own_body_does_not_block() {
+        let room = simple_room();
+        let tag = Point2::new(5.0, 6.0);
+        // Blocker centred exactly at the tag (a person wearing it).
+        let own = Blocker::person(tag);
+        let paths = enumerate_paths(
+            &room,
+            tag,
+            Point2::new(5.0, 1.0),
+            Vec2::new(1.0, 0.0),
+            &[own],
+            0.0,
+        );
+        let direct = paths.iter().find(|p| p.kind == PathKind::Direct).unwrap();
+        assert!(!direct.blocked);
+    }
+
+    #[test]
+    fn scatterers_add_paths() {
+        let room = simple_room().with_scatterer(Point2::new(8.0, 7.0), 8.0);
+        let paths = enumerate_paths(
+            &room,
+            Point2::new(4.0, 5.0),
+            Point2::new(5.0, 1.0),
+            Vec2::new(1.0, 0.0),
+            &[],
+            0.0,
+        );
+        assert!(paths.iter().any(|p| p.kind == PathKind::Scatter(0)));
+    }
+
+    #[test]
+    fn min_amplitude_prunes() {
+        let room = simple_room();
+        let all = enumerate_paths(
+            &room,
+            Point2::new(4.0, 5.0),
+            Point2::new(6.0, 2.0),
+            Vec2::new(1.0, 0.0),
+            &[],
+            0.0,
+        );
+        let pruned = enumerate_paths(
+            &room,
+            Point2::new(4.0, 5.0),
+            Point2::new(6.0, 2.0),
+            Vec2::new(1.0, 0.0),
+            &[],
+            1.0, // higher than any reflection amplitude
+        );
+        assert!(pruned.len() < all.len());
+        assert!(pruned.iter().any(|p| p.kind == PathKind::Direct));
+    }
+
+    #[test]
+    fn aoa_endfire_and_broadside() {
+        let center = Point2::new(0.0, 0.0);
+        let axis = Vec2::new(1.0, 0.0);
+        assert!((arrival_angle_deg(center, axis, Point2::new(3.0, 0.0)) - 0.0).abs() < 1e-9);
+        assert!((arrival_angle_deg(center, axis, Point2::new(0.0, 5.0)) - 90.0).abs() < 1e-9);
+        assert!((arrival_angle_deg(center, axis, Point2::new(-2.0, 0.0)) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_order_paths_exist_and_are_longer() {
+        let room = simple_room();
+        let tag = Point2::new(3.0, 5.0);
+        let array = Point2::new(7.0, 2.0);
+        let axis = Vec2::new(1.0, 0.0);
+        let first = enumerate_paths(&room, tag, array, axis, &[], 0.0);
+        let all = enumerate_paths_second_order(&room, tag, array, axis, &[], 0.0);
+        assert!(all.len() > first.len(), "no double bounces found");
+        let direct_len = first
+            .iter()
+            .find(|p| p.kind == PathKind::Direct)
+            .unwrap()
+            .length;
+        for p in &all {
+            if let PathKind::DoubleReflection(i, j) = p.kind {
+                assert_ne!(i, j);
+                assert!(p.length > direct_len);
+                // Double bounces are weaker than the direct path.
+                assert!(p.amplitude < first[0].amplitude);
+            }
+        }
+    }
+
+    #[test]
+    fn second_order_length_matches_double_image() {
+        // Path length must equal |mirror(mirror(tag)) - array|.
+        let room = simple_room();
+        let tag = Point2::new(4.0, 5.0);
+        let array = Point2::new(6.0, 3.0);
+        let axis = Vec2::new(1.0, 0.0);
+        let all = enumerate_paths_second_order(&room, tag, array, axis, &[], 0.0);
+        for p in &all {
+            if let PathKind::DoubleReflection(i, j) = p.kind {
+                let img1 = crate::geometry::mirror_point(tag, &room.walls[i].segment);
+                let img2 = crate::geometry::mirror_point(img1, &room.walls[j].segment);
+                assert!(
+                    (p.length - img2.distance(array)).abs() < 1e-9,
+                    "image-method length mismatch for ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn db_conversion() {
+        assert!((db_loss_to_amplitude(0.0) - 1.0).abs() < 1e-12);
+        assert!((db_loss_to_amplitude(20.0) - 0.1).abs() < 1e-12);
+        assert!((db_loss_to_amplitude(6.0) - 0.501).abs() < 0.01);
+    }
+}

@@ -1,0 +1,175 @@
+//! Indoor environments: walls, furniture scatterers, presets.
+//!
+//! The paper evaluates in two rooms (Fig. 7): a 13.75 m × 10.50 m
+//! laboratory crowded with file cabinets and desks (high multipath) and
+//! an empty 8.75 m × 7.50 m hall (low multipath). [`Room::laboratory`]
+//! and [`Room::hall`] reproduce those two regimes.
+
+use crate::geometry::{Point2, Segment};
+
+/// A reflecting wall with its reflection loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wall {
+    /// Wall geometry.
+    pub segment: Segment,
+    /// Loss applied to a signal reflecting off this wall, in dB
+    /// (positive; typical interior walls reflect at 3–10 dB loss).
+    pub reflection_loss_db: f64,
+}
+
+/// A piece of furniture modelled as a point scatterer.
+///
+/// A metal cabinet re-radiates impinging energy; the path
+/// tag → scatterer → antenna adds a multipath component whose loss is
+/// `scatter_loss_db` on top of free-space spreading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scatterer {
+    /// Scatterer location.
+    pub position: Point2,
+    /// Re-radiation loss in dB.
+    pub scatter_loss_db: f64,
+}
+
+/// An indoor environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Room {
+    /// Human-readable name ("laboratory", "hall", …).
+    pub name: String,
+    /// Room width (x extent) in metres.
+    pub width: f64,
+    /// Room depth (y extent) in metres.
+    pub depth: f64,
+    /// Reflecting walls (usually the four sides).
+    pub walls: Vec<Wall>,
+    /// Furniture scatterers.
+    pub scatterers: Vec<Scatterer>,
+}
+
+impl Room {
+    /// Creates an empty rectangular room `[0, width] × [0, depth]` with
+    /// four walls of the given reflection loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is not strictly positive.
+    pub fn rectangular(name: &str, width: f64, depth: f64, wall_loss_db: f64) -> Self {
+        assert!(
+            width > 0.0 && depth > 0.0,
+            "room dimensions must be positive"
+        );
+        let corners = [
+            Point2::new(0.0, 0.0),
+            Point2::new(width, 0.0),
+            Point2::new(width, depth),
+            Point2::new(0.0, depth),
+        ];
+        let walls = (0..4)
+            .map(|i| Wall {
+                segment: Segment::new(corners[i], corners[(i + 1) % 4]),
+                reflection_loss_db: wall_loss_db,
+            })
+            .collect();
+        Room {
+            name: name.to_owned(),
+            width,
+            depth,
+            walls,
+            scatterers: Vec::new(),
+        }
+    }
+
+    /// Adds a furniture scatterer; returns `self` for chaining.
+    pub fn with_scatterer(mut self, position: Point2, scatter_loss_db: f64) -> Self {
+        self.scatterers.push(Scatterer {
+            position,
+            scatter_loss_db,
+        });
+        self
+    }
+
+    /// The paper's laboratory: 13.75 m × 10.50 m, reflective walls and
+    /// several metal cabinets/desks — a high-multipath environment.
+    pub fn laboratory() -> Self {
+        Room::rectangular("laboratory", 13.75, 10.50, 4.0)
+            .with_scatterer(Point2::new(2.0, 8.5), 8.0)
+            .with_scatterer(Point2::new(11.5, 8.0), 8.0)
+            .with_scatterer(Point2::new(12.0, 2.5), 10.0)
+            .with_scatterer(Point2::new(3.0, 2.0), 10.0)
+            .with_scatterer(Point2::new(7.0, 9.5), 9.0)
+    }
+
+    /// The paper's empty hall: 8.75 m × 7.50 m, weaker reflections and
+    /// no furniture — a low-multipath environment.
+    pub fn hall() -> Self {
+        Room::rectangular("hall", 8.75, 7.50, 9.0)
+    }
+
+    /// `true` if the point lies inside the room bounds.
+    pub fn contains(&self, p: Point2) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.depth).contains(&p.y)
+    }
+
+    /// Clamps a point into the room bounds with a small margin.
+    pub fn clamp_inside(&self, p: Point2, margin: f64) -> Point2 {
+        Point2::new(
+            p.x.clamp(margin, self.width - margin),
+            p.y.clamp(margin, self.depth - margin),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_room_has_four_walls() {
+        let room = Room::rectangular("test", 5.0, 4.0, 6.0);
+        assert_eq!(room.walls.len(), 4);
+        let perimeter: f64 = room.walls.iter().map(|w| w.segment.length()).sum();
+        assert!((perimeter - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_match_paper_dimensions() {
+        let lab = Room::laboratory();
+        assert_eq!((lab.width, lab.depth), (13.75, 10.50));
+        assert!(lab.scatterers.len() >= 3, "lab must be multipath-rich");
+        let hall = Room::hall();
+        assert_eq!((hall.width, hall.depth), (8.75, 7.50));
+        assert!(hall.scatterers.is_empty(), "hall is empty");
+    }
+
+    #[test]
+    fn lab_reflects_more_than_hall() {
+        let lab = Room::laboratory();
+        let hall = Room::hall();
+        let lab_loss: f64 = lab.walls.iter().map(|w| w.reflection_loss_db).sum();
+        let hall_loss: f64 = hall.walls.iter().map(|w| w.reflection_loss_db).sum();
+        assert!(lab_loss < hall_loss, "lab walls reflect more strongly");
+    }
+
+    #[test]
+    fn containment_and_clamping() {
+        let room = Room::rectangular("t", 10.0, 8.0, 5.0);
+        assert!(room.contains(Point2::new(5.0, 4.0)));
+        assert!(!room.contains(Point2::new(-1.0, 4.0)));
+        assert!(!room.contains(Point2::new(5.0, 9.0)));
+        let clamped = room.clamp_inside(Point2::new(20.0, -3.0), 0.5);
+        assert_eq!(clamped, Point2::new(9.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_room_panics() {
+        Room::rectangular("bad", 0.0, 4.0, 5.0);
+    }
+
+    #[test]
+    fn with_scatterer_chains() {
+        let room = Room::rectangular("t", 4.0, 4.0, 5.0)
+            .with_scatterer(Point2::new(1.0, 1.0), 8.0)
+            .with_scatterer(Point2::new(3.0, 3.0), 9.0);
+        assert_eq!(room.scatterers.len(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Instantaneous world state fed to the reader at each inventory slot.
+
+use crate::geometry::{Point2, Vec2};
+
+/// A moving body that attenuates paths passing through it.
+///
+/// Persons are modelled as vertical cylinders; a propagation path whose
+/// plan-view segment passes within `radius` of `center` suffers
+/// `attenuation_db` of extra loss (the human body attenuates UHF by
+/// 10–20 dB). This is the mechanism behind Fig. 2(b): a mover blocking
+/// the 40° path kills that pseudospectrum peak and shifts the others.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blocker {
+    /// Cylinder centre in the room plane.
+    pub center: Point2,
+    /// Cylinder radius in metres (~0.25 m for a person).
+    pub radius: f64,
+    /// Extra path loss when blocked, in dB.
+    pub attenuation_db: f64,
+}
+
+impl Blocker {
+    /// A default adult-person blocker at the given position.
+    pub fn person(center: Point2) -> Self {
+        Blocker {
+            center,
+            radius: 0.25,
+            attenuation_db: 15.0,
+        }
+    }
+}
+
+/// The state of every simulated object at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SceneSnapshot {
+    /// Position of each tag, indexed by tag id.
+    pub tag_positions: Vec<Point2>,
+    /// Velocity of each tag (m/s), used for Doppler reports. Must be
+    /// empty or the same length as `tag_positions`.
+    pub tag_velocities: Vec<Vec2>,
+    /// Bodies that can occlude propagation paths.
+    pub blockers: Vec<Blocker>,
+}
+
+impl SceneSnapshot {
+    /// A static scene containing only tags (no movers, zero velocity).
+    pub fn with_tags(tag_positions: Vec<Point2>) -> Self {
+        SceneSnapshot {
+            tag_positions,
+            tag_velocities: Vec::new(),
+            blockers: Vec::new(),
+        }
+    }
+
+    /// Velocity of tag `i`, defaulting to zero when not provided.
+    pub fn velocity(&self, i: usize) -> Vec2 {
+        self.tag_velocities.get(i).copied().unwrap_or_default()
+    }
+
+    /// Number of tags in the scene.
+    pub fn n_tags(&self) -> usize {
+        self.tag_positions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_person_blocker() {
+        let b = Blocker::person(Point2::new(1.0, 2.0));
+        assert_eq!(b.radius, 0.25);
+        assert!(b.attenuation_db > 0.0);
+    }
+
+    #[test]
+    fn velocities_default_to_zero() {
+        let s = SceneSnapshot::with_tags(vec![Point2::new(0.0, 0.0); 3]);
+        assert_eq!(s.n_tags(), 3);
+        assert_eq!(s.velocity(2), Vec2::default());
+        assert_eq!(s.velocity(99), Vec2::default());
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: simulate a small deployment, train the engine, report
+//! accuracy — the whole M²AI pipeline in one page.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use m2ai::prelude::*;
+
+fn main() {
+    // The paper's default condition: two persons × three tags, four
+    // antennas, laboratory room — shrunk so the example finishes in
+    // about a minute.
+    let mut config = ExperimentConfig::paper_default();
+    config.samples_per_class = 10;
+
+    println!("simulating {} recordings ...", 12 * config.samples_per_class);
+    let bundle = generate_dataset(&config);
+    println!(
+        "frames: {} x {} per sample ({} tags, {} antennas)",
+        config.frames_per_sample,
+        bundle.layout.frame_dim(),
+        bundle.layout.n_tags,
+        bundle.layout.n_antennas,
+    );
+
+    let mut opts = TrainOptions::fast();
+    opts.log_every = 5;
+    println!("training CNN+LSTM ({} epochs) ...", opts.epochs);
+    let outcome = train_m2ai(&bundle, &opts);
+
+    println!();
+    println!(
+        "train accuracy {:.1}%   test accuracy {:.1}%",
+        100.0 * outcome.train_accuracy,
+        100.0 * outcome.test_accuracy
+    );
+    println!();
+    println!("confusion matrix (rows = predicted, cols = actual):");
+    println!("{}", outcome.confusion);
+
+    // What did the model see? Peek at one activity class.
+    let scenarios = catalog(config.n_persons);
+    println!("activity classes:");
+    for s in &scenarios {
+        println!("  {}: {}", s.id, s.name);
+    }
+}

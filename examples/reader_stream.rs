@@ -1,0 +1,77 @@
+//! Inspect the raw reader stream: what an Impinj-style reader actually
+//! reports while two people act in a multipath room, and what phase
+//! calibration does to it.
+//!
+//! ```text
+//! cargo run --release --example reader_stream
+//! ```
+
+use m2ai::prelude::*;
+use m2ai_dsp::stats::{circular_median, std_dev};
+
+fn main() {
+    let room = Room::laboratory();
+    let scenarios = catalog(2);
+    let volunteers: Vec<Volunteer> = (0..2).map(Volunteer::preset).collect();
+    let scene = ActivityScene::new(&scenarios[0], &volunteers, 3, 1);
+
+    let config = ReaderConfig::default();
+    let n_tags = scene.n_tags();
+    let mut reader = Reader::new(room, config, n_tags);
+
+    // Record 5 seconds of "all wave hands".
+    let readings = reader.run(|t| scene.snapshot(t), 5.0);
+    println!("{} reads in 5 s from {} tags", readings.len(), n_tags);
+    println!();
+    println!("first ten LLRP-style reports:");
+    println!("   t(s)  tag                   ant  ch  freq(MHz)  phase(rad)  rssi(dBm)  doppler(Hz)");
+    for r in readings.iter().take(10) {
+        println!(
+            "  {:5.2}  {}  {}   {:2}  {:8.2}   {:8.3}   {:8.1}   {:+9.1}",
+            r.time_s,
+            r.tag,
+            r.antenna,
+            r.channel,
+            r.frequency_hz / 1e6,
+            r.phase_rad,
+            r.rssi_dbm,
+            r.doppler_hz
+        );
+    }
+
+    // Show the hopping problem: per-channel phase medians of one link
+    // scatter wildly before calibration and collapse after.
+    println!();
+    println!("calibrating from a stationary interval ...");
+    let frozen_scene = scene.snapshot(0.0);
+    let frozen = SceneSnapshot {
+        tag_positions: frozen_scene.tag_positions,
+        tag_velocities: Vec::new(),
+        blockers: Vec::new(),
+    };
+    let mut cal_reader = Reader::new(Room::laboratory(), ReaderConfig::default(), n_tags);
+    let cal_readings = cal_reader.run(|_| frozen.clone(), 21.0);
+    let calibrator = PhaseCalibrator::learn(&cal_readings, n_tags, 4);
+
+    let mut raw_medians = Vec::new();
+    let mut cal_medians = Vec::new();
+    for c in 0..m2ai::rfsim::channel::N_CHANNELS {
+        let link: Vec<&TagReading> = cal_readings
+            .iter()
+            .filter(|r| r.tag == TagId(0) && r.antenna == 0 && r.channel == c)
+            .collect();
+        if link.is_empty() {
+            continue;
+        }
+        let raw: Vec<f64> = link.iter().map(|r| r.phase_rad).collect();
+        let cal: Vec<f64> = link.iter().map(|r| calibrator.calibrate(r)).collect();
+        raw_medians.push(circular_median(&raw));
+        cal_medians.push(circular_median(&cal));
+    }
+    println!(
+        "per-channel phase medians (tag 0, antenna 0): raw spread {:.2} rad, calibrated spread {:.4} rad",
+        std_dev(&raw_medians),
+        std_dev(&cal_medians)
+    );
+    println!("(the calibrated stream behaves as if the reader never hopped — Eq. 1 of the paper)");
+}

@@ -1,0 +1,59 @@
+//! Model checkpoints survive a save/load round trip across the full
+//! CNN+LSTM architecture (the deployment path of examples/smart_home).
+
+use m2ai::nn::serialize::{load_params, save_params, CheckpointError};
+use m2ai::prelude::*;
+use m2ai_core::network::build_model;
+
+fn tiny_bundle() -> DatasetBundle {
+    generate_dataset(&ExperimentConfig {
+        samples_per_class: 2,
+        frames_per_sample: 4,
+        calibrate: false,
+        ..ExperimentConfig::paper_default()
+    })
+}
+
+#[test]
+fn trained_model_roundtrips() {
+    let bundle = tiny_bundle();
+    let mut opts = TrainOptions::fast();
+    opts.epochs = 3;
+    let outcome = train_m2ai(&bundle, &opts);
+    let mut trained = outcome.model;
+    let bytes = save_params(&mut trained);
+
+    let mut restored = build_model(&bundle.layout, bundle.n_classes, Architecture::CnnLstm, 4242);
+    load_params(&mut restored, &bytes).expect("architectures match");
+    for (frames, _) in bundle.samples.iter().take(6) {
+        assert_eq!(trained.predict(frames), restored.predict(frames));
+        let a = trained.predict_proba(frames);
+        let b = restored.predict_proba(frames);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn wrong_architecture_is_rejected() {
+    let bundle = tiny_bundle();
+    let mut cnn_lstm = build_model(&bundle.layout, 12, Architecture::CnnLstm, 1);
+    let bytes = save_params(&mut cnn_lstm);
+    let mut cnn_only = build_model(&bundle.layout, 12, Architecture::CnnOnly, 1);
+    let err = load_params(&mut cnn_only, &bytes).expect_err("must not load");
+    assert!(matches!(
+        err,
+        CheckpointError::BlockCountMismatch { .. } | CheckpointError::ShapeMismatch { .. }
+    ));
+}
+
+#[test]
+fn checkpoint_is_stable_across_process_logic() {
+    // Byte-for-byte determinism of serialisation.
+    let bundle = tiny_bundle();
+    let mut model = build_model(&bundle.layout, 12, Architecture::CnnLstm, 5);
+    let a = save_params(&mut model);
+    let b = save_params(&mut model);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration: scenes → reader → frames → training.
+
+use m2ai::prelude::*;
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        samples_per_class: 3,
+        frames_per_sample: 6,
+        calibrate: false,
+        ..ExperimentConfig::paper_default()
+    }
+}
+
+#[test]
+fn dataset_to_trained_model() {
+    let bundle = generate_dataset(&tiny_config());
+    assert_eq!(bundle.samples.len(), 36);
+    let mut opts = TrainOptions::fast();
+    opts.epochs = 10;
+    let outcome = train_m2ai(&bundle, &opts);
+    // Ten epochs on tiny data: demand clear progress over chance on the
+    // training split (test split is 7 samples — too small to bound).
+    assert!(
+        outcome.train_accuracy > 0.3,
+        "train accuracy {}",
+        outcome.train_accuracy
+    );
+    assert!(outcome.report.epoch_losses.len() == 10);
+    let first = outcome.report.epoch_losses[0];
+    let last = outcome.report.final_loss().expect("has epochs");
+    assert!(last < first, "loss should decrease: {first} -> {last}");
+}
+
+#[test]
+fn all_feature_modes_train() {
+    for mode in [
+        FeatureMode::Joint,
+        FeatureMode::MusicOnly,
+        FeatureMode::PeriodogramOnly,
+        FeatureMode::PhaseOnly,
+        FeatureMode::RssiOnly,
+    ] {
+        let mut config = tiny_config();
+        config.samples_per_class = 2;
+        config.feature_mode = mode;
+        let bundle = generate_dataset(&config);
+        let mut opts = TrainOptions::fast();
+        opts.epochs = 2;
+        let outcome = train_m2ai(&bundle, &opts);
+        assert!(
+            outcome.report.final_loss().expect("ran").is_finite(),
+            "{mode:?} diverged"
+        );
+    }
+}
+
+#[test]
+fn all_architectures_train() {
+    let mut config = tiny_config();
+    config.samples_per_class = 2;
+    let bundle = generate_dataset(&config);
+    for arch in [
+        Architecture::CnnLstm,
+        Architecture::CnnOnly,
+        Architecture::LstmOnly,
+    ] {
+        let mut opts = TrainOptions::fast();
+        opts.epochs = 2;
+        opts.architecture = arch;
+        let outcome = train_m2ai(&bundle, &opts);
+        assert!(outcome.test_accuracy >= 0.0 && outcome.test_accuracy <= 1.0);
+    }
+}
+
+#[test]
+fn baselines_run_on_generated_data() {
+    let bundle = generate_dataset(&tiny_config());
+    let results = evaluate_baselines(&bundle, 0.25, 1);
+    assert_eq!(results.len(), 10);
+    // At least a couple of baselines must beat chance even on tiny data
+    // (the task is learnable).
+    let above_chance = results.iter().filter(|(_, a)| *a > 1.0 / 12.0).count();
+    assert!(above_chance >= 2, "{results:?}");
+}
+
+#[test]
+fn experiment_knobs_change_the_data() {
+    let base = generate_dataset(&tiny_config());
+    let mut hall_cfg = tiny_config();
+    hall_cfg.room = RoomKind::Hall;
+    let hall = generate_dataset(&hall_cfg);
+    assert_ne!(base.samples, hall.samples, "room must matter");
+
+    let mut two_ant = tiny_config();
+    two_ant.n_antennas = 2;
+    let bundle2 = generate_dataset(&two_ant);
+    assert_eq!(bundle2.layout.n_antennas, 2);
+    assert!(bundle2.layout.frame_dim() < base.layout.frame_dim());
+}
+
+#[test]
+fn one_and_three_person_variants_work() {
+    for n in [1usize, 3] {
+        let mut config = tiny_config();
+        config.n_persons = n;
+        config.samples_per_class = 1;
+        let bundle = generate_dataset(&config);
+        assert_eq!(bundle.layout.n_tags, n * 3);
+        assert_eq!(bundle.samples.len(), 12);
+    }
+}

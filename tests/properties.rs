@@ -1,0 +1,134 @@
+//! Property-based tests over the cross-crate mathematical invariants.
+
+use m2ai::dsp::fft::{fft, ifft};
+use m2ai::dsp::music::{steering_vector, MusicConfig};
+use m2ai::dsp::phase::{unwrap, wrap_positive};
+use m2ai::dsp::Complex;
+use m2ai::nn::loss::{softmax, softmax_cross_entropy};
+use m2ai::nn::metrics::ConfusionMatrix;
+use m2ai::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT followed by IFFT is the identity for any signal and length.
+    #[test]
+    fn fft_roundtrip(values in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..80)) {
+        let x: Vec<Complex> = values.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).norm() < 1e-6 * (1.0 + a.norm()));
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energy agree.
+    #[test]
+    fn fft_parseval(values in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..64)) {
+        let x: Vec<Complex> = values.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let spec = fft(&x);
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+    }
+
+    /// Phase unwrap of any wrapped continuous ramp preserves increments.
+    #[test]
+    fn unwrap_preserves_shape(slope in -2.0f64..2.0, n in 3usize..60) {
+        let truth: Vec<f64> = (0..n).map(|t| slope * t as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&p| wrap_positive(p)).collect();
+        let un = unwrap(&wrapped);
+        let offset = un[0] - truth[0];
+        for (a, b) in truth.iter().zip(&un) {
+            prop_assert!((b - a - offset).abs() < 1e-9);
+        }
+    }
+
+    /// Steering vectors have unit-magnitude entries at any geometry.
+    #[test]
+    fn steering_vector_is_unit_modulus(
+        n in 2usize..8,
+        spacing in 0.01f64..0.6,
+        theta in 0.0f64..180.0,
+        round_trip in any::<bool>(),
+    ) {
+        let cfg = MusicConfig {
+            n_antennas: n,
+            spacing_wavelengths: spacing,
+            round_trip,
+            ..MusicConfig::paper_default()
+        };
+        let sv = steering_vector(&cfg, theta);
+        prop_assert_eq!(sv.len(), n);
+        for z in sv {
+            prop_assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Softmax output is a probability distribution for any logits.
+    #[test]
+    fn softmax_is_distribution(logits in prop::collection::vec(-50.0f32..50.0, 1..16)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Cross-entropy gradient always sums to ~0 (shift invariance).
+    #[test]
+    fn xent_gradient_sums_to_zero(
+        logits in prop::collection::vec(-20.0f32..20.0, 2..12),
+        label_seed in any::<u16>(),
+    ) {
+        let label = label_seed as usize % logits.len();
+        let (loss, grad) = softmax_cross_entropy(&logits, label);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.iter().sum::<f32>().abs() < 1e-4);
+    }
+
+    /// Confusion-matrix accuracy equals hand-counted accuracy for any
+    /// prediction stream.
+    #[test]
+    fn confusion_accuracy_matches(pairs in prop::collection::vec((0usize..6, 0usize..6), 1..120)) {
+        let mut cm = ConfusionMatrix::new(6);
+        for &(a, p) in &pairs {
+            cm.record(a, p);
+        }
+        let manual = pairs.iter().filter(|(a, p)| a == p).count() as f64 / pairs.len() as f64;
+        prop_assert!((cm.accuracy() - manual).abs() < 1e-12);
+    }
+
+    /// Frame layouts are internally consistent for every configuration.
+    #[test]
+    fn frame_layout_dims_consistent(
+        n_tags in 1usize..10,
+        n_ant in 1usize..5,
+        mode_idx in 0usize..5,
+    ) {
+        let mode = [
+            FeatureMode::Joint,
+            FeatureMode::MusicOnly,
+            FeatureMode::PeriodogramOnly,
+            FeatureMode::PhaseOnly,
+            FeatureMode::RssiOnly,
+        ][mode_idx];
+        let layout = FrameLayout::new(n_tags, n_ant, mode);
+        prop_assert_eq!(layout.frame_dim(), layout.spectrum_dim() + layout.direct_dim());
+        prop_assert!(layout.frame_dim() > 0);
+    }
+
+    /// Room geometry: clamped points are always inside.
+    #[test]
+    fn room_clamp_contains(x in -50.0f64..50.0, y in -50.0f64..50.0) {
+        let room = Room::laboratory();
+        let p = room.clamp_inside(m2ai::rfsim::geometry::Point2::new(x, y), 0.5);
+        prop_assert!(room.contains(p));
+    }
+
+    /// Wavelengths in the FCC band are near 0.32-0.33 m.
+    #[test]
+    fn band_wavelengths(ch in 0usize..50) {
+        let f = m2ai::rfsim::channel::channel_frequency_hz(ch);
+        let lambda = m2ai::rfsim::wavelength(f);
+        prop_assert!((0.32..0.34).contains(&lambda));
+    }
+}
