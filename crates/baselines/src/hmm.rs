@@ -135,8 +135,8 @@ impl GaussianHmm {
         }
         // Smoothed log-probabilities (add-one).
         let total_init: f64 = init_counts.iter().map(|&c| c as f64 + 1.0).sum();
-        for s in 0..n {
-            self.log_init[s] = ((init_counts[s] as f64 + 1.0) / total_init).ln();
+        for (s, &cnt) in init_counts.iter().enumerate() {
+            self.log_init[s] = ((cnt as f64 + 1.0) / total_init).ln();
         }
         for s in 0..n {
             let row_total: f64 = (0..n).map(|t| trans_counts[s * n + t] as f64 + 1.0).sum();
@@ -151,10 +151,9 @@ impl GaussianHmm {
 
     fn log_emission(&self, state: usize, frame: &[f32]) -> f64 {
         let mut ll = 0.0;
-        for j in 0..self.dim {
-            let mean = self.means[state][j];
-            let var = self.vars[state][j];
-            let d = frame[j] as f64 - mean;
+        let stats = self.means[state].iter().zip(&self.vars[state]);
+        for (&fv, (&mean, &var)) in frame.iter().zip(stats) {
+            let d = fv as f64 - mean;
             ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
         }
         ll
@@ -176,8 +175,8 @@ impl GaussianHmm {
             for s in 0..n {
                 let mut best = LOG_ZERO;
                 let mut best_prev = 0;
-                for p in 0..n {
-                    let cand = delta[p] + self.log_trans[p * n + s];
+                for (p, &dp) in delta.iter().enumerate() {
+                    let cand = dp + self.log_trans[p * n + s];
                     if cand > best {
                         best = cand;
                         best_prev = p;
@@ -312,10 +311,7 @@ mod tests {
     fn distinguishes_temporal_order() {
         let data = ordered_data();
         let clf = HmmClassifier::fit(&data, 3, 5).unwrap();
-        let correct = data
-            .iter()
-            .filter(|(s, y)| clf.predict(s) == *y)
-            .count();
+        let correct = data.iter().filter(|(s, y)| clf.predict(s) == *y).count();
         assert!(correct as f64 / data.len() as f64 > 0.9);
     }
 
@@ -336,8 +332,9 @@ mod tests {
 
     #[test]
     fn viterbi_path_is_monotone_for_ramp() {
-        let seqs: Vec<Vec<Vec<f32>>> =
-            (0..4).map(|_| (0..9).map(|t| vec![t as f32]).collect()).collect();
+        let seqs: Vec<Vec<Vec<f32>>> = (0..4)
+            .map(|_| (0..9).map(|t| vec![t as f32]).collect())
+            .collect();
         let hmm = GaussianHmm::fit(&seqs, 3, 5).unwrap();
         let path = hmm.viterbi(&seqs[0]);
         assert_eq!(path.len(), 9);
@@ -358,12 +355,7 @@ mod tests {
     fn missing_class_is_skipped() {
         // Labels 0 and 2, no 1.
         let seq = |v: f32| -> Vec<Vec<f32>> { (0..4).map(|_| vec![v]).collect() };
-        let data = vec![
-            (seq(0.0), 0),
-            (seq(0.1), 0),
-            (seq(5.0), 2),
-            (seq(5.1), 2),
-        ];
+        let data = vec![(seq(0.0), 0), (seq(0.1), 0), (seq(5.0), 2), (seq(5.1), 2)];
         let clf = HmmClassifier::fit(&data, 2, 2).unwrap();
         assert_eq!(clf.predict(&seq(0.05)), 0);
         assert_eq!(clf.predict(&seq(5.05)), 2);

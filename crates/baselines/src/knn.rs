@@ -70,8 +70,8 @@ impl Classifier for KNearestNeighbors {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::blobs;
     use crate::accuracy;
+    use crate::testutil::blobs;
 
     #[test]
     fn separates_blobs() {
@@ -91,12 +91,7 @@ mod tests {
 
     #[test]
     fn majority_voting() {
-        let x = vec![
-            vec![0.0],
-            vec![0.2],
-            vec![0.4],
-            vec![10.0],
-        ];
+        let x = vec![vec![0.0], vec![0.2], vec![0.4], vec![10.0]];
         let y = vec![0, 0, 0, 1];
         let mut knn = KNearestNeighbors::new(3);
         knn.fit(&x, &y).unwrap();

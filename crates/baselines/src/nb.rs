@@ -123,7 +123,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_crash() {
-        let x = vec![vec![1.0, 5.0], vec![1.0, 5.1], vec![1.0, 9.0], vec![1.0, 9.1]];
+        let x = vec![
+            vec![1.0, 5.0],
+            vec![1.0, 5.1],
+            vec![1.0, 9.0],
+            vec![1.0, 9.1],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut nb = GaussianNaiveBayes::new();
         nb.fit(&x, &y).unwrap();

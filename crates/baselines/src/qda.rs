@@ -23,7 +23,10 @@ impl Qda {
     ///
     /// Panics if `shrinkage` is outside `[0, 1]`.
     pub fn new(shrinkage: f64) -> Self {
-        assert!((0.0..=1.0).contains(&shrinkage), "shrinkage must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&shrinkage),
+            "shrinkage must be in [0,1]"
+        );
         Qda {
             shrinkage,
             priors: Vec::new(),
@@ -82,7 +85,7 @@ impl Classifier for Qda {
         self.precisions.clear();
         self.logdets.clear();
 
-        for c in 0..n_classes {
+        for (c, &cls_count) in counts.iter().enumerate() {
             let mut cov = vec![0.0f64; d * d];
             let mut trace = 0.0;
             for (xi, &yi) in x.iter().zip(y) {
@@ -96,7 +99,7 @@ impl Classifier for Qda {
                     }
                 }
             }
-            let denom = counts[c].max(2) as f64 - 1.0;
+            let denom = cls_count.max(2) as f64 - 1.0;
             cov.iter_mut().for_each(|v| *v /= denom);
             for i in 0..d {
                 trace += cov[i * d + i];
@@ -111,10 +114,11 @@ impl Classifier for Qda {
                     }
                 }
             }
-            let l = cholesky(&cov, d)
-                .ok_or(FitError::Numerical("class covariance not positive definite"))?;
-            let prec = invert(&cov, d)
-                .ok_or(FitError::Numerical("class covariance is singular"))?;
+            let l = cholesky(&cov, d).ok_or(FitError::Numerical(
+                "class covariance not positive definite",
+            ))?;
+            let prec =
+                invert(&cov, d).ok_or(FitError::Numerical("class covariance is singular"))?;
             self.logdets.push(cholesky_logdet(&l, d));
             self.precisions.push(prec);
         }
@@ -160,10 +164,16 @@ mod tests {
         let mut y = Vec::new();
         for _ in 0..150 {
             // Class 0: tight blob.
-            x.push(vec![rng.gen_range(-0.3f32..0.3), rng.gen_range(-0.3f32..0.3)]);
+            x.push(vec![
+                rng.gen_range(-0.3f32..0.3),
+                rng.gen_range(-0.3f32..0.3),
+            ]);
             y.push(0);
             // Class 1: wide ring-ish spread.
-            x.push(vec![rng.gen_range(-3.0f32..3.0), rng.gen_range(-3.0f32..3.0)]);
+            x.push(vec![
+                rng.gen_range(-3.0f32..3.0),
+                rng.gen_range(-3.0f32..3.0),
+            ]);
             y.push(1);
         }
         let mut qda = Qda::new(0.05);

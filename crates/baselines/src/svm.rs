@@ -152,7 +152,11 @@ impl Classifier for RbfSvm {
         self.x = x.to_vec();
         self.alphas = vec![vec![0.0; n]; n_classes];
         self.targets = (0..n_classes)
-            .map(|c| y.iter().map(|&yi| if yi == c { 1.0 } else { -1.0 }).collect())
+            .map(|c| {
+                y.iter()
+                    .map(|&yi| if yi == c { 1.0 } else { -1.0 })
+                    .collect()
+            })
             .collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let total = self.epochs * n;

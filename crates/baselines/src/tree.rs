@@ -165,7 +165,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

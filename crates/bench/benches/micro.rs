@@ -9,7 +9,9 @@ use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
 use m2ai_core::network::{build_model, Architecture};
 use m2ai_dsp::eigen::hermitian_eigen;
 use m2ai_dsp::fft::fft;
-use m2ai_dsp::music::{correlation_matrix, pseudospectrum, MusicConfig, SourceCount};
+use m2ai_dsp::music::{
+    correlation_matrix, pseudospectrum, steering_vector, MusicConfig, SourceCount, SteeringTable,
+};
 use m2ai_dsp::Complex;
 use m2ai_nn::Parameterized;
 use m2ai_rfsim::geometry::Point2;
@@ -109,6 +111,65 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extraction");
+    g.sample_size(10);
+
+    // Same paper-default 6-tag recording as `bench_pipeline`, but long
+    // enough to cut 12 frames, so the serial-vs-parallel comparison runs
+    // over a realistic whole-sample workload.
+    let config = ExperimentConfig::paper_default();
+    let room = config.room.build();
+    let mut reader = Reader::new(
+        room,
+        ReaderConfig {
+            n_antennas: 4,
+            seed: config.seed,
+            ..ReaderConfig::default()
+        },
+        6,
+    );
+    let scene = SceneSnapshot::with_tags(vec![
+        Point2::new(5.5, 4.0),
+        Point2::new(5.7, 4.2),
+        Point2::new(5.9, 4.1),
+        Point2::new(8.0, 4.3),
+        Point2::new(8.2, 4.5),
+        Point2::new(8.4, 4.2),
+    ]);
+    let readings = reader.run(|_| scene.clone(), 5.0);
+    let layout = FrameLayout::new(6, 4, FeatureMode::Joint);
+    for threads in [1usize, 4] {
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(6, 4), 0.4)
+            .with_parallelism(threads);
+        g.bench_function(format!("build_sample_12frames_{threads}threads"), |b| {
+            b.iter(|| builder.build_sample(black_box(&readings), 0.0, 12))
+        });
+    }
+
+    // Steering-vector table hit vs recomputing the 180-angle grid
+    // directly — the saving the cache buys on every pseudospectrum.
+    let cfg = MusicConfig::paper_default();
+    let n_angles = cfg.n_angles;
+    g.bench_function("steering_grid_direct_180", |b| {
+        b.iter(|| {
+            for gbin in 0..n_angles {
+                let theta = 180.0 * gbin as f64 / n_angles as f64;
+                black_box(steering_vector(black_box(&cfg), theta));
+            }
+        })
+    });
+    g.bench_function("steering_grid_table_hit_180", |b| {
+        b.iter(|| {
+            let table = SteeringTable::for_config(black_box(&cfg));
+            for gbin in 0..n_angles {
+                black_box(table.vector(gbin));
+            }
+        })
+    });
+    g.finish();
+}
+
 fn bench_network(c: &mut Criterion) {
     let mut g = c.benchmark_group("network");
     let layout = FrameLayout::new(6, 4, FeatureMode::Joint);
@@ -130,5 +191,12 @@ fn bench_network(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dsp, bench_simulator, bench_pipeline, bench_network);
+criterion_group!(
+    benches,
+    bench_dsp,
+    bench_simulator,
+    bench_pipeline,
+    bench_extraction,
+    bench_network
+);
 criterion_main!(benches);

@@ -109,8 +109,10 @@ pub fn fig3(_budget: Budget) {
     use m2ai_rfsim::scene::SceneSnapshot;
 
     header("Fig. 3", "phase jumping caused by frequency hopping");
-    let mut cfg = ReaderConfig::default();
-    cfg.phase_noise_std = 0.02;
+    let cfg = ReaderConfig {
+        phase_noise_std: 0.02,
+        ..ReaderConfig::default()
+    };
     let mut reader = Reader::new(Room::hall(), cfg, 1);
     let scene = SceneSnapshot::with_tags(vec![Point2::new(4.4, 3.2)]);
     let readings = reader.run(|_| scene.clone(), 60.0);
@@ -186,17 +188,21 @@ pub fn fig2(_budget: Budget) {
     use m2ai_rfsim::room::Room;
     use m2ai_rfsim::scene::{Blocker, SceneSnapshot};
 
-    header("Fig. 2", "pseudospectrum: single tag, blocked path, many tags");
+    header(
+        "Fig. 2",
+        "pseudospectrum: single tag, blocked path, many tags",
+    );
     let spectrum_peaks = |scene: &SceneSnapshot, n_tags: usize| -> Vec<Vec<(f64, f64)>> {
-        let mut cfg = ReaderConfig::default();
-        cfg.hopping_offsets = false;
-        cfg.phase_noise_std = 0.02;
+        let cfg = ReaderConfig {
+            hopping_offsets: false,
+            phase_noise_std: 0.02,
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(Room::laboratory(), cfg, n_tags);
         let scene = scene.clone();
         let readings = reader.run(move |_| scene.clone(), 2.0);
         let layout = FrameLayout::new(n_tags, 4, FeatureMode::MusicOnly);
-        let builder =
-            FrameBuilder::new(layout, PhaseCalibrator::disabled(n_tags, 4), 2.0);
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(n_tags, 4), 2.0);
         let frame = builder.build_frame(&readings, 0.0);
         (0..n_tags)
             .map(|tag| {
@@ -221,7 +227,9 @@ pub fn fig2(_budget: Budget) {
     }
 
     let mut blocked = single.clone();
-    blocked.blockers.push(Blocker::person(Point2::new(5.4, 2.4)));
+    blocked
+        .blockers
+        .push(Blocker::person(Point2::new(5.4, 2.4)));
     let peaks_b = &spectrum_peaks(&blocked, 1)[0];
     println!("(b) with a blocking person: top peaks shift/attenuate:");
     for (a, p) in peaks_b {
@@ -239,7 +247,9 @@ pub fn fig2(_budget: Budget) {
     let all = spectrum_peaks(&many, 6);
     let total: usize = all.iter().map(|p| p.len()).sum();
     println!("(c) six tags: {total} pseudospectrum peaks across tags (massive multipath)");
-    println!("paper: 3 paths for one tag; blocking kills/shifts peaks; many tags → many twisted paths");
+    println!(
+        "paper: 3 paths for one tag; blocking kills/shifts peaks; many tags → many twisted paths"
+    );
 }
 
 /// Fig. 9 + Table I — overall comparison and the confusion matrix.
@@ -252,7 +262,12 @@ pub fn fig9_and_table1(budget: Budget) {
     opts.epochs = budget.headline_epochs();
     let outcome = train_m2ai(&bundle, &opts);
     let mut rows = vec![("M2AI (CNN+LSTM)".to_string(), outcome.test_accuracy)];
-    rows.extend(evaluate_baselines(&bundle, 0.2, base_options(budget).seed));
+    rows.extend(evaluate_baselines(
+        &bundle,
+        0.2,
+        base_options(budget).seed,
+        base_options(budget).n_threads,
+    ));
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     println!("paper: M2AI 97%, 27 points over the runner-up (SVM ~70%)");
     for (name, acc) in &rows {
@@ -300,7 +315,10 @@ pub fn fig11(budget: Budget) {
 pub fn fig12(budget: Budget) {
     header("Fig. 12", "impact of the environment");
     println!("paper: hall ~95%, close to the laboratory result");
-    for (kind, name) in [(RoomKind::Laboratory, "laboratory"), (RoomKind::Hall, "hall")] {
+    for (kind, name) in [
+        (RoomKind::Laboratory, "laboratory"),
+        (RoomKind::Hall, "hall"),
+    ] {
         let out = run_condition(budget, |c| c.room = kind, |_| {});
         println!("  {name:11}: {}", pct(out.test_accuracy));
     }
@@ -391,7 +409,10 @@ pub fn ablation_aoa(_budget: Budget) {
     use m2ai_dsp::music::{pseudospectrum, MusicConfig, SourceCount};
     use m2ai_dsp::Complex;
 
-    header("Ablation", "MUSIC design choices (AoA error, coherent 2-path scenes)");
+    header(
+        "Ablation",
+        "MUSIC design choices (AoA error, coherent 2-path scenes)",
+    );
     // Two coherent paths (same per-snapshot phase) at random angle
     // pairs; error = mean distance of the strongest peak to the
     // nearest true angle.
@@ -434,11 +455,7 @@ pub fn ablation_aoa(_budget: Budget) {
             },
             16,
         ),
-        (
-            "4 snapshots instead of 16",
-            MusicConfig::paper_default(),
-            4,
-        ),
+        ("4 snapshots instead of 16", MusicConfig::paper_default(), 4),
     ];
     let trials = 60;
     for (name, cfg, n_snaps) in variants {
@@ -455,7 +472,10 @@ pub fn ablation_aoa(_budget: Budget) {
                     (0..cfg.n_antennas)
                         .map(|k| {
                             (s1[k] + s2[k].scale(0.7)) * common
-                                + Complex::new(0.05 * (next_local() - 0.5), 0.05 * (next_local() - 0.5))
+                                + Complex::new(
+                                    0.05 * (next_local() - 0.5),
+                                    0.05 * (next_local() - 0.5),
+                                )
                         })
                         .collect()
                 })
@@ -472,7 +492,11 @@ pub fn ablation_aoa(_budget: Budget) {
             };
             total_err += err;
         }
-        println!("  {:32} mean AoA error {:5.1}°", name, total_err / trials as f64);
+        println!(
+            "  {:32} mean AoA error {:5.1}°",
+            name,
+            total_err / trials as f64
+        );
     }
     println!("(coherent multipath: FB averaging and smoothing are what keep MUSIC usable)");
 }
@@ -501,8 +525,8 @@ pub fn ext_transfer(budget: Budget) {
          pseudospectrum/periodogram are sensitive to the environment"
     );
     println!(
-        "measured: lab-trained accuracy {} in the lab, {} in the unseen hall",
-        format!("{:5.1}%", 100.0 * outcome.test_accuracy),
-        format!("{:5.1}%", 100.0 * transfer)
+        "measured: lab-trained accuracy {:5.1}% in the lab, {:5.1}% in the unseen hall",
+        100.0 * outcome.test_accuracy,
+        100.0 * transfer
     );
 }

@@ -115,9 +115,7 @@ impl PhaseCalibrator {
             return reading.phase_rad;
         }
         let tag = reading.tag.0;
-        if tag >= self.n_tags
-            || reading.antenna >= self.n_antennas
-            || reading.channel >= N_CHANNELS
+        if tag >= self.n_tags || reading.antenna >= self.n_antennas || reading.channel >= N_CHANNELS
         {
             return reading.phase_rad;
         }
@@ -153,9 +151,9 @@ mod tests {
     /// per-channel offset.
     fn stationary(offsets: &[f64], theta: f64) -> Vec<TagReading> {
         let mut out = Vec::new();
-        for c in 0..N_CHANNELS {
+        for (c, &off) in offsets.iter().enumerate().take(N_CHANNELS) {
             for _ in 0..5 {
-                out.push(reading(0, 0, c, theta + offsets[c]));
+                out.push(reading(0, 0, c, theta + off));
             }
         }
         out
@@ -172,7 +170,9 @@ mod tests {
         for c in [0usize, 7, 23, 49] {
             let got = cal.calibrate(&reading(0, 0, c, theta + offsets[c] + 0.5));
             let want = wrap_positive(expect + 0.5);
-            let diff = (got - want).abs().min(2.0 * std::f64::consts::PI - (got - want).abs());
+            let diff = (got - want)
+                .abs()
+                .min(2.0 * std::f64::consts::PI - (got - want).abs());
             assert!(diff < 1e-6, "channel {c}: got {got}, want {want}");
         }
     }
@@ -192,9 +192,9 @@ mod tests {
         let offsets: Vec<f64> = (0..N_CHANNELS).map(|c| 0.05 * c as f64).collect();
         let theta = 0.4;
         let mut readings = Vec::new();
-        for c in 0..10 {
+        for (c, &off) in offsets.iter().enumerate().take(10) {
             for _ in 0..5 {
-                readings.push(reading(0, 0, c, theta + offsets[c]));
+                readings.push(reading(0, 0, c, theta + off));
             }
         }
         let cal = PhaseCalibrator::learn(&readings, 1, 1);
@@ -242,7 +242,9 @@ mod tests {
         let cal = PhaseCalibrator::learn(&readings, 1, 1);
         let got = cal.calibrate(&reading(0, 0, 10, 6.25));
         // Everything maps near the reference median ≈ 6.25.
-        let d = (got - 6.25).abs().min(2.0 * std::f64::consts::PI - (got - 6.25).abs());
+        let d = (got - 6.25)
+            .abs()
+            .min(2.0 * std::f64::consts::PI - (got - 6.25).abs());
         assert!(d < 0.1, "got {got}");
     }
 

@@ -66,6 +66,11 @@ pub struct ExperimentConfig {
     pub placement_jitter_m: f64,
     /// Master seed (reader deployment + scene randomisation).
     pub seed: u64,
+    /// Worker threads for dataset generation (0 = all cores, 1 =
+    /// serial). Every sample's RNG is seeded from `(seed, class, k)`
+    /// alone, so the generated dataset is bit-identical for every
+    /// setting of this knob.
+    pub n_threads: usize,
 }
 
 impl ExperimentConfig {
@@ -89,6 +94,7 @@ impl ExperimentConfig {
             distance_m: 4.0,
             placement_jitter_m: 0.25,
             seed: 42,
+            n_threads: 0,
         }
     }
 
@@ -119,7 +125,10 @@ impl ExperimentConfig {
         );
         assert!(self.samples_per_class > 0, "need samples");
         assert!(self.frames_per_sample > 0, "need frames");
-        assert!(self.frame_duration_s > 0.0, "frame duration must be positive");
+        assert!(
+            self.frame_duration_s > 0.0,
+            "frame duration must be positive"
+        );
         assert!(self.distance_m > 0.5, "subjects too close to the array");
     }
 
@@ -134,10 +143,7 @@ impl ExperimentConfig {
     }
 
     fn placement(&self, room: &Room) -> Point2 {
-        room.clamp_inside(
-            Point2::new(room.width / 2.0, 0.3 + self.distance_m),
-            0.8,
-        )
+        room.clamp_inside(Point2::new(room.width / 2.0, 0.3 + self.distance_m), 0.8)
     }
 }
 
@@ -184,7 +190,11 @@ pub fn learn_calibration(config: &ExperimentConfig) -> PhaseCalibrator {
 
 /// Generates the labelled dataset for one experimental condition.
 ///
-/// Deterministic: the same configuration yields the same dataset.
+/// Deterministic: the same configuration yields the same dataset,
+/// **regardless of [`ExperimentConfig::n_threads`]** — every sample's
+/// randomness derives from `(seed, class, k)` alone and samples are
+/// assembled in index order, so the parallel fan-out is bit-identical
+/// to the serial loop.
 ///
 /// # Panics
 ///
@@ -202,42 +212,46 @@ pub fn generate_dataset(config: &ExperimentConfig) -> DatasetBundle {
     let builder = FrameBuilder::new(layout, calibrator, config.frame_duration_s);
     let duration = config.frames_per_sample as f64 * config.frame_duration_s + 0.2;
 
-    let mut samples = Vec::with_capacity(N_CLASSES * config.samples_per_class);
-    for (class_idx, scenario) in scenarios.iter().enumerate() {
-        for k in 0..config.samples_per_class {
-            // Rotate through the volunteer pool per recording.
-            let volunteers: Vec<Volunteer> = (0..3)
-                .map(|p| Volunteer::preset(class_idx + k + p * 3))
-                .collect();
-            let scene_seed = config
-                .seed
-                .wrapping_mul(1_000_003)
-                .wrapping_add((class_idx * 1009 + k) as u64);
-            // Jitter the spot where this recording happens.
-            let mut jrng = StdRng::seed_from_u64(scene_seed ^ 0x7A77);
-            let j = config.placement_jitter_m;
-            let base = config.placement(&room);
-            let spot = room.clamp_inside(
-                Point2::new(
-                    base.x + jrng.gen_range(-j..=j),
-                    base.y + jrng.gen_range(-j..=j),
-                ),
-                0.8,
-            );
-            let scene = ActivityScene::with_placement(
-                scenario,
-                &volunteers,
-                config.tags_per_person,
-                scene_seed,
-                spot,
-            );
-            let mut reader =
-                Reader::new(room.clone(), config.reader_config(&room), config.n_tags());
-            let readings = reader.run(|t| scene.snapshot(t), duration);
-            let frames = builder.build_sample(&readings, 0.0, config.frames_per_sample);
-            samples.push((frames, class_idx));
-        }
-    }
+    // One task per (class, recording) pair, fanned out over the worker
+    // pool. Each task seeds its own RNG from the indices, creates its
+    // own reader, and shares only read-only state — index-pure by
+    // construction.
+    let n_items = N_CLASSES * config.samples_per_class;
+    let samples = m2ai_par::parallel_map(n_items, config.n_threads, |idx| {
+        let class_idx = idx / config.samples_per_class;
+        let k = idx % config.samples_per_class;
+        let scenario = &scenarios[class_idx];
+        // Rotate through the volunteer pool per recording.
+        let volunteers: Vec<Volunteer> = (0..3)
+            .map(|p| Volunteer::preset(class_idx + k + p * 3))
+            .collect();
+        let scene_seed = config
+            .seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add((class_idx * 1009 + k) as u64);
+        // Jitter the spot where this recording happens.
+        let mut jrng = StdRng::seed_from_u64(scene_seed ^ 0x7A77);
+        let j = config.placement_jitter_m;
+        let base = config.placement(&room);
+        let spot = room.clamp_inside(
+            Point2::new(
+                base.x + jrng.gen_range(-j..=j),
+                base.y + jrng.gen_range(-j..=j),
+            ),
+            0.8,
+        );
+        let scene = ActivityScene::with_placement(
+            scenario,
+            &volunteers,
+            config.tags_per_person,
+            scene_seed,
+            spot,
+        );
+        let mut reader = Reader::new(room.clone(), config.reader_config(&room), config.n_tags());
+        let readings = reader.run(|t| scene.snapshot(t), duration);
+        let frames = builder.build_sample(&readings, 0.0, config.frames_per_sample);
+        (frames, class_idx)
+    });
     DatasetBundle {
         samples,
         layout,

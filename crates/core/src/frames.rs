@@ -21,6 +21,7 @@
 use crate::calibration::PhaseCalibrator;
 use m2ai_dsp::music::{pseudospectrum, MusicConfig, SourceCount};
 use m2ai_dsp::Complex;
+use m2ai_par::parallel_map;
 use m2ai_rfsim::reading::TagReading;
 
 /// Which preprocessing feeds the network (Fig. 16).
@@ -113,22 +114,30 @@ pub struct FrameBuilder {
     pub round_duration_s: f64,
     /// Physical antenna spacing in wavelengths (λ/8 ⇒ 0.125).
     pub spacing_wavelengths: f64,
+    /// Worker threads for frame construction (0 = all cores, 1 =
+    /// serial). Output is bit-identical for every setting: per-tag and
+    /// per-frame work is index-pure.
+    pub parallelism: usize,
 }
 
 impl FrameBuilder {
     /// Creates a builder with the paper's timing (25 ms slots).
-    pub fn new(
-        layout: FrameLayout,
-        calibrator: PhaseCalibrator,
-        frame_duration_s: f64,
-    ) -> Self {
+    pub fn new(layout: FrameLayout, calibrator: PhaseCalibrator, frame_duration_s: f64) -> Self {
         FrameBuilder {
             layout,
             calibrator,
             frame_duration_s,
             round_duration_s: layout.n_antennas as f64 * 0.025,
             spacing_wavelengths: 0.125,
+            parallelism: 1,
         }
+    }
+
+    /// Sets the worker-thread count (builder style). `0` = all cores.
+    #[must_use]
+    pub fn with_parallelism(mut self, n_threads: usize) -> Self {
+        self.parallelism = n_threads;
+        self
     }
 
     /// MUSIC configuration implied by the layout (see the module docs
@@ -163,144 +172,166 @@ impl FrameBuilder {
                 continue;
             }
             let round = (r.time_s / self.round_duration_s).floor() as i64;
-            let slot = per_round
-                .entry(round)
-                .or_insert_with(|| vec![None; n_ant]);
+            let slot = per_round.entry(round).or_insert_with(|| vec![None; n_ant]);
             let phase = self.calibrator.calibrate(r);
             let amp = 10f64.powf(r.rssi_dbm / 20.0);
             slot[r.antenna] = Some(Complex::from_polar(amp, 2.0 * phase));
         }
         per_round
             .into_values()
-            .filter_map(|slots| {
-                slots
-                    .into_iter()
-                    .collect::<Option<Vec<Complex>>>()
-            })
+            .filter_map(|slots| slots.into_iter().collect::<Option<Vec<Complex>>>())
             .collect()
+    }
+
+    /// Spectrum and direct features of one tag within
+    /// `[t0, t0 + frame_duration)` — index-pure in `tag`, so frame
+    /// construction can fan tags out across workers without changing a
+    /// single bit of the output.
+    fn tag_features(
+        &self,
+        readings: &[TagReading],
+        tag: usize,
+        t0: f64,
+        music_cfg: &MusicConfig,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let lay = self.layout;
+        let t1 = t0 + self.frame_duration_s;
+        let has_spectrum = matches!(lay.mode, FeatureMode::Joint | FeatureMode::MusicOnly);
+        let mut spec_part = vec![0.0f32; if has_spectrum { lay.n_angles } else { 0 }];
+        let direct_per_tag = lay.direct_dim() / lay.n_tags.max(1);
+        let mut direct_part = vec![0.0f32; direct_per_tag];
+
+        let snaps = self.snapshots(readings, tag, t0);
+        // Pseudospectrum part.
+        if has_spectrum && snaps.len() >= 2 {
+            if let Ok(spec) = pseudospectrum(&snaps, music_cfg) {
+                let spec = spec.normalized();
+                // MUSIC peaks are needle-sharp; log-compress into
+                // [0, 1] (30 dB floor) and smooth over ±2° so the
+                // conv encoder sees stable, slightly-translated
+                // structure instead of 1-bin spikes.
+                let compressed: Vec<f32> = spec
+                    .power
+                    .iter()
+                    .map(|&p| ((p.max(1e-3).log10() / 3.0) + 1.0) as f32)
+                    .collect();
+                let n = compressed.len();
+                const K: [f32; 9] = [0.03, 0.06, 0.12, 0.18, 0.22, 0.18, 0.12, 0.06, 0.03];
+                for (i, sp) in spec_part.iter_mut().take(n).enumerate() {
+                    let mut acc = 0.0;
+                    for (o, w) in K.iter().enumerate() {
+                        let idx = (i + o + n - 4) % n;
+                        acc += w * compressed[idx];
+                    }
+                    *sp = acc;
+                }
+            }
+        }
+        // Direct part.
+        match lay.mode {
+            FeatureMode::Joint | FeatureMode::PeriodogramOnly => {
+                // Mean backscatter power per antenna (Parseval ⇒
+                // the mean of the periodogram bins), on an absolute
+                // log scale so the temporal power waveform of
+                // radial gestures (squat/raise/push) stays visible
+                // across frames.
+                for a in 0..lay.n_antennas {
+                    let series: Vec<Complex> = snaps.iter().map(|s| s[a]).collect();
+                    if series.is_empty() {
+                        continue;
+                    }
+                    let p = m2ai_dsp::periodogram::mean_power(&series);
+                    let db = 10.0 * (p + 1e-12).log10();
+                    direct_part[a] = (((db + 80.0) / 60.0).clamp(0.0, 1.5)) as f32;
+                }
+            }
+            FeatureMode::RssiOnly => {
+                let mut sums = vec![0.0f64; lay.n_antennas];
+                let mut counts = vec![0usize; lay.n_antennas];
+                for r in readings {
+                    if r.tag.0 == tag
+                        && r.time_s >= t0
+                        && r.time_s < t1
+                        && r.antenna < lay.n_antennas
+                    {
+                        sums[r.antenna] += r.rssi_dbm;
+                        counts[r.antenna] += 1;
+                    }
+                }
+                for a in 0..lay.n_antennas {
+                    if counts[a] > 0 {
+                        // Scale dBm into a small numeric range.
+                        direct_part[a] = ((sums[a] / counts[a] as f64) / 20.0) as f32;
+                    }
+                }
+            }
+            FeatureMode::PhaseOnly => {
+                let mut sums = vec![Complex::ZERO; lay.n_antennas];
+                for r in readings {
+                    if r.tag.0 == tag
+                        && r.time_s >= t0
+                        && r.time_s < t1
+                        && r.antenna < lay.n_antennas
+                    {
+                        let phase = self.calibrator.calibrate(r);
+                        sums[r.antenna] += Complex::cis(2.0 * phase);
+                    }
+                }
+                for a in 0..lay.n_antennas {
+                    let m = sums[a];
+                    if m.norm() > 0.0 {
+                        let u = m.scale(1.0 / m.norm());
+                        direct_part[a * 2] = u.re as f32;
+                        direct_part[a * 2 + 1] = u.im as f32;
+                    }
+                }
+            }
+            FeatureMode::MusicOnly => {}
+        }
+        (spec_part, direct_part)
     }
 
     /// Builds the frame covering `[t0, t0 + frame_duration)`.
     ///
     /// Tags unseen in the window contribute zeros (as an undetected tag
-    /// would on real hardware).
+    /// would on real hardware). With [`FrameBuilder::parallelism`] > 1
+    /// the per-tag pseudospectra are computed on a worker pool; the
+    /// result is bit-identical to the serial computation.
     pub fn build_frame(&self, readings: &[TagReading], t0: f64) -> Vec<f32> {
+        self.build_frame_with(readings, t0, self.parallelism)
+    }
+
+    fn build_frame_with(&self, readings: &[TagReading], t0: f64, threads: usize) -> Vec<f32> {
         let lay = self.layout;
-        let mut spectrum = vec![0.0f32; lay.spectrum_dim()];
-        let mut direct = vec![0.0f32; lay.direct_dim()];
         let music_cfg = self.music_config();
-        let t1 = t0 + self.frame_duration_s;
-
-        for tag in 0..lay.n_tags {
-            let snaps = self.snapshots(readings, tag, t0);
-            // Pseudospectrum part.
-            if matches!(lay.mode, FeatureMode::Joint | FeatureMode::MusicOnly)
-                && snaps.len() >= 2
-            {
-                if let Ok(spec) = pseudospectrum(&snaps, &music_cfg) {
-                    let spec = spec.normalized();
-                    let base = tag * lay.n_angles;
-                    // MUSIC peaks are needle-sharp; log-compress into
-                    // [0, 1] (30 dB floor) and smooth over ±2° so the
-                    // conv encoder sees stable, slightly-translated
-                    // structure instead of 1-bin spikes.
-                    let compressed: Vec<f32> = spec
-                        .power
-                        .iter()
-                        .map(|&p| ((p.max(1e-3).log10() / 3.0) + 1.0) as f32)
-                        .collect();
-                    let n = compressed.len();
-                    const K: [f32; 9] =
-                        [0.03, 0.06, 0.12, 0.18, 0.22, 0.18, 0.12, 0.06, 0.03];
-                    for i in 0..n {
-                        let mut acc = 0.0;
-                        for (o, w) in K.iter().enumerate() {
-                            let idx = (i + o + n - 4) % n;
-                            acc += w * compressed[idx];
-                        }
-                        spectrum[base + i] = acc;
-                    }
-                }
-            }
-            // Direct part.
-            match lay.mode {
-                FeatureMode::Joint | FeatureMode::PeriodogramOnly => {
-                    // Mean backscatter power per antenna (Parseval ⇒
-                    // the mean of the periodogram bins), on an absolute
-                    // log scale so the temporal power waveform of
-                    // radial gestures (squat/raise/push) stays visible
-                    // across frames.
-                    for a in 0..lay.n_antennas {
-                        let series: Vec<Complex> = snaps.iter().map(|s| s[a]).collect();
-                        if series.is_empty() {
-                            continue;
-                        }
-                        let p = m2ai_dsp::periodogram::mean_power(&series);
-                        let db = 10.0 * (p + 1e-12).log10();
-                        direct[tag * lay.n_antennas + a] =
-                            (((db + 80.0) / 60.0).clamp(0.0, 1.5)) as f32;
-                    }
-                }
-                FeatureMode::RssiOnly => {
-                    let mut sums = vec![0.0f64; lay.n_antennas];
-                    let mut counts = vec![0usize; lay.n_antennas];
-                    for r in readings {
-                        if r.tag.0 == tag
-                            && r.time_s >= t0
-                            && r.time_s < t1
-                            && r.antenna < lay.n_antennas
-                        {
-                            sums[r.antenna] += r.rssi_dbm;
-                            counts[r.antenna] += 1;
-                        }
-                    }
-                    for a in 0..lay.n_antennas {
-                        if counts[a] > 0 {
-                            // Scale dBm into a small numeric range.
-                            direct[tag * lay.n_antennas + a] =
-                                ((sums[a] / counts[a] as f64) / 20.0) as f32;
-                        }
-                    }
-                }
-                FeatureMode::PhaseOnly => {
-                    let mut sums = vec![Complex::ZERO; lay.n_antennas];
-                    for r in readings {
-                        if r.tag.0 == tag
-                            && r.time_s >= t0
-                            && r.time_s < t1
-                            && r.antenna < lay.n_antennas
-                        {
-                            let phase = self.calibrator.calibrate(r);
-                            sums[r.antenna] += Complex::cis(2.0 * phase);
-                        }
-                    }
-                    for a in 0..lay.n_antennas {
-                        let m = sums[a];
-                        if m.norm() > 0.0 {
-                            let u = m.scale(1.0 / m.norm());
-                            direct[(tag * lay.n_antennas + a) * 2] = u.re as f32;
-                            direct[(tag * lay.n_antennas + a) * 2 + 1] = u.im as f32;
-                        }
-                    }
-                }
-                FeatureMode::MusicOnly => {}
-            }
+        let parts = parallel_map(lay.n_tags, threads, |tag| {
+            self.tag_features(readings, tag, t0, &music_cfg)
+        });
+        let mut frame = Vec::with_capacity(lay.frame_dim());
+        for (spec_part, _) in &parts {
+            frame.extend_from_slice(spec_part);
         }
-
-        spectrum.extend_from_slice(&direct);
-        spectrum
+        for (_, direct_part) in &parts {
+            frame.extend_from_slice(direct_part);
+        }
+        frame
     }
 
     /// Builds a `T`-frame sample starting at `start_s`.
+    ///
+    /// With [`FrameBuilder::parallelism`] > 1 the frames fan out across
+    /// workers (one whole frame per task — the outer level parallelises,
+    /// the per-tag level inside each frame stays serial to avoid
+    /// oversubscription); the output is bit-identical either way.
     pub fn build_sample(
         &self,
         readings: &[TagReading],
         start_s: f64,
         n_frames: usize,
     ) -> Vec<Vec<f32>> {
-        (0..n_frames)
-            .map(|k| self.build_frame(readings, start_s + k as f64 * self.frame_duration_s))
-            .collect()
+        parallel_map(n_frames, self.parallelism, |k| {
+            self.build_frame_with(readings, start_s + k as f64 * self.frame_duration_s, 1)
+        })
     }
 }
 
@@ -345,7 +376,10 @@ mod tests {
             FrameLayout::new(6, 4, FeatureMode::PhaseOnly).frame_dim(),
             48
         );
-        assert_eq!(FrameLayout::new(6, 4, FeatureMode::RssiOnly).frame_dim(), 24);
+        assert_eq!(
+            FrameLayout::new(6, 4, FeatureMode::RssiOnly).frame_dim(),
+            24
+        );
     }
 
     #[test]
@@ -433,10 +467,7 @@ mod tests {
     #[test]
     fn all_modes_build_nonempty_frames() {
         let mut reader = Reader::new(anechoic(), clean_reader_config(), 2);
-        let scene = SceneSnapshot::with_tags(vec![
-            Point2::new(4.0, 3.0),
-            Point2::new(6.0, 3.5),
-        ]);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(4.0, 3.0), Point2::new(6.0, 3.5)]);
         let readings = reader.run(|_| scene.clone(), 1.0);
         for mode in [
             FeatureMode::Joint,

@@ -91,7 +91,12 @@ pub fn build_model(
     match architecture {
         Architecture::CnnLstm => {
             let (encoder, feat) = build_encoder(layout, seed);
-            SequenceClassifier::new(encoder, LstmStack::new(feat, &LSTM_CELLS, seed), n_classes, seed)
+            SequenceClassifier::new(
+                encoder,
+                LstmStack::new(feat, &LSTM_CELLS, seed),
+                n_classes,
+                seed,
+            )
         }
         Architecture::CnnOnly => {
             let (encoder, feat) = build_encoder(layout, seed);

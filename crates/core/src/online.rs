@@ -82,8 +82,7 @@ impl OnlineIdentifier {
                 }
                 self.next_window_start += frame_len;
                 // Drop readings older than the sliding history.
-                let horizon =
-                    self.next_window_start - frame_len * self.history_len as f64;
+                let horizon = self.next_window_start - frame_len * self.history_len as f64;
                 self.buffer.retain(|b| b.time_s >= horizon);
 
                 if self.frames.len() == self.history_len {

@@ -13,7 +13,9 @@ use m2ai_baselines::tree::{DecisionTree, RandomForest};
 use m2ai_baselines::Classifier;
 use m2ai_nn::metrics::ConfusionMatrix;
 use m2ai_nn::model::SequenceClassifier;
-use m2ai_nn::train::{confusion, evaluate, fit, train_test_split, Sample, TrainConfig, TrainReport};
+use m2ai_nn::train::{
+    confusion, evaluate, fit, train_test_split, Sample, TrainConfig, TrainReport,
+};
 
 /// Training options for the deep engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,8 +102,7 @@ pub struct TrainOutcome {
 ///
 /// Panics if the bundle has too few samples to split.
 pub fn train_m2ai(bundle: &DatasetBundle, opts: &TrainOptions) -> TrainOutcome {
-    let (train, test) =
-        train_test_split(bundle.samples.clone(), opts.test_fraction, opts.seed);
+    let (train, test) = train_test_split(bundle.samples.clone(), opts.test_fraction, opts.seed);
     let mut model = build_model(
         &bundle.layout,
         bundle.n_classes,
@@ -159,8 +160,16 @@ fn standardize(train: &mut [Vec<f32>], test: &mut [Vec<f32>]) {
 /// using the same split protocol as the deep engine.
 ///
 /// Returns `(name, test accuracy)` pairs, one per classifier, with
-/// the HMM sequence baseline last.
-pub fn evaluate_baselines(bundle: &DatasetBundle, test_fraction: f64, seed: u64) -> Vec<(String, f64)> {
+/// the HMM sequence baseline last. `n_threads` fans the battery out
+/// one classifier per worker (0 = all cores, 1 = serial); every
+/// classifier trains on the same precomputed features with its own
+/// internal state, so the scores are identical for every setting.
+pub fn evaluate_baselines(
+    bundle: &DatasetBundle,
+    test_fraction: f64,
+    seed: u64,
+    n_threads: usize,
+) -> Vec<(String, f64)> {
     let (train, test): (Vec<Sample>, Vec<Sample>) =
         train_test_split(bundle.samples.clone(), test_fraction, seed);
     let layout = bundle.layout;
@@ -177,50 +186,54 @@ pub fn evaluate_baselines(bundle: &DatasetBundle, test_fraction: f64, seed: u64)
     let test_y: Vec<usize> = test.iter().map(|(_, y)| *y).collect();
     standardize(&mut train_x, &mut test_x);
 
-    let mut classifiers: Vec<Box<dyn Classifier>> = vec![
-        Box::new(KNearestNeighbors::new(5)),
-        Box::new(LinearSvm::new()),
-        Box::new(RbfSvm::new(0.02)),
-        Box::new(GaussianProcess::new(0.02, 1e-2)),
-        Box::new(DecisionTree::new(8)),
-        Box::new(RandomForest::new(40, 8)),
-        Box::new(AdaBoost::new(30, 3)),
-        Box::new(GaussianNaiveBayes::new()),
-        Box::new(Qda::new(0.3)),
-    ];
-    let mut results = Vec::new();
-    for clf in classifiers.iter_mut() {
-        let acc = match clf.fit(&train_x, &train_y) {
-            Ok(()) => {
-                let hits = test_x
-                    .iter()
-                    .zip(&test_y)
-                    .filter(|(x, y)| clf.predict(x) == **y)
-                    .count();
-                hits as f64 / test_x.len().max(1) as f64
-            }
-            Err(_) => 0.0,
-        };
-        results.push((clf.name().to_string(), acc));
-    }
-
-    // HMM on the pooled frame sequences.
-    let hmm_train: Vec<(Vec<Vec<f32>>, usize)> = train
-        .iter()
-        .map(|(f, y)| (sequence_for_hmm(f, &layout), *y))
-        .collect();
-    let hmm_acc = match HmmClassifier::fit(&hmm_train, 3, 5) {
-        Ok(clf) => {
-            let hits = test
+    // Task 0..=8: one classical classifier each; task 9: the HMM
+    // sequence baseline. Classifiers are constructed inside the task so
+    // each worker owns its state outright.
+    const N_BASELINES: usize = 10;
+    m2ai_par::parallel_map(N_BASELINES, n_threads, |i| {
+        if i < 9 {
+            let mut clf: Box<dyn Classifier> = match i {
+                0 => Box::new(KNearestNeighbors::new(5)),
+                1 => Box::new(LinearSvm::new()),
+                2 => Box::new(RbfSvm::new(0.02)),
+                3 => Box::new(GaussianProcess::new(0.02, 1e-2)),
+                4 => Box::new(DecisionTree::new(8)),
+                5 => Box::new(RandomForest::new(40, 8)),
+                6 => Box::new(AdaBoost::new(30, 3)),
+                7 => Box::new(GaussianNaiveBayes::new()),
+                _ => Box::new(Qda::new(0.3)),
+            };
+            let acc = match clf.fit(&train_x, &train_y) {
+                Ok(()) => {
+                    let hits = test_x
+                        .iter()
+                        .zip(&test_y)
+                        .filter(|(x, y)| clf.predict(x) == **y)
+                        .count();
+                    hits as f64 / test_x.len().max(1) as f64
+                }
+                Err(_) => 0.0,
+            };
+            (clf.name().to_string(), acc)
+        } else {
+            // HMM on the pooled frame sequences.
+            let hmm_train: Vec<(Vec<Vec<f32>>, usize)> = train
                 .iter()
-                .filter(|(f, y)| clf.predict(&sequence_for_hmm(f, &layout)) == *y)
-                .count();
-            hits as f64 / test.len().max(1) as f64
+                .map(|(f, y)| (sequence_for_hmm(f, &layout), *y))
+                .collect();
+            let hmm_acc = match HmmClassifier::fit(&hmm_train, 3, 5) {
+                Ok(clf) => {
+                    let hits = test
+                        .iter()
+                        .filter(|(f, y)| clf.predict(&sequence_for_hmm(f, &layout)) == *y)
+                        .count();
+                    hits as f64 / test.len().max(1) as f64
+                }
+                Err(_) => 0.0,
+            };
+            ("HMM (FEMO-style)".to_string(), hmm_acc)
         }
-        Err(_) => 0.0,
-    };
-    results.push(("HMM (FEMO-style)".to_string(), hmm_acc));
-    results
+    })
 }
 
 #[cfg(test)]
@@ -261,7 +274,7 @@ mod tests {
     #[test]
     fn baselines_produce_one_score_each() {
         let bundle = tiny_bundle();
-        let results = evaluate_baselines(&bundle, 0.25, 3);
+        let results = evaluate_baselines(&bundle, 0.25, 3, 2);
         assert_eq!(results.len(), 10);
         let names: std::collections::HashSet<&str> =
             results.iter().map(|(n, _)| n.as_str()).collect();

@@ -244,12 +244,8 @@ mod tests {
 
     #[test]
     fn reconstructs_input() {
-        let a = CMatrix::from_rows(
-            2,
-            2,
-            &[c(1.0, 0.0), c(0.3, 0.4), c(0.3, -0.4), c(2.0, 0.0)],
-        )
-        .unwrap();
+        let a = CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(0.3, 0.4), c(0.3, -0.4), c(2.0, 0.0)])
+            .unwrap();
         let e = hermitian_eigen(&a).unwrap();
         // A = V Λ Vᴴ
         let mut lam = CMatrix::zeros(2, 2);
@@ -302,9 +298,8 @@ mod tests {
             hermitian_eigen(&CMatrix::zeros(2, 3)),
             Err(DspError::NotSquare { .. })
         ));
-        let bad =
-            CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(1.0, 0.0), c(9.0, 0.0), c(1.0, 0.0)])
-                .unwrap();
+        let bad = CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(1.0, 0.0), c(9.0, 0.0), c(1.0, 0.0)])
+            .unwrap();
         assert!(matches!(
             hermitian_eigen(&bad),
             Err(DspError::InvalidParameter(_))

@@ -101,9 +101,8 @@ pub fn small_eigenvalues(a: &CMatrix) -> Result<Vec<Complex>, DspError> {
             // c2 = tr, c1 = Σ principal 2×2 minors, c0 = det.
             let m = |i: usize, j: usize| a[(i, j)];
             let c2 = m(0, 0) + m(1, 1) + m(2, 2);
-            let minor = |i: usize, j: usize, k: usize, l: usize| {
-                m(i, i) * m(j, j) - m(k, l) * m(l, k)
-            };
+            let minor =
+                |i: usize, j: usize, k: usize, l: usize| m(i, i) * m(j, j) - m(k, l) * m(l, k);
             let c1 = minor(0, 1, 0, 1) + minor(0, 2, 0, 2) + minor(1, 2, 1, 2);
             let c0 = m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1))
                 - m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0))
@@ -339,7 +338,10 @@ mod tests {
         let esprit = esprit_angles(&snaps, &c, 1).unwrap()[0];
         let spec = crate::music::pseudospectrum(&snaps, &c).unwrap();
         let music = spec.peaks(1, 5.0)[0].0;
-        assert!((esprit - music).abs() < 2.0, "esprit {esprit} music {music}");
+        assert!(
+            (esprit - music).abs() < 2.0,
+            "esprit {esprit} music {music}"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub fn fft_real(input: &[f64]) -> Vec<Complex> {
 /// Panics if `buf.len()` is not a power of two.
 pub fn fft_pow2_in_place(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
-    assert!(is_pow2(n), "fft_pow2_in_place requires a power-of-two length");
+    assert!(
+        is_pow2(n),
+        "fft_pow2_in_place requires a power-of-two length"
+    );
     // Bit-reversal permutation.
     let mut j = 0usize;
     for i in 1..n {
@@ -130,7 +133,9 @@ fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
     for k in 0..n {
         // k^2 mod 2n avoids precision loss for large k.
         let k2 = (k as u64 * k as u64) % (2 * n as u64);
-        chirp.push(Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64));
+        chirp.push(Complex::cis(
+            sign * std::f64::consts::PI * k2 as f64 / n as f64,
+        ));
     }
     let m = (2 * n - 1).next_power_of_two();
     let mut a = vec![Complex::ZERO; m];
@@ -145,7 +150,7 @@ fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
     fft_pow2_in_place(&mut a, false);
     fft_pow2_in_place(&mut b, false);
     for k in 0..m {
-        a[k] = a[k] * b[k];
+        a[k] *= b[k];
     }
     fft_pow2_in_place(&mut a, true);
     let scale = 1.0 / m as f64;

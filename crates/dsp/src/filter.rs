@@ -10,7 +10,7 @@ use crate::DspError;
 ///
 /// Returns [`DspError::InvalidParameter`] if `sigma` is not positive.
 pub fn gaussian_kernel(sigma: f64) -> Result<Vec<f64>, DspError> {
-    if !(sigma > 0.0) {
+    if sigma <= 0.0 || sigma.is_nan() {
         return Err(DspError::InvalidParameter("sigma must be positive"));
     }
     let half = (3.0 * sigma).ceil() as usize;
@@ -66,7 +66,7 @@ pub fn moving_average(data: &[f64], w: usize) -> Result<Vec<f64>, DspError> {
     if data.is_empty() {
         return Err(DspError::EmptyInput);
     }
-    if w == 0 || w % 2 == 0 {
+    if w == 0 || w.is_multiple_of(2) {
         return Err(DspError::InvalidParameter("window must be odd and > 0"));
     }
     let half = w / 2;
@@ -137,9 +137,14 @@ mod tests {
 
     #[test]
     fn moving_average_flattens_noise() {
-        let data: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let data: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = moving_average(&data, 5).unwrap();
-        let max_abs = out[2..38].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        let max_abs = out[2..38]
+            .iter()
+            .cloned()
+            .fold(0.0f64, |a, b| a.max(b.abs()));
         assert!(max_abs < 0.25, "interior should flatten: {max_abs}");
     }
 

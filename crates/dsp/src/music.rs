@@ -18,6 +18,8 @@
 
 use crate::eigen::hermitian_eigen;
 use crate::{CMatrix, Complex, DspError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How many signal sources to assume when splitting subspaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +87,7 @@ impl MusicConfig {
         if self.n_antennas < 2 {
             return Err(DspError::InvalidParameter("n_antennas must be >= 2"));
         }
-        if !(self.spacing_wavelengths > 0.0) {
+        if self.spacing_wavelengths <= 0.0 || self.spacing_wavelengths.is_nan() {
             return Err(DspError::InvalidParameter(
                 "spacing_wavelengths must be positive",
             ));
@@ -138,7 +140,11 @@ impl MusicSpectrum {
         let mut candidates: Vec<(f64, f64)> = (0..n)
             .filter(|&i| {
                 let left = if i == 0 { f64::MIN } else { self.power[i - 1] };
-                let right = if i + 1 == n { f64::MIN } else { self.power[i + 1] };
+                let right = if i + 1 == n {
+                    f64::MIN
+                } else {
+                    self.power[i + 1]
+                };
                 self.power[i] >= left && self.power[i] > right
             })
             .map(|i| (self.angles_deg[i], self.power[i]))
@@ -180,6 +186,90 @@ pub fn steering_vector(config: &MusicConfig, theta_deg: f64) -> Vec<Complex> {
     (0..config.n_antennas)
         .map(|k| Complex::cis(-(k as f64) * psi))
         .collect()
+}
+
+/// The fields of [`MusicConfig`] that [`steering_vector`] depends on —
+/// the cache key of [`SteeringTable`]. Spacing is keyed by its bit
+/// pattern so distinct `f64` values never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SteeringKey {
+    n_antennas: usize,
+    n_angles: usize,
+    spacing_bits: u64,
+    round_trip: bool,
+}
+
+impl SteeringKey {
+    fn of(config: &MusicConfig) -> Self {
+        SteeringKey {
+            n_antennas: config.n_antennas,
+            n_angles: config.n_angles,
+            spacing_bits: config.spacing_wavelengths.to_bits(),
+            round_trip: config.round_trip,
+        }
+    }
+}
+
+type SteeringMap = HashMap<SteeringKey, Arc<Vec<Vec<Complex>>>>;
+
+/// Process-wide cache of steering tables, shared across threads. The
+/// number of distinct keys is bounded by the distinct array geometries
+/// in play (a handful per process), so the map never needs eviction.
+static STEERING_CACHE: OnceLock<Mutex<SteeringMap>> = OnceLock::new();
+
+/// Precomputed steering vectors over the estimator's angle grid.
+///
+/// [`pseudospectrum_from_correlation`] evaluates `a(θ)` at the same
+/// `n_angles` grid points for every frame; this table computes them
+/// once per array geometry and shares them (via `Arc`) across all
+/// threads of the process.
+///
+/// **Invariance guarantee:** each entry is produced by calling
+/// [`steering_vector`] itself at `θ = 180°·g/n_angles`, so `vector(g)`
+/// is *bitwise identical* to the direct computation — caching can never
+/// change a pseudospectrum.
+#[derive(Debug, Clone)]
+pub struct SteeringTable {
+    vectors: Arc<Vec<Vec<Complex>>>,
+}
+
+impl SteeringTable {
+    /// Fetches (or builds, on first use per geometry) the table for
+    /// `config`'s grid.
+    pub fn for_config(config: &MusicConfig) -> Self {
+        let cache = STEERING_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("steering cache poisoned");
+        let vectors = map
+            .entry(SteeringKey::of(config))
+            .or_insert_with(|| {
+                Arc::new(
+                    (0..config.n_angles)
+                        .map(|g| {
+                            let theta = 180.0 * g as f64 / config.n_angles as f64;
+                            steering_vector(config, theta)
+                        })
+                        .collect(),
+                )
+            })
+            .clone();
+        SteeringTable { vectors }
+    }
+
+    /// The steering vector of grid point `g` (angle `180°·g/n_angles`).
+    pub fn vector(&self, g: usize) -> &[Complex] {
+        &self.vectors[g]
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` if the grid is empty (never the case for a validated
+    /// [`MusicConfig`]).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
 }
 
 /// Sample correlation matrix `R = (1/T)·Σ x xᴴ` (Eq. 10) of snapshots.
@@ -356,16 +446,19 @@ pub fn pseudospectrum_from_correlation(
     };
     let noise = eig.noise_subspace(m);
 
-    // Build a subarray-sized view of the steering config.
+    // Build a subarray-sized view of the steering config; its steering
+    // vectors come from the shared precomputed table (bitwise identical
+    // to direct computation — see [`SteeringTable`]).
     let sub_cfg = MusicConfig {
         n_antennas: n,
         ..config.clone()
     };
+    let table = SteeringTable::for_config(&sub_cfg);
     let mut angles = Vec::with_capacity(config.n_angles);
     let mut power = Vec::with_capacity(config.n_angles);
     for g in 0..config.n_angles {
         let theta = 180.0 * g as f64 / config.n_angles as f64;
-        let a = steering_vector(&sub_cfg, theta);
+        let a = table.vector(g);
         // ‖E_nᴴ a‖²
         let mut denom = 0.0;
         for j in 0..noise.cols() {
@@ -559,7 +652,7 @@ mod tests {
         let spec = pseudospectrum(&snaps, &cfg).unwrap().normalized();
         let max = spec.power.iter().cloned().fold(f64::MIN, f64::max);
         assert!((max - 1.0).abs() < 1e-12);
-        assert!(spec.power.iter().all(|&p| p >= 0.0 && p <= 1.0 + 1e-12));
+        assert!(spec.power.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
     }
 
     #[test]
@@ -602,6 +695,50 @@ mod tests {
         assert!(fb.is_hermitian(1e-10));
         // Trace preserved.
         assert!((fb.trace().unwrap().re - r.trace().unwrap().re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steering_table_matches_direct_computation_bitwise() {
+        for cfg in [
+            MusicConfig::paper_default(),
+            test_config(3),
+            MusicConfig {
+                n_antennas: 2,
+                spacing_wavelengths: 0.5,
+                round_trip: true,
+                n_angles: 91,
+                ..MusicConfig::paper_default()
+            },
+        ] {
+            let table = SteeringTable::for_config(&cfg);
+            assert_eq!(table.len(), cfg.n_angles);
+            assert!(!table.is_empty());
+            for g in 0..cfg.n_angles {
+                let theta = 180.0 * g as f64 / cfg.n_angles as f64;
+                let direct = steering_vector(&cfg, theta);
+                let cached = table.vector(g);
+                assert_eq!(cached.len(), direct.len());
+                for (c, d) in cached.iter().zip(&direct) {
+                    assert_eq!(c.re.to_bits(), d.re.to_bits());
+                    assert_eq!(c.im.to_bits(), d.im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steering_table_is_shared_per_geometry() {
+        let cfg = test_config(5);
+        let a = SteeringTable::for_config(&cfg);
+        let b = SteeringTable::for_config(&cfg);
+        assert!(
+            Arc::ptr_eq(&a.vectors, &b.vectors),
+            "same geometry must share"
+        );
+        let mut other = cfg.clone();
+        other.spacing_wavelengths = 0.3;
+        let c = SteeringTable::for_config(&other);
+        assert!(!Arc::ptr_eq(&a.vectors, &c.vectors));
     }
 
     #[test]

@@ -45,10 +45,7 @@ impl Window {
                     Window::Rect => 1.0,
                     Window::Hann => 0.5 - 0.5 * two_pi_x.cos(),
                     Window::Hamming => 0.54 - 0.46 * two_pi_x.cos(),
-                    Window::Blackman => {
-                        0.42 - 0.5 * two_pi_x.cos()
-                            + 0.08 * (2.0 * two_pi_x).cos()
-                    }
+                    Window::Blackman => 0.42 - 0.5 * two_pi_x.cos() + 0.08 * (2.0 * two_pi_x).cos(),
                 }
             })
             .collect()
@@ -75,7 +72,10 @@ mod tests {
         for w in [Window::Hann, Window::Hamming, Window::Blackman] {
             let c = w.coefficients(17);
             for i in 0..c.len() {
-                assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-12, "{w:?} asymmetric");
+                assert!(
+                    (c[i] - c[c.len() - 1 - i]).abs() < 1e-12,
+                    "{w:?} asymmetric"
+                );
             }
         }
     }

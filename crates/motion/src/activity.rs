@@ -11,8 +11,9 @@
 //! LSTM separates them — the paper's argument for the CNN+LSTM design
 //! (Fig. 9 and Fig. 17).
 
-use crate::gesture::Gesture;
+use crate::gesture::{Gesture, TagSite};
 use crate::trajectory::Trajectory;
+use crate::volunteer::Volunteer;
 use m2ai_rfsim::geometry::Vec2;
 
 /// Identifier of an activity class (1-based, `A 01`…`A 12` as in
@@ -59,19 +60,51 @@ impl GestureScript {
 
     /// The active gesture at time `t` and the time elapsed inside it.
     pub fn at(&self, t: f64) -> (Gesture, f64) {
+        let (idx, local) = self.step_at(t);
+        (self.steps[idx].1, local)
+    }
+
+    /// Index of the active step at time `t` and the time elapsed
+    /// inside it.
+    fn step_at(&self, t: f64) -> (usize, f64) {
         if self.total_s.is_infinite() {
-            return (self.steps[0].1, t);
+            return (0, t);
         }
         let mut local = t.rem_euclid(self.total_s);
-        for &(d, g) in &self.steps {
+        for (i, &(d, _)) in self.steps.iter().enumerate() {
             if local < d {
-                return (g, local);
+                return (i, local);
             }
             local -= d;
         }
         // Floating-point edge: land on the final step.
-        let last = *self.steps.last().expect("non-empty");
-        (last.1, last.0)
+        (
+            self.steps.len() - 1,
+            self.steps.last().expect("non-empty").0,
+        )
+    }
+
+    /// Seconds over which consecutive steps cross-fade.
+    const BLEND_S: f64 = 0.35;
+
+    /// Tag offset of `site` at time `t`, for the given volunteer.
+    ///
+    /// At a step boundary the outgoing gesture keeps playing and fades
+    /// out while the incoming one fades in (smoothstep over
+    /// [`Self::BLEND_S`] seconds) — limbs move continuously between
+    /// gestures instead of teleporting to the next pose.
+    pub fn offset(&self, site: TagSite, t: f64, vol: &Volunteer) -> Vec2 {
+        let (idx, local) = self.step_at(t);
+        let cur = self.steps[idx].1.offset(site, local, vol);
+        if self.steps.len() < 2 || local >= Self::BLEND_S {
+            return cur;
+        }
+        let prev_idx = (idx + self.steps.len() - 1) % self.steps.len();
+        let (prev_d, prev_g) = self.steps[prev_idx];
+        let prev = prev_g.offset(site, prev_d + local, vol);
+        let u = local / Self::BLEND_S;
+        let w = u * u * (3.0 - 2.0 * u);
+        prev * (1.0 - w) + cur * w
     }
 }
 
@@ -197,7 +230,11 @@ pub fn catalog(n_persons: usize) -> Vec<ActivityScenario> {
             // onto class 1; the solo variants use the other two
             // gestures so all twelve classes stay distinct (Fig. 11).
             3 => (
-                if n_persons == 1 { "arm raises" } else { "wave vs squat" },
+                if n_persons == 1 {
+                    "arm raises"
+                } else {
+                    "wave vs squat"
+                },
                 a.iter()
                     .enumerate()
                     .map(|(i, &o)| {
@@ -213,7 +250,11 @@ pub fn catalog(n_persons: usize) -> Vec<ActivityScenario> {
                     .collect(),
             ),
             4 => (
-                if n_persons == 1 { "push-pull" } else { "arm raises vs push-pull" },
+                if n_persons == 1 {
+                    "push-pull"
+                } else {
+                    "arm raises vs push-pull"
+                },
                 a.iter()
                     .enumerate()
                     .map(|(i, &o)| {
@@ -416,8 +457,8 @@ mod tests {
             for s in &cat {
                 for i in 0..s.programs.len() {
                     for j in (i + 1)..s.programs.len() {
-                        let d = (s.programs[i].anchor_offset - s.programs[j].anchor_offset)
-                            .length();
+                        let d =
+                            (s.programs[i].anchor_offset - s.programs[j].anchor_offset).length();
                         assert!(d > 1.0, "{}: persons {i},{j} too close", s.id);
                     }
                 }

@@ -249,11 +249,7 @@ mod tests {
 
     #[test]
     fn rest_offsets_are_ordered() {
-        assert!(
-            TagSite::Hand.rest_offset().length() > TagSite::Arm.rest_offset().length()
-        );
-        assert!(
-            TagSite::Arm.rest_offset().length() > TagSite::Shoulder.rest_offset().length()
-        );
+        assert!(TagSite::Hand.rest_offset().length() > TagSite::Arm.rest_offset().length());
+        assert!(TagSite::Arm.rest_offset().length() > TagSite::Shoulder.rest_offset().length());
     }
 }

@@ -121,11 +121,10 @@ impl ActivityScene {
             let body = body + Vec2::new(sx, sy);
             let heading = prog.trajectory.heading(t, vol);
             let heading_angle = heading.angle();
-            let (gesture, local_t) = prog.script.at(t);
 
             for site in TagSite::ALL.iter().take(self.tags_per_person) {
                 let rest = site.rest_offset() * vol.body_scale;
-                let offset = rest + gesture.offset(*site, local_t, vol);
+                let offset = rest + prog.script.offset(*site, t, vol);
                 // Rotate body-frame offset into the room frame.
                 let world = offset.rotated(heading_angle);
                 tag_positions.push(body + world);
@@ -163,10 +162,9 @@ impl ActivityScene {
             let (sx, sy) = vol.sway(t);
             let body = body + Vec2::new(sx, sy);
             let heading_angle = prog.trajectory.heading(t, vol).angle();
-            let (gesture, local_t) = prog.script.at(t);
             for site in TagSite::ALL.iter().take(self.tags_per_person) {
                 let rest = site.rest_offset() * vol.body_scale;
-                let offset = rest + gesture.offset(*site, local_t, vol);
+                let offset = rest + prog.script.offset(*site, t, vol);
                 out.push(body + offset.rotated(heading_angle));
             }
         }

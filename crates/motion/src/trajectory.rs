@@ -103,12 +103,14 @@ impl Trajectory {
             } => {
                 let dir = if reverse { -1.0 } else { 1.0 };
                 let ang0 = (-center_offset.y).atan2(-center_offset.x);
-                let ang = ang0
-                    + phase
-                    + dir * std::f64::consts::TAU * t * vol.tempo / period_s;
+                let ang = ang0 + phase + dir * std::f64::consts::TAU * t * vol.tempo / period_s;
                 // Tangent of the circular motion.
                 Vec2::new(-dir * ang.sin(), dir * ang.cos())
-                    * if center_offset.length() > 0.0 { 1.0 } else { 0.0 }
+                    * if center_offset.length() > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
                     + if center_offset.length() > 0.0 {
                         Vec2::new(0.0, 0.0)
                     } else {

@@ -53,13 +53,13 @@ impl Dense {
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.in_dim, "Dense input size mismatch");
         let mut y = self.b.clone();
-        for o in 0..self.out_dim {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc = 0.0;
             for (wi, xi) in row.iter().zip(x) {
                 acc += wi * xi;
             }
-            y[o] += acc;
+            *yo += acc;
         }
         y
     }
@@ -68,8 +68,7 @@ impl Dense {
     pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
         assert_eq!(grad_out.len(), self.out_dim);
         let mut gx = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = grad_out[o];
+        for (o, &g) in grad_out.iter().enumerate() {
             self.gb[o] += g;
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
@@ -173,8 +172,7 @@ impl Conv1d {
                 let start = j * self.stride;
                 for ci in 0..self.c_in {
                     let xrow = &x[ci * self.len_in + start..ci * self.len_in + start + self.kernel];
-                    let wrow = &self.w
-                        [self.widx(o, ci, 0)..self.widx(o, ci, 0) + self.kernel];
+                    let wrow = &self.w[self.widx(o, ci, 0)..self.widx(o, ci, 0) + self.kernel];
                     for k in 0..self.kernel {
                         acc += wrow[k] * xrow[k];
                     }
@@ -322,7 +320,10 @@ impl Sequential {
             inputs.push(cur.clone());
             cur = l.forward(&cur);
         }
-        SeqCache { inputs, output: cur }
+        SeqCache {
+            inputs,
+            output: cur,
+        }
     }
 
     /// Backward pass through the whole chain.
@@ -420,7 +421,9 @@ impl TwoBranchEncoder {
     pub fn backward(&mut self, cache: &TwoBranchCache, grad_out: &[f32]) -> Vec<f32> {
         let grad_merged = self.merge.backward(&cache.merge, grad_out);
         let feat_len = cache.branch.output.len();
-        let grad_spec = self.branch.backward(&cache.branch, &grad_merged[..feat_len]);
+        let grad_spec = self
+            .branch
+            .backward(&cache.branch, &grad_merged[..feat_len]);
         let mut gx = grad_spec;
         gx.extend_from_slice(&grad_merged[feat_len..]);
         gx
@@ -439,12 +442,8 @@ mod tests {
     use super::*;
 
     /// Central-difference numerical gradient of a scalar loss.
-    fn assert_matches_numeric<F>(
-        forward_loss: F,
-        analytic: &[f32],
-        x: &mut [f32],
-        tol: f32,
-    ) where
+    fn assert_matches_numeric<F>(forward_loss: F, analytic: &[f32], x: &mut [f32], tol: f32)
+    where
         F: Fn(&[f32]) -> f32,
     {
         let eps = 1e-3;
@@ -515,7 +514,7 @@ mod tests {
         let c = Conv1d::new(2, 10, 3, 3, 2, 0);
         assert_eq!(c.len_out(), 4);
         assert_eq!(c.out_dim(), 12);
-        let y = c.forward(&vec![0.1; 20]);
+        let y = c.forward(&[0.1; 20]);
         assert_eq!(y.len(), 12);
     }
 
@@ -548,7 +547,11 @@ mod tests {
             let lm = sum_loss(&probe.forward(&x));
             probe.w[i] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - cm.gw[i]).abs() < 2e-2, "w[{i}]: {num} vs {}", cm.gw[i]);
+            assert!(
+                (num - cm.gw[i]).abs() < 2e-2,
+                "w[{i}]: {num} vs {}",
+                cm.gw[i]
+            );
         }
     }
 

@@ -100,7 +100,7 @@ impl Lstm {
             assert_eq!(x.len(), self.in_dim, "LSTM input size mismatch");
             // Pre-activations z = W x + U h_prev + b, laid out i|f|g|o.
             let mut z = self.b.clone();
-            for r in 0..4 * h {
+            for (r, zr) in z.iter_mut().enumerate() {
                 let wrow = &self.w[r * self.in_dim..(r + 1) * self.in_dim];
                 let urow = &self.u[r * h..(r + 1) * h];
                 let mut acc = 0.0;
@@ -110,7 +110,7 @@ impl Lstm {
                 for (uv, hv) in urow.iter().zip(&h_prev) {
                     acc += uv * hv;
                 }
-                z[r] += acc;
+                *zr += acc;
             }
             let mut i = vec![0.0; h];
             let mut f = vec![0.0; h];
@@ -178,8 +178,7 @@ impl Lstm {
                 z_grad[3 * h + k] = d_o * s.o[k] * (1.0 - s.o[k]);
             }
             let mut dh_prev = vec![0.0; h];
-            for r in 0..4 * h {
-                let zg = z_grad[r];
+            for (r, &zg) in z_grad.iter().enumerate() {
                 if zg == 0.0 {
                     continue;
                 }

@@ -91,8 +91,8 @@ impl ConfusionMatrix {
             if col_total == 0 {
                 continue;
             }
-            for p in 0..self.n_classes {
-                out[p][a] = 100.0 * self.count(a, p) as f64 / col_total as f64;
+            for (p, row) in out.iter_mut().enumerate() {
+                row[a] = 100.0 * self.count(a, p) as f64 / col_total as f64;
             }
         }
         out
@@ -107,10 +107,10 @@ impl std::fmt::Display for ConfusionMatrix {
             write!(f, " A{:02}", a + 1)?;
         }
         writeln!(f)?;
-        for p in 0..self.n_classes {
+        for (p, row) in pct.iter().enumerate() {
             write!(f, "  A{:02}    ", p + 1)?;
-            for a in 0..self.n_classes {
-                write!(f, " {:3.0}", pct[p][a])?;
+            for v in row {
+                write!(f, " {v:3.0}")?;
             }
             writeln!(f)?;
         }
@@ -167,6 +167,7 @@ mod tests {
         cm.record(1, 1);
         cm.record(2, 0);
         let pct = cm.percentages();
+        #[allow(clippy::needless_range_loop)] // column-major walk of a row-major matrix
         for a in 0..3 {
             let col: f64 = (0..3).map(|p| pct[p][a]).sum();
             if a == 2 {

@@ -108,12 +108,7 @@ pub struct SequenceClassifier {
 impl SequenceClassifier {
     /// Creates the full CNN+LSTM model. The head input dimension is the
     /// LSTM stack's output dimension.
-    pub fn new(
-        encoder: impl Into<Encoder>,
-        lstm: LstmStack,
-        n_classes: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(encoder: impl Into<Encoder>, lstm: LstmStack, n_classes: usize, seed: u64) -> Self {
         let head = Dense::new(lstm.out_dim(), n_classes, seed ^ 0x0DD5);
         SequenceClassifier {
             encoder: encoder.into(),

@@ -216,7 +216,10 @@ mod tests {
             mu_loss = loss_and_grads(&mut momentum_model, &x, &y);
             with_mu.step(&mut momentum_model, 1.0);
         }
-        assert!(mu_loss < plain_loss, "momentum {mu_loss} vs plain {plain_loss}");
+        assert!(
+            mu_loss < plain_loss,
+            "momentum {mu_loss} vs plain {plain_loss}"
+        );
     }
 
     #[test]

@@ -157,9 +157,17 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_params() {
-        let mut a = Sequential::new(vec![Layer::dense(3, 4, 1), Layer::relu(), Layer::dense(4, 2, 2)]);
+        let mut a = Sequential::new(vec![
+            Layer::dense(3, 4, 1),
+            Layer::relu(),
+            Layer::dense(4, 2, 2),
+        ]);
         let bytes = save_params(&mut a);
-        let mut b = Sequential::new(vec![Layer::dense(3, 4, 9), Layer::relu(), Layer::dense(4, 2, 8)]);
+        let mut b = Sequential::new(vec![
+            Layer::dense(3, 4, 9),
+            Layer::relu(),
+            Layer::dense(4, 2, 8),
+        ]);
         load_params(&mut b, &bytes).unwrap();
         let x = [0.3, -0.5, 0.9];
         assert_eq!(a.forward(&x), b.forward(&x));

@@ -87,8 +87,7 @@ pub fn fit(model: &mut SequenceClassifier, data: &[Sample], cfg: &TrainConfig) -
         assert!(!frames.is_empty(), "sample with no frames");
         assert!(*label < model.n_classes(), "label out of range");
     }
-    let mut opt =
-        Sgd::new(cfg.lr, cfg.momentum, cfg.clip_norm).with_weight_decay(cfg.weight_decay);
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.clip_norm).with_weight_decay(cfg.weight_decay);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);

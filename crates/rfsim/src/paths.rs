@@ -129,8 +129,8 @@ pub fn enumerate_paths(
         let leg2 = Segment::new(hit, array_center);
         let occ = occlusion_loss_db(&leg1, blockers) + occlusion_loss_db(&leg2, blockers);
         let length = leg1.length() + leg2.length();
-        let amplitude = free_space_amplitude(length)
-            * db_loss_to_amplitude(wall.reflection_loss_db + occ);
+        let amplitude =
+            free_space_amplitude(length) * db_loss_to_amplitude(wall.reflection_loss_db + occ);
         if amplitude < min_amplitude {
             continue;
         }
@@ -206,9 +206,7 @@ pub fn enumerate_paths_second_order(
                 + occlusion_loss_db(&leg3, blockers);
             let length = leg1.length() + leg2.length() + leg3.length();
             let amplitude = free_space_amplitude(length)
-                * db_loss_to_amplitude(
-                    wall_i.reflection_loss_db + wall_j.reflection_loss_db + occ,
-                );
+                * db_loss_to_amplitude(wall_i.reflection_loss_db + wall_j.reflection_loss_db + occ);
             if amplitude < min_amplitude {
                 continue;
             }

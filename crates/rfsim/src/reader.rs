@@ -245,12 +245,7 @@ impl Reader {
                         self.config.min_path_amplitude,
                     )
                 };
-                let h = backscatter_response(
-                    &paths,
-                    a,
-                    self.config.antenna_spacing_m,
-                    freq,
-                );
+                let h = backscatter_response(&paths, a, self.config.antenna_spacing_m, freq);
                 if h.norm() < 1e-12 {
                     continue; // deep fade: no decodable response
                 }
@@ -275,8 +270,7 @@ impl Reader {
 
                 let v = scene.velocity(tag_idx);
                 let radial = v.dot((self.config.array_center - pos).normalized());
-                let doppler =
-                    2.0 * radial * freq / SPEED_OF_LIGHT + self.gauss(0.3);
+                let doppler = 2.0 * radial * freq / SPEED_OF_LIGHT + self.gauss(0.3);
 
                 reads_this_slot += 1;
                 out.push(TagReading {
@@ -359,8 +353,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut cfg2 = ReaderConfig::default();
-        cfg2.seed = 99;
+        let cfg2 = ReaderConfig {
+            seed: 99,
+            ..ReaderConfig::default()
+        };
         let run1 =
             Reader::new(Room::hall(), ReaderConfig::default(), 1).run(|_| static_scene(3.0), 1.0);
         let run2 = Reader::new(Room::hall(), cfg2, 1).run(|_| static_scene(3.0), 1.0);
@@ -383,10 +379,7 @@ mod tests {
     #[test]
     fn channel_constant_within_round() {
         let mut reader = Reader::new(Room::hall(), ReaderConfig::default(), 2);
-        let scene = SceneSnapshot::with_tags(vec![
-            Point2::new(4.0, 3.0),
-            Point2::new(6.0, 3.0),
-        ]);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(4.0, 3.0), Point2::new(6.0, 3.0)]);
         let readings = reader.inventory_round(&scene, 0.0);
         // Round duration 100 ms < dwell 400 ms ⇒ single channel.
         let channels: std::collections::HashSet<usize> =
@@ -406,9 +399,11 @@ mod tests {
     #[test]
     fn stationary_tag_phase_stable_within_channel() {
         // Same channel + stationary scene ⇒ phase varies only by noise.
-        let mut cfg = ReaderConfig::default();
-        cfg.phase_noise_std = 0.0;
-        cfg.rssi_noise_db = 0.0;
+        let cfg = ReaderConfig {
+            phase_noise_std: 0.0,
+            rssi_noise_db: 0.0,
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(Room::hall(), cfg, 1);
         let scene = static_scene(3.0);
         let r1 = reader.inventory_round(&scene, 0.0);
@@ -451,8 +446,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "n_antennas")]
     fn rejects_too_many_antennas() {
-        let mut cfg = ReaderConfig::default();
-        cfg.n_antennas = 5;
+        let cfg = ReaderConfig {
+            n_antennas: 5,
+            ..ReaderConfig::default()
+        };
         Reader::new(Room::hall(), cfg, 1);
     }
 
@@ -463,8 +460,10 @@ mod tests {
             Point2::new(5.0, 2.0),
             Point2::new(6.0, 2.0),
         ]);
-        let mut cfg = ReaderConfig::default();
-        cfg.slot_capacity = Some(2);
+        let cfg = ReaderConfig {
+            slot_capacity: Some(2),
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(Room::hall(), cfg, 3);
         let readings = reader.run(|_| scene.clone(), 2.0);
         // No (antenna, round) pair may exceed the capacity.
@@ -482,8 +481,10 @@ mod tests {
 
     #[test]
     fn second_order_changes_the_channel() {
-        let mut cfg2 = ReaderConfig::default();
-        cfg2.second_order_reflections = true;
+        let cfg2 = ReaderConfig {
+            second_order_reflections: true,
+            ..ReaderConfig::default()
+        };
         let base = Reader::new(Room::laboratory(), ReaderConfig::default(), 1)
             .run(|_| static_scene(3.0), 0.5);
         let rich = Reader::new(Room::laboratory(), cfg2, 1).run(|_| static_scene(3.0), 0.5);
@@ -498,8 +499,10 @@ mod tests {
 
     #[test]
     fn doppler_sign_tracks_motion() {
-        let mut cfg = ReaderConfig::default();
-        cfg.seed = 5;
+        let cfg = ReaderConfig {
+            seed: 5,
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(Room::hall(), cfg, 1);
         // Tag moving toward the array at 1 m/s.
         let mut scene = static_scene(4.0);

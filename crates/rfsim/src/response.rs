@@ -85,7 +85,7 @@ mod tests {
         let lambda = SPEED_OF_LIGHT / F;
         let expected = -4.0 * std::f64::consts::PI * d / lambda;
         let diff = (h.arg() - expected).rem_euclid(2.0 * std::f64::consts::PI);
-        assert!(diff < 1e-6 || diff > 2.0 * std::f64::consts::PI - 1e-6);
+        assert!(!(1e-6..=2.0 * std::f64::consts::PI - 1e-6).contains(&diff));
     }
 
     #[test]
@@ -108,7 +108,7 @@ mod tests {
         for k in 1..4 {
             let step = (hs[k] / hs[k - 1]).arg();
             let err = (step - expected_step).rem_euclid(2.0 * std::f64::consts::PI);
-            assert!(err < 1e-6 || err > 2.0 * std::f64::consts::PI - 1e-6);
+            assert!(!(1e-6..=2.0 * std::f64::consts::PI - 1e-6).contains(&err));
         }
     }
 
@@ -134,7 +134,7 @@ mod tests {
             let got = (hs[k] / hs[0]).arg();
             let err = (want - got).rem_euclid(2.0 * std::f64::consts::PI);
             assert!(
-                err < 1e-6 || err > 2.0 * std::f64::consts::PI - 1e-6,
+                !(1e-6..=2.0 * std::f64::consts::PI - 1e-6).contains(&err),
                 "element {k}: want {want}, got {got}"
             );
         }
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn amplitude_scales_quadratically() {
         let p = path(2.0, 60.0, 0.5);
-        let h = backscatter_response(&[p.clone()], 0, 0.04, F);
+        let h = backscatter_response(std::slice::from_ref(&p), 0, 0.04, F);
         assert!((h.norm() - 0.25).abs() < 1e-9);
     }
 }

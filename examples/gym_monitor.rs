@@ -18,8 +18,12 @@ fn main() {
     let mut config = ExperimentConfig::paper_default();
     config.distance_m = 3.0;
     config.samples_per_class = 10;
+    config.n_threads = 0; // record sessions on all cores (deterministic)
 
-    println!("recording {} exercise sessions ...", 12 * config.samples_per_class);
+    println!(
+        "recording {} exercise sessions ...",
+        12 * config.samples_per_class
+    );
     let bundle = generate_dataset(&config);
 
     // Deep engine.
@@ -50,10 +54,7 @@ fn main() {
     println!();
     println!("accuracy on order-mirrored exercise pairs (M2AI):");
     for (a, b) in ORDER_MIRRORED_PAIRS {
-        let pair_test: Vec<_> = test
-            .iter()
-            .filter(|(_, y)| *y == a || *y == b)
-            .collect();
+        let pair_test: Vec<_> = test.iter().filter(|(_, y)| *y == a || *y == b).collect();
         if pair_test.is_empty() {
             continue;
         }

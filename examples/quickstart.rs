@@ -13,8 +13,13 @@ fn main() {
     // about a minute.
     let mut config = ExperimentConfig::paper_default();
     config.samples_per_class = 10;
+    config.n_threads = 0; // simulate recordings on all cores; output is
+                          // bit-identical for any thread count
 
-    println!("simulating {} recordings ...", 12 * config.samples_per_class);
+    println!(
+        "simulating {} recordings ...",
+        12 * config.samples_per_class
+    );
     let bundle = generate_dataset(&config);
     println!(
         "frames: {} x {} per sample ({} tags, {} antennas)",

@@ -24,7 +24,9 @@ fn main() {
     println!("{} reads in 5 s from {} tags", readings.len(), n_tags);
     println!();
     println!("first ten LLRP-style reports:");
-    println!("   t(s)  tag                   ant  ch  freq(MHz)  phase(rad)  rssi(dBm)  doppler(Hz)");
+    println!(
+        "   t(s)  tag                   ant  ch  freq(MHz)  phase(rad)  rssi(dBm)  doppler(Hz)"
+    );
     for r in readings.iter().take(10) {
         println!(
             "  {:5.2}  {}  {}   {:2}  {:8.2}   {:8.3}   {:8.1}   {:+9.1}",

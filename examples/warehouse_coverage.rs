@@ -30,7 +30,13 @@ fn main() {
     let n_tags = 3;
 
     let mut near_reader = reader_at(&room, Point2::new(1.0, 0.5), Vec2::new(1.0, 0.0), 7, n_tags);
-    let mut far_reader = reader_at(&room, Point2::new(15.0, 0.5), Vec2::new(-1.0, 0.0), 7, n_tags);
+    let mut far_reader = reader_at(
+        &room,
+        Point2::new(15.0, 0.5),
+        Vec2::new(-1.0, 0.0),
+        7,
+        n_tags,
+    );
 
     // A worker with three tags walks the aisle end to end in 60 s.
     let walk = |t: f64| -> SceneSnapshot {

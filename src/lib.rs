@@ -48,14 +48,10 @@ pub use m2ai_rfsim as rfsim;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use m2ai_core::calibration::PhaseCalibrator;
-    pub use m2ai_core::dataset::{
-        generate_dataset, DatasetBundle, ExperimentConfig, RoomKind,
-    };
+    pub use m2ai_core::dataset::{generate_dataset, DatasetBundle, ExperimentConfig, RoomKind};
     pub use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
     pub use m2ai_core::network::{build_model, Architecture};
-    pub use m2ai_core::pipeline::{
-        evaluate_baselines, train_m2ai, TrainOptions, TrainOutcome,
-    };
+    pub use m2ai_core::pipeline::{evaluate_baselines, train_m2ai, TrainOptions, TrainOutcome};
     pub use m2ai_motion::activity::{catalog, ActivityId, ActivityScenario};
     pub use m2ai_motion::scene::ActivityScene;
     pub use m2ai_motion::volunteer::Volunteer;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration_and_aoa-47ccb86e5b5f36aa.d: tests/calibration_and_aoa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration_and_aoa-47ccb86e5b5f36aa.rmeta: tests/calibration_and_aoa.rs Cargo.toml
+
+tests/calibration_and_aoa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

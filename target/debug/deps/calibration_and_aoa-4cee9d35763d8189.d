@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_and_aoa-4cee9d35763d8189.d: tests/calibration_and_aoa.rs
+
+/root/repo/target/debug/deps/calibration_and_aoa-4cee9d35763d8189: tests/calibration_and_aoa.rs
+
+tests/calibration_and_aoa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_and_aoa-66638741b2b22658.d: tests/calibration_and_aoa.rs
+
+/root/repo/target/debug/deps/calibration_and_aoa-66638741b2b22658: tests/calibration_and_aoa.rs
+
+tests/calibration_and_aoa.rs:

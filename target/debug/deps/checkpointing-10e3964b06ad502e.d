@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpointing-10e3964b06ad502e.d: tests/checkpointing.rs
+
+/root/repo/target/debug/deps/checkpointing-10e3964b06ad502e: tests/checkpointing.rs
+
+tests/checkpointing.rs:

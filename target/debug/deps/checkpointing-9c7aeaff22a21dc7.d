@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpointing-9c7aeaff22a21dc7.d: tests/checkpointing.rs
+
+/root/repo/target/debug/deps/checkpointing-9c7aeaff22a21dc7: tests/checkpointing.rs
+
+tests/checkpointing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpointing-f9e363b2c37f4b99.d: tests/checkpointing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpointing-f9e363b2c37f4b99.rmeta: tests/checkpointing.rs Cargo.toml
+
+tests/checkpointing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

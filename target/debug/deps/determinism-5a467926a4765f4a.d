@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5a467926a4765f4a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-5a467926a4765f4a: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-478596db97bce8fe.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-478596db97bce8fe: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-496aecd5060f8523.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-496aecd5060f8523: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

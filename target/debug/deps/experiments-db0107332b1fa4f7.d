@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-db0107332b1fa4f7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-db0107332b1fa4f7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

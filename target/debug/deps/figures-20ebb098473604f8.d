@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-20ebb098473604f8.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-20ebb098473604f8: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

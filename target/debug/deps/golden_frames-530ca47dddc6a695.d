@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_frames-530ca47dddc6a695.d: tests/golden_frames.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_frames-530ca47dddc6a695.rmeta: tests/golden_frames.rs Cargo.toml
+
+tests/golden_frames.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

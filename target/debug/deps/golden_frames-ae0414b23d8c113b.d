@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_frames-ae0414b23d8c113b.d: tests/golden_frames.rs
+
+/root/repo/target/debug/deps/golden_frames-ae0414b23d8c113b: tests/golden_frames.rs
+
+tests/golden_frames.rs:

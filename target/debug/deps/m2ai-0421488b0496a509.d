@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m2ai-0421488b0496a509.d: src/lib.rs
+
+/root/repo/target/debug/deps/m2ai-0421488b0496a509: src/lib.rs
+
+src/lib.rs:

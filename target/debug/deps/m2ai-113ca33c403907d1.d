@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m2ai-113ca33c403907d1.d: src/lib.rs
+
+/root/repo/target/debug/deps/m2ai-113ca33c403907d1: src/lib.rs
+
+src/lib.rs:

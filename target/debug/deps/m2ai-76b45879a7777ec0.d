@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m2ai-76b45879a7777ec0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai-76b45879a7777ec0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

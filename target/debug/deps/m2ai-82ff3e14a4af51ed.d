@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m2ai-82ff3e14a4af51ed.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai-82ff3e14a4af51ed.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m2ai-caa284cc3edfe9a7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai-caa284cc3edfe9a7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai-caa284cc3edfe9a7.rmeta: src/lib.rs
+
+src/lib.rs:

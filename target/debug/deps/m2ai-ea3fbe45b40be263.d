@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m2ai-ea3fbe45b40be263.d: src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai-ea3fbe45b40be263.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai-ea3fbe45b40be263.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/m2ai_baselines-65a83f032f7f10a9.d: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/libm2ai_baselines-65a83f032f7f10a9.rlib: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/libm2ai_baselines-65a83f032f7f10a9.rmeta: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/boost.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/hmm.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/nb.rs:
+crates/baselines/src/qda.rs:
+crates/baselines/src/svm.rs:
+crates/baselines/src/tree.rs:

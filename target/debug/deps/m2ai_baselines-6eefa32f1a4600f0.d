@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/m2ai_baselines-6eefa32f1a4600f0.d: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_baselines-6eefa32f1a4600f0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/boost.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/hmm.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/nb.rs:
+crates/baselines/src/qda.rs:
+crates/baselines/src/svm.rs:
+crates/baselines/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m2ai_bench-202e2fae7981dba5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai_bench-202e2fae7981dba5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai_bench-202e2fae7981dba5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

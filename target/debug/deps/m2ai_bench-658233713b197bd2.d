@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m2ai_bench-658233713b197bd2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/m2ai_bench-658233713b197bd2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m2ai_bench-b6689ab4a5b7abc6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai_bench-b6689ab4a5b7abc6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai_bench-b6689ab4a5b7abc6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m2ai_bench-cea54715fd827321.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_bench-cea54715fd827321.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m2ai_bench-dbbfc764e073ca58.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/m2ai_bench-dbbfc764e073ca58: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/m2ai_core-15f4f443f2ee6045.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_core-15f4f443f2ee6045.rmeta: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/dataset.rs:
+crates/core/src/frames.rs:
+crates/core/src/network.rs:
+crates/core/src/online.rs:
+crates/core/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

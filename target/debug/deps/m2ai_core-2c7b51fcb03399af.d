@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/m2ai_core-2c7b51fcb03399af.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/m2ai_core-2c7b51fcb03399af: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/dataset.rs:
+crates/core/src/frames.rs:
+crates/core/src/network.rs:
+crates/core/src/online.rs:
+crates/core/src/pipeline.rs:

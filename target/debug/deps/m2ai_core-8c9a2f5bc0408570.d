@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/m2ai_core-8c9a2f5bc0408570.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libm2ai_core-8c9a2f5bc0408570.rlib: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libm2ai_core-8c9a2f5bc0408570.rmeta: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/dataset.rs:
+crates/core/src/frames.rs:
+crates/core/src/network.rs:
+crates/core/src/online.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/m2ai_dsp-8e64495c003078a9.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_dsp-8e64495c003078a9.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/eigen.rs:
+crates/dsp/src/esprit.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/matrix.rs:
+crates/dsp/src/music.rs:
+crates/dsp/src/periodogram.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

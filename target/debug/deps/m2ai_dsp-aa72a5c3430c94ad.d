@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/m2ai_dsp-aa72a5c3430c94ad.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/m2ai_dsp-aa72a5c3430c94ad: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/eigen.rs:
+crates/dsp/src/esprit.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/matrix.rs:
+crates/dsp/src/music.rs:
+crates/dsp/src/periodogram.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/window.rs:

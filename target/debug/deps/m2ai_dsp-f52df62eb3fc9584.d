@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/m2ai_dsp-f52df62eb3fc9584.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/libm2ai_dsp-f52df62eb3fc9584.rlib: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/libm2ai_dsp-f52df62eb3fc9584.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/eigen.rs:
+crates/dsp/src/esprit.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/matrix.rs:
+crates/dsp/src/music.rs:
+crates/dsp/src/periodogram.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/window.rs:

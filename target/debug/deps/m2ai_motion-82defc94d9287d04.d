@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/m2ai_motion-82defc94d9287d04.d: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+/root/repo/target/debug/deps/m2ai_motion-82defc94d9287d04: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+crates/motion/src/lib.rs:
+crates/motion/src/activity.rs:
+crates/motion/src/gesture.rs:
+crates/motion/src/scene.rs:
+crates/motion/src/trajectory.rs:
+crates/motion/src/volunteer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/m2ai_motion-bb124276c6d18558.d: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+/root/repo/target/debug/deps/libm2ai_motion-bb124276c6d18558.rlib: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+/root/repo/target/debug/deps/libm2ai_motion-bb124276c6d18558.rmeta: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+crates/motion/src/lib.rs:
+crates/motion/src/activity.rs:
+crates/motion/src/gesture.rs:
+crates/motion/src/scene.rs:
+crates/motion/src/trajectory.rs:
+crates/motion/src/volunteer.rs:

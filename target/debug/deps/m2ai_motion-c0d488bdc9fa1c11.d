@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/m2ai_motion-c0d488bdc9fa1c11.d: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_motion-c0d488bdc9fa1c11.rmeta: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs Cargo.toml
+
+crates/motion/src/lib.rs:
+crates/motion/src/activity.rs:
+crates/motion/src/gesture.rs:
+crates/motion/src/scene.rs:
+crates/motion/src/trajectory.rs:
+crates/motion/src/volunteer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/m2ai_nn-3730183d36f3854f.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/m2ai_nn-3730183d36f3854f: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/train.rs:

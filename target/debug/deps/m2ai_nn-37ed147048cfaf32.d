@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/m2ai_nn-37ed147048cfaf32.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_nn-37ed147048cfaf32.rmeta: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m2ai_par-c00738622b5397c9.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/m2ai_par-c00738622b5397c9: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m2ai_par-c0d0ea08c65d2afa.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_par-c0d0ea08c65d2afa.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

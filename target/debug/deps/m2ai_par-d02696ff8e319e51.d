@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m2ai_par-d02696ff8e319e51.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai_par-d02696ff8e319e51.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libm2ai_par-d02696ff8e319e51.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

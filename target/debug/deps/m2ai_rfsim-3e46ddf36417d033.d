@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/m2ai_rfsim-3e46ddf36417d033.d: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs
+
+/root/repo/target/debug/deps/libm2ai_rfsim-3e46ddf36417d033.rlib: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs
+
+/root/repo/target/debug/deps/libm2ai_rfsim-3e46ddf36417d033.rmeta: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs
+
+crates/rfsim/src/lib.rs:
+crates/rfsim/src/channel.rs:
+crates/rfsim/src/geometry.rs:
+crates/rfsim/src/paths.rs:
+crates/rfsim/src/reader.rs:
+crates/rfsim/src/reading.rs:
+crates/rfsim/src/response.rs:
+crates/rfsim/src/room.rs:
+crates/rfsim/src/scene.rs:

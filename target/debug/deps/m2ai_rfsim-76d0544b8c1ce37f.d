@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/m2ai_rfsim-76d0544b8c1ce37f.d: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs
+
+/root/repo/target/debug/deps/m2ai_rfsim-76d0544b8c1ce37f: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs
+
+crates/rfsim/src/lib.rs:
+crates/rfsim/src/channel.rs:
+crates/rfsim/src/geometry.rs:
+crates/rfsim/src/paths.rs:
+crates/rfsim/src/reader.rs:
+crates/rfsim/src/reading.rs:
+crates/rfsim/src/response.rs:
+crates/rfsim/src/room.rs:
+crates/rfsim/src/scene.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/m2ai_rfsim-feff901798a69aa7.d: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2ai_rfsim-feff901798a69aa7.rmeta: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs Cargo.toml
+
+crates/rfsim/src/lib.rs:
+crates/rfsim/src/channel.rs:
+crates/rfsim/src/geometry.rs:
+crates/rfsim/src/paths.rs:
+crates/rfsim/src/reader.rs:
+crates/rfsim/src/reading.rs:
+crates/rfsim/src/response.rs:
+crates/rfsim/src/room.rs:
+crates/rfsim/src/scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

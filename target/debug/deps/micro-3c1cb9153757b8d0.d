@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-3c1cb9153757b8d0.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-3c1cb9153757b8d0: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

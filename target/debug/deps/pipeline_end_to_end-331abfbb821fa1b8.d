@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-331abfbb821fa1b8.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-331abfbb821fa1b8: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

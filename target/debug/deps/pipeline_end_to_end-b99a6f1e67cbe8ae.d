@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-b99a6f1e67cbe8ae.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-b99a6f1e67cbe8ae: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

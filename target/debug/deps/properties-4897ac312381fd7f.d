@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4897ac312381fd7f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4897ac312381fd7f: tests/properties.rs
+
+tests/properties.rs:

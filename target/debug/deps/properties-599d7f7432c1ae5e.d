@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-599d7f7432c1ae5e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-599d7f7432c1ae5e: tests/properties.rs
+
+tests/properties.rs:

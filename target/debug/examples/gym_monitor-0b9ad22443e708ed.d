@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gym_monitor-0b9ad22443e708ed.d: examples/gym_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgym_monitor-0b9ad22443e708ed.rmeta: examples/gym_monitor.rs Cargo.toml
+
+examples/gym_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

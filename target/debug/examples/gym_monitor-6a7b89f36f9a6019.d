@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gym_monitor-6a7b89f36f9a6019.d: examples/gym_monitor.rs
+
+/root/repo/target/debug/examples/gym_monitor-6a7b89f36f9a6019: examples/gym_monitor.rs
+
+examples/gym_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gym_monitor-d62ccc7bc286f224.d: examples/gym_monitor.rs
+
+/root/repo/target/debug/examples/gym_monitor-d62ccc7bc286f224: examples/gym_monitor.rs
+
+examples/gym_monitor.rs:

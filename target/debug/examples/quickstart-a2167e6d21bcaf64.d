@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a2167e6d21bcaf64.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a2167e6d21bcaf64: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fcb052302b9ffdc4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fcb052302b9ffdc4: examples/quickstart.rs
+
+examples/quickstart.rs:

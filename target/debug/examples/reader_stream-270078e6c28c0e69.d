@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reader_stream-270078e6c28c0e69.d: examples/reader_stream.rs
+
+/root/repo/target/debug/examples/reader_stream-270078e6c28c0e69: examples/reader_stream.rs
+
+examples/reader_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reader_stream-29ac1716df9b2dcc.d: examples/reader_stream.rs
+
+/root/repo/target/debug/examples/reader_stream-29ac1716df9b2dcc: examples/reader_stream.rs
+
+examples/reader_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reader_stream-ae134f0fa2847e9b.d: examples/reader_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreader_stream-ae134f0fa2847e9b.rmeta: examples/reader_stream.rs Cargo.toml
+
+examples/reader_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

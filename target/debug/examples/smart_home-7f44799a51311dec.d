@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_home-7f44799a51311dec.d: examples/smart_home.rs
+
+/root/repo/target/debug/examples/smart_home-7f44799a51311dec: examples/smart_home.rs
+
+examples/smart_home.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_home-ee3b0a9cb1ed4e6d.d: examples/smart_home.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_home-ee3b0a9cb1ed4e6d.rmeta: examples/smart_home.rs Cargo.toml
+
+examples/smart_home.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

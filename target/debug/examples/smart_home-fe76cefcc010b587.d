@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_home-fe76cefcc010b587.d: examples/smart_home.rs
+
+/root/repo/target/debug/examples/smart_home-fe76cefcc010b587: examples/smart_home.rs
+
+examples/smart_home.rs:

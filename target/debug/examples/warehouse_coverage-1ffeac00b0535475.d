@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_coverage-1ffeac00b0535475.d: examples/warehouse_coverage.rs
+
+/root/repo/target/debug/examples/warehouse_coverage-1ffeac00b0535475: examples/warehouse_coverage.rs
+
+examples/warehouse_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_coverage-6f56df04d8afc477.d: examples/warehouse_coverage.rs
+
+/root/repo/target/debug/examples/warehouse_coverage-6f56df04d8afc477: examples/warehouse_coverage.rs
+
+examples/warehouse_coverage.rs:

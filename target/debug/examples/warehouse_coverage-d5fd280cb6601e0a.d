@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/warehouse_coverage-d5fd280cb6601e0a.d: examples/warehouse_coverage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwarehouse_coverage-d5fd280cb6601e0a.rmeta: examples/warehouse_coverage.rs Cargo.toml
+
+examples/warehouse_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration_and_aoa-f64aa5412e512b44.d: tests/calibration_and_aoa.rs
+
+/root/repo/target/release/deps/calibration_and_aoa-f64aa5412e512b44: tests/calibration_and_aoa.rs
+
+tests/calibration_and_aoa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/checkpointing-66e13172e8b63dfa.d: tests/checkpointing.rs
+
+/root/repo/target/release/deps/checkpointing-66e13172e8b63dfa: tests/checkpointing.rs
+
+tests/checkpointing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-0ad43591de010061.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-0ad43591de010061: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-22bd6fedc5a1c9e5.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-22bd6fedc5a1c9e5: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/m2ai-7f74971088500190.d: src/lib.rs
+
+/root/repo/target/release/deps/m2ai-7f74971088500190: src/lib.rs
+
+src/lib.rs:

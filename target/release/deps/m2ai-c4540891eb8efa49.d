@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m2ai-c4540891eb8efa49.d: src/lib.rs
+
+/root/repo/target/release/deps/libm2ai-c4540891eb8efa49.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libm2ai-c4540891eb8efa49.rmeta: src/lib.rs
+
+src/lib.rs:

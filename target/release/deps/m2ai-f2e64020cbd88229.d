@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m2ai-f2e64020cbd88229.d: src/lib.rs
+
+/root/repo/target/release/deps/libm2ai-f2e64020cbd88229.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libm2ai-f2e64020cbd88229.rmeta: src/lib.rs
+
+src/lib.rs:

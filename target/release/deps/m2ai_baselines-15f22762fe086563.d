@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/m2ai_baselines-15f22762fe086563.d: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/libm2ai_baselines-15f22762fe086563.rlib: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/libm2ai_baselines-15f22762fe086563.rmeta: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/boost.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/hmm.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/nb.rs:
+crates/baselines/src/qda.rs:
+crates/baselines/src/svm.rs:
+crates/baselines/src/tree.rs:

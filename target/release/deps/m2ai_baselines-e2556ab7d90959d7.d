@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/m2ai_baselines-e2556ab7d90959d7.d: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/m2ai_baselines-e2556ab7d90959d7: crates/baselines/src/lib.rs crates/baselines/src/boost.rs crates/baselines/src/gp.rs crates/baselines/src/hmm.rs crates/baselines/src/knn.rs crates/baselines/src/linalg.rs crates/baselines/src/nb.rs crates/baselines/src/qda.rs crates/baselines/src/svm.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/boost.rs:
+crates/baselines/src/gp.rs:
+crates/baselines/src/hmm.rs:
+crates/baselines/src/knn.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/nb.rs:
+crates/baselines/src/qda.rs:
+crates/baselines/src/svm.rs:
+crates/baselines/src/tree.rs:

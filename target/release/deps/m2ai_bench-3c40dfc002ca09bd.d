@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m2ai_bench-3c40dfc002ca09bd.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libm2ai_bench-3c40dfc002ca09bd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libm2ai_bench-3c40dfc002ca09bd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

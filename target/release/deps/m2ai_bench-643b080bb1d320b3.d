@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/m2ai_bench-643b080bb1d320b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/m2ai_bench-643b080bb1d320b3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m2ai_bench-f0c90f7f1c095959.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libm2ai_bench-f0c90f7f1c095959.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libm2ai_bench-f0c90f7f1c095959.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

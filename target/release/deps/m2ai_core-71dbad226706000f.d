@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/m2ai_core-71dbad226706000f.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/m2ai_core-71dbad226706000f: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/dataset.rs:
+crates/core/src/frames.rs:
+crates/core/src/network.rs:
+crates/core/src/online.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/m2ai_core-78642bf64ea43072.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libm2ai_core-78642bf64ea43072.rlib: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libm2ai_core-78642bf64ea43072.rmeta: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/dataset.rs crates/core/src/frames.rs crates/core/src/network.rs crates/core/src/online.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/dataset.rs:
+crates/core/src/frames.rs:
+crates/core/src/network.rs:
+crates/core/src/online.rs:
+crates/core/src/pipeline.rs:

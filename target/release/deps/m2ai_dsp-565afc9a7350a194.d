@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/m2ai_dsp-565afc9a7350a194.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/m2ai_dsp-565afc9a7350a194: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/eigen.rs crates/dsp/src/esprit.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/matrix.rs crates/dsp/src/music.rs crates/dsp/src/periodogram.rs crates/dsp/src/phase.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/eigen.rs:
+crates/dsp/src/esprit.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/matrix.rs:
+crates/dsp/src/music.rs:
+crates/dsp/src/periodogram.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/window.rs:

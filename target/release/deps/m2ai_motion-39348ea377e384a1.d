@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/m2ai_motion-39348ea377e384a1.d: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+/root/repo/target/release/deps/libm2ai_motion-39348ea377e384a1.rlib: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+/root/repo/target/release/deps/libm2ai_motion-39348ea377e384a1.rmeta: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+crates/motion/src/lib.rs:
+crates/motion/src/activity.rs:
+crates/motion/src/gesture.rs:
+crates/motion/src/scene.rs:
+crates/motion/src/trajectory.rs:
+crates/motion/src/volunteer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/m2ai_motion-f3ac491cab4b723a.d: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+/root/repo/target/release/deps/m2ai_motion-f3ac491cab4b723a: crates/motion/src/lib.rs crates/motion/src/activity.rs crates/motion/src/gesture.rs crates/motion/src/scene.rs crates/motion/src/trajectory.rs crates/motion/src/volunteer.rs
+
+crates/motion/src/lib.rs:
+crates/motion/src/activity.rs:
+crates/motion/src/gesture.rs:
+crates/motion/src/scene.rs:
+crates/motion/src/trajectory.rs:
+crates/motion/src/volunteer.rs:

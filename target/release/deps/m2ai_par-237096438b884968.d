@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m2ai_par-237096438b884968.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libm2ai_par-237096438b884968.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libm2ai_par-237096438b884968.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/m2ai_rfsim-16081f2263174aa5.d: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs
+
+/root/repo/target/release/deps/m2ai_rfsim-16081f2263174aa5: crates/rfsim/src/lib.rs crates/rfsim/src/channel.rs crates/rfsim/src/geometry.rs crates/rfsim/src/paths.rs crates/rfsim/src/reader.rs crates/rfsim/src/reading.rs crates/rfsim/src/response.rs crates/rfsim/src/room.rs crates/rfsim/src/scene.rs
+
+crates/rfsim/src/lib.rs:
+crates/rfsim/src/channel.rs:
+crates/rfsim/src/geometry.rs:
+crates/rfsim/src/paths.rs:
+crates/rfsim/src/reader.rs:
+crates/rfsim/src/reading.rs:
+crates/rfsim/src/response.rs:
+crates/rfsim/src/room.rs:
+crates/rfsim/src/scene.rs:

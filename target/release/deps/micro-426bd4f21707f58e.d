@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-426bd4f21707f58e.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-426bd4f21707f58e: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

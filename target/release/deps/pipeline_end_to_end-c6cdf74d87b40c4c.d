@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_end_to_end-c6cdf74d87b40c4c.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/release/deps/pipeline_end_to_end-c6cdf74d87b40c4c: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

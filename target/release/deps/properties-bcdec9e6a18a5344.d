@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-bcdec9e6a18a5344.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-bcdec9e6a18a5344: tests/properties.rs
+
+tests/properties.rs:

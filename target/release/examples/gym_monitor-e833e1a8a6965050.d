@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gym_monitor-e833e1a8a6965050.d: examples/gym_monitor.rs
+
+/root/repo/target/release/examples/gym_monitor-e833e1a8a6965050: examples/gym_monitor.rs
+
+examples/gym_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c4d6dc016e878c59.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c4d6dc016e878c59: examples/quickstart.rs
+
+examples/quickstart.rs:

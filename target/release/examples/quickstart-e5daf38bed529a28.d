@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e5daf38bed529a28.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e5daf38bed529a28: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reader_stream-55cd8db2f7f5cad0.d: examples/reader_stream.rs
+
+/root/repo/target/release/examples/reader_stream-55cd8db2f7f5cad0: examples/reader_stream.rs
+
+examples/reader_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_home-4695cc894ee34321.d: examples/smart_home.rs
+
+/root/repo/target/release/examples/smart_home-4695cc894ee34321: examples/smart_home.rs
+
+examples/smart_home.rs:

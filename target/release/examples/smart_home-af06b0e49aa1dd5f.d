@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_home-af06b0e49aa1dd5f.d: examples/smart_home.rs
+
+/root/repo/target/release/examples/smart_home-af06b0e49aa1dd5f: examples/smart_home.rs
+
+examples/smart_home.rs:

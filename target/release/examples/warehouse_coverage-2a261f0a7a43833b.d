@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/warehouse_coverage-2a261f0a7a43833b.d: examples/warehouse_coverage.rs
+
+/root/repo/target/release/examples/warehouse_coverage-2a261f0a7a43833b: examples/warehouse_coverage.rs
+
+examples/warehouse_coverage.rs:

@@ -59,30 +59,41 @@ fn aoa_tracks_tag_direction() {
 fn calibration_stabilises_aoa_under_hopping() {
     // Eq. 1 calibration cannot remove the *constant* per-port offsets
     // (it maps every channel onto the reference channel, whose own
-    // per-port phases remain) — so a fixed small AoA bias survives,
-    // which learning absorbs. What calibration buys is *stability*:
-    // without it, every estimation window straddles different hop
-    // channels and the peak wanders window to window.
+    // per-port phases remain) — so a fixed AoA bias survives. The bias
+    // is arbitrary (cable-delay differences of a few ns are many
+    // wavelengths at 910 MHz), deployment-specific, and absorbed by
+    // learning. What calibration buys is *stability*: without it, every
+    // estimation window straddles different hop channels and the peak
+    // wanders window to window. So we assert (a) calibrated peaks are
+    // pinned, (b) the pinned angle is a deployment constant — two
+    // calibrators learned from disjoint recordings agree — and (c)
+    // calibration is never less stable than no calibration.
     let pos = Point2::new(5.0, 4.3); // broadside: 90°
     let scene = SceneSnapshot::with_tags(vec![pos]);
 
     let mut cal_reader = Reader::new(anechoic(), reader_cfg(true), 1);
     let frozen = scene.clone();
-    let cal_readings = cal_reader.run(|_| frozen.clone(), 21.0);
-    let calibrator = PhaseCalibrator::learn(&cal_readings, 1, 4);
+    let cal_readings = cal_reader.run(|_| frozen.clone(), 42.0);
+    let (first_half, second_half): (Vec<_>, Vec<_>) =
+        cal_readings.into_iter().partition(|r| r.time_s < 21.0);
+    let calibrator = PhaseCalibrator::learn(&first_half, 1, 4);
+    let calibrator_b = PhaseCalibrator::learn(&second_half, 1, 4);
 
     let mut reader = Reader::new(anechoic(), reader_cfg(true), 1);
     let readings = reader.run(|_| scene.clone(), 21.0);
     let layout = FrameLayout::new(1, 4, FeatureMode::MusicOnly);
 
     let builder = FrameBuilder::new(layout, calibrator, 2.0);
+    let builder_b = FrameBuilder::new(layout, calibrator_b, 2.0);
     let uncal_builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 2.0);
     let n_windows = 8;
     let mut cal_peaks = Vec::new();
+    let mut cal_peaks_b = Vec::new();
     let mut raw_peaks = Vec::new();
     for k in 0..n_windows {
         let t0 = k as f64 * 2.0;
         cal_peaks.push(peak_angle(&builder.build_frame(&readings, t0)));
+        cal_peaks_b.push(peak_angle(&builder_b.build_frame(&readings, t0)));
         raw_peaks.push(peak_angle(&uncal_builder.build_frame(&readings, t0)));
     }
     let spread = |v: &[f64]| {
@@ -90,17 +101,21 @@ fn calibration_stabilises_aoa_under_hopping() {
         let hi = v.iter().cloned().fold(f64::MIN, f64::max);
         hi - lo
     };
-    // Calibrated peaks are pinned (≤ 2° wander) at a stable angle
-    // within 20° of geometry; uncalibrated peaks wander more.
+    // (a) Calibrated peaks are pinned (≤ 2° wander).
     assert!(
         spread(&cal_peaks) <= 2.0,
         "calibrated peaks wander: {cal_peaks:?}"
     );
-    let mean_cal = cal_peaks.iter().sum::<f64>() / cal_peaks.len() as f64;
+    // (b) The surviving bias is a deployment constant: independently
+    // learned calibrators pin the peak at the same angle.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     assert!(
-        (mean_cal - 90.0).abs() < 20.0,
-        "calibrated bias too large: {mean_cal}"
+        (mean(&cal_peaks) - mean(&cal_peaks_b)).abs() <= 2.0,
+        "bias depends on the calibration recording: {} vs {}",
+        mean(&cal_peaks),
+        mean(&cal_peaks_b)
     );
+    // (c) Calibration is never less stable than no calibration.
     assert!(
         spread(&cal_peaks) <= spread(&raw_peaks),
         "calibration must not be less stable: {cal_peaks:?} vs {raw_peaks:?}"
@@ -127,11 +142,7 @@ fn blocker_changes_the_spectrum() {
     };
     let clear = spectrum(false);
     let blocked = spectrum(true);
-    let diff: f32 = clear
-        .iter()
-        .zip(&blocked)
-        .map(|(a, b)| (a - b).abs())
-        .sum();
+    let diff: f32 = clear.iter().zip(&blocked).map(|(a, b)| (a - b).abs()).sum();
     assert!(diff > 1.0, "blocking changed nothing (diff {diff})");
 }
 
@@ -141,9 +152,10 @@ fn more_antennas_sharpen_the_spectrum() {
     // 4 antennas concentrate power around the true angle.
     let pos = Point2::new(5.0, 4.0);
     let scene = SceneSnapshot::with_tags(vec![pos]);
-    let sharpness = |n_ant: usize| -> f64 {
+    let sharpness = |n_ant: usize, seed: u64| -> f64 {
         let mut cfg = reader_cfg(false);
         cfg.n_antennas = n_ant;
+        cfg.seed = seed;
         let mut reader = Reader::new(anechoic(), cfg, 1);
         let readings = reader.run(|_| scene.clone(), 2.0);
         let layout = FrameLayout::new(1, n_ant, FeatureMode::MusicOnly);
@@ -152,8 +164,14 @@ fn more_antennas_sharpen_the_spectrum() {
         // Support size: how many angle bins carry noticeable power.
         frame[..180].iter().filter(|&&v| v > 0.12).count() as f64
     };
-    let s2 = sharpness(2);
-    let s4 = sharpness(4);
+    // The support size is a noisy statistic of one 2 s recording, so
+    // compare averages over several independent noise realisations.
+    let seeds = [1u64, 2, 3, 4, 5];
+    let avg = |n_ant: usize| -> f64 {
+        seeds.iter().map(|&s| sharpness(n_ant, s)).sum::<f64>() / seeds.len() as f64
+    };
+    let s2 = avg(2);
+    let s4 = avg(4);
     assert!(
         s4 <= s2,
         "4 antennas should concentrate power into no more bins: {s4} vs {s2}"

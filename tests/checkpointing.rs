@@ -23,7 +23,12 @@ fn trained_model_roundtrips() {
     let mut trained = outcome.model;
     let bytes = save_params(&mut trained);
 
-    let mut restored = build_model(&bundle.layout, bundle.n_classes, Architecture::CnnLstm, 4242);
+    let mut restored = build_model(
+        &bundle.layout,
+        bundle.n_classes,
+        Architecture::CnnLstm,
+        4242,
+    );
     load_params(&mut restored, &bytes).expect("architectures match");
     for (frames, _) in bundle.samples.iter().take(6) {
         assert_eq!(trained.predict(frames), restored.predict(frames));

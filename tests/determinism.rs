@@ -1,0 +1,118 @@
+//! The parallel execution layer must be invisible in the output:
+//! every stage that fans out over a work-pool is built from index-pure
+//! tasks whose results are placed back by index, so any thread count
+//! (including 0 = "all cores") produces bit-identical results to a
+//! serial run. These tests pin that contract.
+
+use m2ai::prelude::*;
+use m2ai_core::calibration::PhaseCalibrator;
+use m2ai_rfsim::geometry::Point2;
+
+/// Bitwise sample comparison: `f32::eq` would accept `0.0 == -0.0` and
+/// reject `NaN == NaN`; the determinism contract is stricter than both.
+fn assert_samples_bit_identical(
+    a: &[(Vec<Vec<f32>>, usize)],
+    b: &[(Vec<Vec<f32>>, usize)],
+    what: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{what}: sample counts differ");
+    for (i, ((fa, ya), (fb, yb))) in a.iter().zip(b).enumerate() {
+        assert_eq!(ya, yb, "{what}: label of sample {i} differs");
+        assert_eq!(fa.len(), fb.len(), "{what}: frame count of sample {i}");
+        for (k, (ra, rb)) in fa.iter().zip(fb).enumerate() {
+            assert_eq!(ra.len(), rb.len(), "{what}: dim of frame {k}");
+            for (j, (va, vb)) in ra.iter().zip(rb).enumerate() {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "{what}: sample {i} frame {k} feature {j}: {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        samples_per_class: 2,
+        frames_per_sample: 4,
+        calibrate: false,
+        ..ExperimentConfig::paper_default()
+    }
+}
+
+#[test]
+fn generate_dataset_is_thread_count_invariant() {
+    // Two configurations, including the full calibrated path (the
+    // calibrator is learned once, before the fan-out, and shared
+    // read-only by every worker).
+    let mut calibrated = tiny_config();
+    calibrated.calibrate = true;
+    calibrated.samples_per_class = 1;
+
+    for (name, base) in [("uncalibrated", tiny_config()), ("calibrated", calibrated)] {
+        let mut serial_cfg = base.clone();
+        serial_cfg.n_threads = 1;
+        let mut parallel_cfg = base;
+        parallel_cfg.n_threads = 8;
+
+        let serial = generate_dataset(&serial_cfg);
+        let parallel = generate_dataset(&parallel_cfg);
+        // `config` differs by design (it records n_threads), so compare
+        // the data, not the whole bundle.
+        assert_samples_bit_identical(&serial.samples, &parallel.samples, name);
+        assert_eq!(serial.layout, parallel.layout);
+        assert_eq!(serial.n_classes, parallel.n_classes);
+    }
+}
+
+#[test]
+fn frame_builder_is_parallelism_invariant() {
+    // One recorded stream, one layout; only the worker count varies.
+    let scene = SceneSnapshot::with_tags(vec![
+        Point2::new(4.2, 4.5),
+        Point2::new(5.8, 4.0),
+        Point2::new(6.6, 5.2),
+        Point2::new(3.2, 3.6),
+    ]);
+    let mut reader = Reader::new(Room::laboratory(), ReaderConfig::default(), 4);
+    let readings = reader.run(|_| scene.clone(), 3.0);
+    let layout = FrameLayout::new(4, 4, FeatureMode::Joint);
+
+    let serial = FrameBuilder::new(layout, PhaseCalibrator::disabled(4, 4), 0.5);
+    let frames_1 = serial.build_sample(&readings, 0.0, 5);
+    for threads in [2usize, 4, 8] {
+        let par = FrameBuilder::new(layout, PhaseCalibrator::disabled(4, 4), 0.5)
+            .with_parallelism(threads);
+        let single = par.build_frame(&readings, 0.5);
+        let single_serial = serial.build_frame(&readings, 0.5);
+        assert_eq!(
+            single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            single_serial
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "build_frame with {threads} threads"
+        );
+        let frames_n = par.build_sample(&readings, 0.0, 5);
+        let a: Vec<(Vec<Vec<f32>>, usize)> = vec![(frames_1.clone(), 0)];
+        let b: Vec<(Vec<Vec<f32>>, usize)> = vec![(frames_n, 0)];
+        assert_samples_bit_identical(&a, &b, &format!("build_sample x{threads}"));
+    }
+}
+
+#[test]
+fn baseline_battery_is_thread_count_invariant() {
+    let bundle = generate_dataset(&tiny_config());
+    let serial = evaluate_baselines(&bundle, 0.25, 3, 1);
+    let parallel = evaluate_baselines(&bundle, 0.25, 3, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((na, aa), (nb, ab)) in serial.iter().zip(&parallel) {
+        assert_eq!(na, nb, "baseline order must not depend on threads");
+        assert_eq!(
+            aa.to_bits(),
+            ab.to_bits(),
+            "{na}: serial {aa} vs parallel {ab}"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Golden regression test: a fixed-seed recording pushed through the
+//! full feature-extraction path must keep producing the same frames.
+//!
+//! The literals below were produced by `golden_printer` (run it with
+//! `cargo test --test golden_frames -- --ignored --nocapture` after an
+//! intentional numerics change and paste its output). The tolerance is
+//! loose enough for cross-platform libm differences in `sin`/`cos`
+//! (~1 ulp), but tight enough that any real change to calibration,
+//! MUSIC, the periodogram, or frame assembly trips it.
+
+use m2ai::prelude::*;
+use m2ai_core::calibration::PhaseCalibrator;
+use m2ai_rfsim::geometry::Point2;
+
+const REL_TOL: f32 = 1e-4;
+
+/// The pinned scenario: paper geometry, two static tags, 2 s of
+/// fixed-seed readings, one Joint frame per half second.
+fn golden_frames() -> Vec<Vec<f32>> {
+    let scene = SceneSnapshot::with_tags(vec![Point2::new(4.2, 4.5), Point2::new(6.6, 5.2)]);
+    let cfg = ReaderConfig {
+        seed: 42,
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(Room::laboratory(), cfg, 2);
+    let readings = reader.run(|_| scene.clone(), 2.0);
+    let layout = FrameLayout::new(2, 4, FeatureMode::Joint);
+    let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(2, 4), 0.5);
+    builder.build_sample(&readings, 0.0, 4)
+}
+
+/// (frame index, feature index, expected value) — a spread of probe
+/// points across both tags' pseudospectra and the direct features.
+const GOLDEN_PROBES: &[(usize, usize, f32)] = &[
+    (0, 0, 0.029213293),
+    (0, 37, 0.023365831),
+    (0, 90, 0.6667194),
+    (0, 180, 0.6231943),
+    (0, 217, 0.62190986),
+    (0, 270, 0.8858929),
+    (0, 360, 0.7919064),
+    (0, 367, 0.55833334),
+    (1, 0, 0.26579416),
+    (1, 37, 0.2465778),
+    (1, 90, 0.7292302),
+    (1, 180, 0.0),
+    (1, 217, 0.0),
+    (1, 270, 0.0),
+    (1, 360, 0.7732513),
+    (1, 367, 0.0),
+    (2, 0, 0.12707321),
+    (2, 37, 0.11409122),
+    (2, 90, 0.38677257),
+    (2, 180, 0.0),
+    (2, 217, 0.0),
+    (2, 270, 0.0),
+    (2, 360, 0.78212434),
+    (2, 367, 0.78333336),
+    (3, 0, 0.29939643),
+    (3, 37, 0.2914681),
+    (3, 90, 0.8893466),
+    (3, 180, 0.91233325),
+    (3, 217, 0.9811863),
+    (3, 270, 0.9214344),
+    (3, 360, 0.80628633),
+    (3, 367, 0.55428654),
+];
+
+/// Per-frame feature sums — a cheap whole-frame checksum.
+const GOLDEN_SUMS: &[f32] = &[140.72935, 60.858356, 41.50529, 234.64206];
+
+#[test]
+#[ignore = "generator: prints fresh golden literals"]
+fn golden_printer() {
+    let frames = golden_frames();
+    let dim = frames[0].len();
+    println!("const GOLDEN_PROBES: &[(usize, usize, f32)] = &[");
+    for (k, frame) in frames.iter().enumerate() {
+        for &j in &[0usize, 37, 90, 180, 217, 270, dim - 8, dim - 1] {
+            println!("    ({k}, {j}, {:?}),", frame[j]);
+        }
+    }
+    println!("];");
+    println!("const GOLDEN_SUMS: &[f32] = &[");
+    for frame in &frames {
+        println!("    {:?},", frame.iter().sum::<f32>());
+    }
+    println!("];");
+}
+
+#[test]
+fn frames_match_golden_snapshot() {
+    let frames = golden_frames();
+    assert_eq!(frames.len(), 4);
+    assert!(
+        !GOLDEN_PROBES.is_empty(),
+        "golden literals missing — run golden_printer"
+    );
+    for &(k, j, expected) in GOLDEN_PROBES {
+        let got = frames[k][j];
+        assert!(
+            (got - expected).abs() <= REL_TOL * (1.0 + expected.abs()),
+            "frame {k} feature {j}: got {got}, golden {expected}"
+        );
+    }
+    for (k, (frame, &expected)) in frames.iter().zip(GOLDEN_SUMS).enumerate() {
+        let sum: f32 = frame.iter().sum();
+        // Sums accumulate rounding over frame_dim() terms; scale the
+        // tolerance accordingly.
+        let tol = REL_TOL * (1.0 + expected.abs()) * (frame.len() as f32).sqrt();
+        assert!(
+            (sum - expected).abs() <= tol,
+            "frame {k} sum: got {sum}, golden {expected}"
+        );
+    }
+}

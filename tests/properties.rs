@@ -1,7 +1,7 @@
 //! Property-based tests over the cross-crate mathematical invariants.
 
 use m2ai::dsp::fft::{fft, ifft};
-use m2ai::dsp::music::{steering_vector, MusicConfig};
+use m2ai::dsp::music::{pseudospectrum, steering_vector, MusicConfig, SourceCount, SteeringTable};
 use m2ai::dsp::phase::{unwrap, wrap_positive};
 use m2ai::dsp::Complex;
 use m2ai::nn::loss::{softmax, softmax_cross_entropy};
@@ -114,6 +114,84 @@ proptest! {
         let layout = FrameLayout::new(n_tags, n_ant, mode);
         prop_assert_eq!(layout.frame_dim(), layout.spectrum_dim() + layout.direct_dim());
         prop_assert!(layout.frame_dim() > 0);
+    }
+
+    /// The precomputed steering-vector table is bitwise-identical to
+    /// direct computation for any geometry — the cache may never change
+    /// a single mantissa bit of a pseudospectrum.
+    #[test]
+    fn steering_table_matches_direct(
+        n in 2usize..7,
+        spacing in 0.01f64..0.6,
+        round_trip in any::<bool>(),
+        n_angles in 16usize..181,
+    ) {
+        let cfg = MusicConfig {
+            n_antennas: n,
+            spacing_wavelengths: spacing,
+            round_trip,
+            n_angles,
+            ..MusicConfig::paper_default()
+        };
+        let table = SteeringTable::for_config(&cfg);
+        prop_assert_eq!(table.len(), n_angles);
+        for g in 0..n_angles {
+            let theta = 180.0 * g as f64 / n_angles as f64;
+            let direct = steering_vector(&cfg, theta);
+            let cached = table.vector(g);
+            prop_assert_eq!(cached.len(), direct.len());
+            for (a, b) in cached.iter().zip(&direct) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    /// Pseudospectra are finite and non-negative everywhere, and
+    /// duplicating the snapshot set (which leaves the correlation
+    /// matrix unchanged up to summation order) leaves the spectrum
+    /// unchanged too.
+    #[test]
+    fn pseudospectrum_finite_and_duplication_invariant(
+        theta in 10.0f64..170.0,
+        phases in prop::collection::vec(0.0f64..std::f64::consts::TAU, 4..9),
+        noise in prop::collection::vec((-0.05f64..0.05, -0.05f64..0.05), 36),
+    ) {
+        // MDL would see a different snapshot count after duplication,
+        // so pin the source count; the subspace split is then a pure
+        // function of the correlation matrix.
+        let cfg = MusicConfig {
+            source_count: SourceCount::Fixed(1),
+            ..MusicConfig::paper_default()
+        };
+        let sv = steering_vector(&cfg, theta);
+        let snaps: Vec<Vec<Complex>> = phases
+            .iter()
+            .enumerate()
+            .map(|(i, &ph)| {
+                (0..cfg.n_antennas)
+                    .map(|k| {
+                        let (re, im) = noise[(i * cfg.n_antennas + k) % noise.len()];
+                        sv[k] * Complex::cis(ph) + Complex::new(re, im)
+                    })
+                    .collect()
+            })
+            .collect();
+        let spec = pseudospectrum(&snaps, &cfg).expect("well-formed snapshots");
+        prop_assert_eq!(spec.power.len(), cfg.n_angles);
+        for &p in &spec.power {
+            prop_assert!(p.is_finite() && p >= 0.0, "power {p}");
+        }
+
+        let doubled: Vec<Vec<Complex>> =
+            snaps.iter().chain(snaps.iter()).cloned().collect();
+        let spec2 = pseudospectrum(&doubled, &cfg).expect("well-formed snapshots");
+        for (a, b) in spec.power.iter().zip(&spec2.power) {
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                "duplication changed the spectrum: {a} vs {b}"
+            );
+        }
     }
 
     /// Room geometry: clamped points are always inside.

@@ -1,0 +1,270 @@
+//! Offline, dependency-free stand-in for the subset of the `criterion`
+//! 0.5 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small wall-clock benchmarking harness with the same
+//! surface: [`Criterion`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up,
+//! then timed over enough iterations to fill a fixed measurement
+//! window, and the mean/min/max per-iteration times are printed. No
+//! HTML reports, no outlier analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortises setup cost (ignored here —
+/// setup is always per-batch and never timed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs.
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Formats a per-iteration duration with an adaptive unit.
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs timed closures for one benchmark.
+pub struct Bencher {
+    measurement_window: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(measurement_window: Duration) -> Self {
+        Bencher {
+            measurement_window,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement window fills.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let deadline = Instant::now() + self.measurement_window;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed);
+            if Instant::now() >= deadline || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only `routine` is
+    /// timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measurement_window;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed);
+            if Instant::now() >= deadline || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("non-empty");
+        let max = *self.samples.iter().max().expect("non-empty");
+        println!(
+            "{name:<48} time: [{} {} {}]  ({} samples)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            self.samples.len()
+        );
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    filter: Option<String>,
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`cargo bench -- <filter>`).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args
+            .into_iter()
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f.as_str()))
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let window = self.measurement_window;
+        if self.enabled(&id) {
+            run_one(&id, window, routine);
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, window: Duration, mut routine: F) {
+    let mut b = Bencher::new(window);
+    routine(&mut b);
+    b.report(id);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the sample count; this harness uses a fixed
+    /// measurement window, so the call is accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let window = self.parent.measurement_window;
+        if self.parent.enabled(&full) {
+            run_one(&full, window, routine);
+        }
+        self
+    }
+
+    /// Closes the group (prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as upstream `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as upstream `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            measurement_window: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion {
+            filter: None,
+            measurement_window: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            measurement_window: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran, "filtered benchmark must not run");
+    }
+}

@@ -1,0 +1,60 @@
+//! Named generator types ([`StdRng`]).
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Not stream-compatible with upstream `rand`'s ChaCha12-based
+/// `StdRng`; see the crate docs for why that is acceptable here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(mut seed_state: u64) -> Self {
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut seed_state);
+        }
+        // xoshiro256++ must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        StdRng { s }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // Compress the 32-byte seed into a u64 with FNV-1a, then expand
+        // — simple, deterministic and well-mixed.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in seed {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::from_state(h)
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng::from_state(state)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
