@@ -37,10 +37,13 @@ fn main() {
             "fig17" => m2ai_bench::fig17(budget),
             "ablation-aoa" => m2ai_bench::ablation_aoa(budget),
             "ext-transfer" => m2ai_bench::ext_transfer(budget),
+            "robustness" => {
+                m2ai_bench::robustness::run_and_write(budget, "BENCH_robustness.json", 2026);
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer; flag --fast"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness; flag --fast"
                 );
                 std::process::exit(2);
             }

@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod robustness;
+
 use m2ai_core::dataset::{generate_dataset, ExperimentConfig, RoomKind};
 use m2ai_core::frames::FeatureMode;
 use m2ai_core::network::Architecture;

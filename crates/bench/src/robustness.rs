@@ -1,0 +1,210 @@
+//! Robustness sweep: accuracy vs fault intensity (PR-2 harness).
+//!
+//! Trains the full M²AI pipeline once on a *clean* dataset, then
+//! evaluates the frozen model on datasets recorded through a
+//! [`FaultPlan`] of increasing intensity — antenna dropouts, occlusion
+//! bursts, slot starvation, phase glitches, RSSI brownouts and outright
+//! field corruption all scale together (see
+//! [`FaultPlan::with_intensity`]). The sweep answers the deployment
+//! question the paper leaves open: *how gracefully does accuracy
+//! degrade when the RF front end misbehaves?*
+//!
+//! Everything is seed-driven and deterministic: a fixed
+//! `(budget, fault_seed)` pair reproduces the report bit-for-bit, so
+//! the emitted `BENCH_robustness.json` doubles as a CI regression
+//! baseline.
+
+use m2ai_core::dataset::generate_dataset;
+use m2ai_rfsim::fault::FaultPlan;
+
+use crate::{base_config, base_options, header, Budget};
+
+/// Fault intensities swept by [`run`], from pristine to severe.
+pub const INTENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// One measured point of the accuracy-vs-fault-rate curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessPoint {
+    /// Fault intensity in `[0, 1]` fed to [`FaultPlan::with_intensity`].
+    pub intensity: f64,
+    /// Fraction of tag reads the faults destroyed (vs the clean run).
+    pub read_loss: f64,
+    /// Frozen-model accuracy on the faulted evaluation dataset.
+    pub accuracy: f64,
+}
+
+/// Full sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// Clean-training held-out accuracy (the sweep's ceiling).
+    pub clean_test_accuracy: f64,
+    /// Seed driving every [`FaultPlan`] in the sweep.
+    pub fault_seed: u64,
+    /// One point per entry of [`INTENSITIES`], in order.
+    pub points: Vec<RobustnessPoint>,
+}
+
+impl RobustnessReport {
+    /// Renders the report as a small stable JSON document.
+    ///
+    /// Hand-rolled (the workspace carries no serde): keys are emitted
+    /// in a fixed order and floats with enough digits to round-trip.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"clean_test_accuracy\": {},\n",
+            json_f64(self.clean_test_accuracy)
+        ));
+        out.push_str(&format!("  \"fault_seed\": {},\n", self.fault_seed));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"intensity\": {}, \"read_loss\": {}, \"accuracy\": {}}}{}\n",
+                json_f64(p.intensity),
+                json_f64(p.read_loss),
+                json_f64(p.accuracy),
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    // `{}` prints f64 with round-trip precision and no exponent for the
+    // magnitudes seen here; map non-finite (should never happen) to null.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Runs the sweep and returns the report (also printed as a table).
+pub fn run(budget: Budget, fault_seed: u64) -> RobustnessReport {
+    header(
+        "Robustness (PR-2)",
+        "accuracy vs fault intensity, frozen clean-trained model",
+    );
+    let clean_cfg = base_config(budget);
+    let bundle = generate_dataset(&clean_cfg);
+    let outcome = crate::train_m2ai(&bundle, &base_options(budget));
+    println!(
+        "clean training: {:5.1}% held-out accuracy",
+        100.0 * outcome.test_accuracy
+    );
+    println!("{:>9}  {:>9}  {:>8}", "intensity", "read_loss", "accuracy");
+
+    let mut eval_cfg = clean_cfg.clone();
+    eval_cfg.seed = clean_cfg.seed + 1000; // unseen recordings at every intensity
+    let clean_reads = raw_read_count(&eval_cfg);
+
+    let mut points = Vec::with_capacity(INTENSITIES.len());
+    for &intensity in &INTENSITIES {
+        let mut cfg = eval_cfg.clone();
+        cfg.faults = FaultPlan::with_intensity(intensity, fault_seed);
+        let eval = generate_dataset(&cfg);
+        let accuracy = m2ai_nn::train::evaluate(&outcome.model, &eval.samples);
+        let reads = raw_read_count(&cfg);
+        let read_loss = if clean_reads > 0 {
+            1.0 - reads as f64 / clean_reads as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>9.2}  {:>8.1}%  {:>7.1}%",
+            intensity,
+            100.0 * read_loss,
+            100.0 * accuracy
+        );
+        points.push(RobustnessPoint {
+            intensity,
+            read_loss,
+            accuracy,
+        });
+    }
+    RobustnessReport {
+        clean_test_accuracy: outcome.test_accuracy,
+        fault_seed,
+        points,
+    }
+}
+
+/// Raw surviving-read count for one representative static recording
+/// pass under `cfg`'s fault plan — a cheap fault-severity proxy that
+/// avoids regenerating whole datasets just to count destroyed reads.
+fn raw_read_count(cfg: &m2ai_core::dataset::ExperimentConfig) -> usize {
+    use m2ai_rfsim::geometry::Point2;
+    use m2ai_rfsim::reader::{Reader, ReaderConfig};
+    use m2ai_rfsim::scene::SceneSnapshot;
+
+    let room = cfg.room.build();
+    let n_tags = cfg.n_tags();
+    let reader_cfg = ReaderConfig {
+        n_antennas: cfg.n_antennas,
+        seed: cfg.seed,
+        ..ReaderConfig::default()
+    };
+    let mut reader =
+        Reader::new(room.clone(), reader_cfg, n_tags).with_fault_plan(cfg.faults.clone());
+    let positions: Vec<Point2> = (0..n_tags)
+        .map(|i| {
+            room.clamp_inside(
+                Point2::new(room.width * (i + 1) as f64 / (n_tags + 1) as f64, 2.0),
+                0.3,
+            )
+        })
+        .collect();
+    let scene = SceneSnapshot::with_tags(positions);
+    reader.run(|_| scene.clone(), 2.0).len()
+}
+
+/// Runs the sweep and writes the JSON report to `path`.
+///
+/// # Panics
+///
+/// Panics if `path` cannot be written.
+pub fn run_and_write(budget: Budget, path: &str, fault_seed: u64) -> RobustnessReport {
+    let report = run(budget, fault_seed);
+    std::fs::write(path, report.to_json()).expect("write robustness report");
+    println!("wrote {path}");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = RobustnessReport {
+            clean_test_accuracy: 0.875,
+            fault_seed: 7,
+            points: vec![
+                RobustnessPoint {
+                    intensity: 0.0,
+                    read_loss: 0.0,
+                    accuracy: 0.875,
+                },
+                RobustnessPoint {
+                    intensity: 1.0,
+                    read_loss: 0.5,
+                    accuracy: 0.25,
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"clean_test_accuracy\": 0.875"));
+        assert!(json.contains("\"fault_seed\": 7"));
+        assert!(json.contains("\"intensity\": 1, \"read_loss\": 0.5, \"accuracy\": 0.25"));
+        // Exactly one trailing comma between the two points.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.5), "0.5");
+    }
+}

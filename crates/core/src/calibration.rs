@@ -50,6 +50,11 @@ impl PhaseCalibrator {
             if tag >= n_tags || r.antenna >= n_antennas || r.channel >= N_CHANNELS {
                 continue;
             }
+            // A corrupted report must not poison a whole channel's
+            // median.
+            if !r.phase_rad.is_finite() {
+                continue;
+            }
             buckets[tag * n_antennas + r.antenna][r.channel].push(r.phase_rad);
         }
         let mut medians = vec![vec![f64::NAN; N_CHANNELS]; n_links];
@@ -88,6 +93,28 @@ impl PhaseCalibrator {
             reference,
             enabled: true,
         }
+    }
+
+    /// Fallible variant of [`PhaseCalibrator::learn`]: fails with
+    /// [`Error::EmptyWindow`](crate::error::Error::EmptyWindow) when the
+    /// stationary interval contains *no* usable (finite, in-range)
+    /// reading at all, instead of silently returning a calibrator that
+    /// passes everything through.
+    pub fn try_learn(
+        readings: &[TagReading],
+        n_tags: usize,
+        n_antennas: usize,
+    ) -> Result<Self, crate::error::Error> {
+        let usable = readings.iter().any(|r| {
+            r.tag.0 < n_tags
+                && r.antenna < n_antennas
+                && r.channel < N_CHANNELS
+                && r.phase_rad.is_finite()
+        });
+        if !usable {
+            return Err(crate::error::Error::EmptyWindow);
+        }
+        Ok(Self::learn(readings, n_tags, n_antennas))
     }
 
     /// A pass-through calibrator (the Fig. 10 "no calibration" arm).
@@ -252,5 +279,38 @@ mod tests {
     #[should_panic(expected = "need tags")]
     fn zero_tags_panics() {
         PhaseCalibrator::learn(&[], 0, 1);
+    }
+
+    #[test]
+    fn nan_phases_do_not_poison_medians() {
+        let offsets: Vec<f64> = (0..N_CHANNELS).map(|c| 0.1 * c as f64).collect();
+        let mut readings = stationary(&offsets, 1.0);
+        // Interleave corrupted reports on every channel.
+        let n = readings.len();
+        for i in (0..n).step_by(3) {
+            let mut bad = readings[i].clone();
+            bad.phase_rad = f64::NAN;
+            readings.push(bad);
+        }
+        let cal = PhaseCalibrator::learn(&readings, 1, 1);
+        let got = cal.calibrate(&reading(0, 0, 5, 1.0 + offsets[5]));
+        assert!(got.is_finite(), "corrupted reports leaked into medians");
+    }
+
+    #[test]
+    fn try_learn_rejects_unusable_windows() {
+        use crate::error::Error;
+        assert!(matches!(
+            PhaseCalibrator::try_learn(&[], 1, 1),
+            Err(Error::EmptyWindow)
+        ));
+        let mut bad = reading(0, 0, 3, 1.0);
+        bad.phase_rad = f64::NAN;
+        assert!(matches!(
+            PhaseCalibrator::try_learn(&[bad], 1, 1),
+            Err(Error::EmptyWindow)
+        ));
+        let ok = PhaseCalibrator::try_learn(&stationary(&vec![0.0; N_CHANNELS], 1.0), 1, 1);
+        assert!(ok.is_ok());
     }
 }

@@ -11,6 +11,7 @@ use crate::frames::{FeatureMode, FrameBuilder, FrameLayout};
 use m2ai_motion::activity::catalog;
 use m2ai_motion::scene::ActivityScene;
 use m2ai_motion::volunteer::Volunteer;
+use m2ai_rfsim::fault::FaultPlan;
 use m2ai_rfsim::geometry::{Point2, Vec2};
 use m2ai_rfsim::reader::{Reader, ReaderConfig};
 use m2ai_rfsim::room::Room;
@@ -66,6 +67,11 @@ pub struct ExperimentConfig {
     pub placement_jitter_m: f64,
     /// Master seed (reader deployment + scene randomisation).
     pub seed: u64,
+    /// Fault-injection plan applied to every *recording* run (the
+    /// calibration interval stays clean — it models a supervised
+    /// deployment step). [`FaultPlan::none`] (the default) leaves the
+    /// dataset bit-identical to a fault-free build.
+    pub faults: FaultPlan,
     /// Worker threads for dataset generation (0 = all cores, 1 =
     /// serial). Every sample's RNG is seeded from `(seed, class, k)`
     /// alone, so the generated dataset is bit-identical for every
@@ -94,6 +100,7 @@ impl ExperimentConfig {
             distance_m: 4.0,
             placement_jitter_m: 0.25,
             seed: 42,
+            faults: FaultPlan::none(),
             n_threads: 0,
         }
     }
@@ -130,6 +137,7 @@ impl ExperimentConfig {
             "frame duration must be positive"
         );
         assert!(self.distance_m > 0.5, "subjects too close to the array");
+        self.faults.assert_valid();
     }
 
     fn reader_config(&self, room: &Room) -> ReaderConfig {
@@ -248,6 +256,7 @@ pub fn generate_dataset(config: &ExperimentConfig) -> DatasetBundle {
             spot,
         );
         let mut reader = Reader::new(room.clone(), config.reader_config(&room), config.n_tags());
+        reader.set_fault_plan(config.faults.clone());
         let readings = reader.run(|t| scene.snapshot(t), duration);
         let frames = builder.build_sample(&readings, 0.0, config.frames_per_sample);
         (frames, class_idx)
@@ -401,6 +410,31 @@ mod tests {
         config.calibrate = true;
         let cal = learn_calibration(&config);
         assert!(cal.is_enabled());
+    }
+
+    #[test]
+    fn none_faults_leave_dataset_bit_identical() {
+        let config = tiny_config();
+        let mut planned = tiny_config();
+        planned.faults = FaultPlan::with_intensity(0.0, 99); // rate-0 plan
+        assert_eq!(
+            generate_dataset(&config).samples,
+            generate_dataset(&planned).samples
+        );
+    }
+
+    #[test]
+    fn faulted_dataset_differs_but_stays_finite() {
+        let mut config = tiny_config();
+        config.faults = FaultPlan::with_intensity(0.6, 2026);
+        let faulted = generate_dataset(&config);
+        let clean = generate_dataset(&tiny_config());
+        assert_ne!(clean.samples, faulted.samples);
+        for (frames, _) in &faulted.samples {
+            for f in frames {
+                assert!(f.iter().all(|v| v.is_finite()), "faults leaked NaN/Inf");
+            }
+        }
     }
 
     #[test]

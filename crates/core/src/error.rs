@@ -1,0 +1,59 @@
+//! Typed errors for data-dependent failures in the pipeline.
+//!
+//! Config validation stays `assert!`-style (programmer errors);
+//! anything a degraded reading stream can cause — empty windows, NaN
+//! inputs, a diverged model — is an [`Error`] so streaming callers can
+//! degrade gracefully instead of crashing.
+
+/// A data-dependent failure in the core pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A window/interval contained no usable readings.
+    EmptyWindow,
+    /// An input carried a non-finite value where one is required.
+    NonFiniteInput {
+        /// Which input was non-finite.
+        context: &'static str,
+    },
+    /// The underlying model failed.
+    Nn(m2ai_nn::error::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptyWindow => write!(f, "no usable readings in the window"),
+            Error::NonFiniteInput { context } => write!(f, "non-finite input: {context}"),
+            Error::Nn(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<m2ai_nn::error::Error> for Error {
+    fn from(e: m2ai_nn::error::Error) -> Error {
+        Error::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(Error::EmptyWindow.to_string().contains("window"));
+        let e = Error::NonFiniteInput { context: "t0" };
+        assert!(e.to_string().contains("t0"));
+        let n: Error = m2ai_nn::error::Error::EmptySequence.into();
+        assert!(n.to_string().contains("model error"));
+    }
+}

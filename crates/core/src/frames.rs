@@ -19,6 +19,7 @@
 //! Four degraded feature modes reproduce the Fig. 16 ablation.
 
 use crate::calibration::PhaseCalibrator;
+use crate::error::Error;
 use m2ai_dsp::music::{pseudospectrum, MusicConfig, SourceCount};
 use m2ai_dsp::Complex;
 use m2ai_par::parallel_map;
@@ -101,6 +102,40 @@ impl FrameLayout {
     }
 }
 
+/// Per-tag input quality of one built frame.
+///
+/// Coverage measures how much of the window's expected snapshot supply
+/// actually arrived for each tag — the per-tag *coverage mask* of the
+/// degradation contract. `0.0` means the tag was invisible for the
+/// whole window (its frame region is all zeros), `1.0` that every
+/// antenna round produced a usable snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameQuality {
+    /// Fraction of expected per-round snapshots observed, per tag, in
+    /// `[0, 1]`.
+    pub tag_coverage: Vec<f32>,
+}
+
+impl FrameQuality {
+    /// Mean coverage over all tags.
+    pub fn mean_coverage(&self) -> f32 {
+        if self.tag_coverage.is_empty() {
+            return 0.0;
+        }
+        self.tag_coverage.iter().sum::<f32>() / self.tag_coverage.len() as f32
+    }
+
+    /// Tags with zero coverage (completely unseen this window).
+    pub fn missing_tags(&self) -> Vec<usize> {
+        self.tag_coverage
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
 /// Builds feature frames from calibrated reader output.
 #[derive(Debug, Clone)]
 pub struct FrameBuilder {
@@ -171,6 +206,11 @@ impl FrameBuilder {
             if r.tag.0 != tag || r.time_s < t0 || r.time_s >= t1 || r.antenna >= n_ant {
                 continue;
             }
+            // Corrupted reports (NaN/Inf phase or RSSI) carry no usable
+            // signal: treat them as missed reads.
+            if !r.time_s.is_finite() || !r.phase_rad.is_finite() || !r.rssi_dbm.is_finite() {
+                continue;
+            }
             let round = (r.time_s / self.round_duration_s).floor() as i64;
             let slot = per_round.entry(round).or_insert_with(|| vec![None; n_ant]);
             let phase = self.calibrator.calibrate(r);
@@ -184,7 +224,8 @@ impl FrameBuilder {
     }
 
     /// Spectrum and direct features of one tag within
-    /// `[t0, t0 + frame_duration)` — index-pure in `tag`, so frame
+    /// `[t0, t0 + frame_duration)`, plus the number of complete array
+    /// snapshots that fed them — index-pure in `tag`, so frame
     /// construction can fan tags out across workers without changing a
     /// single bit of the output.
     fn tag_features(
@@ -193,7 +234,7 @@ impl FrameBuilder {
         tag: usize,
         t0: f64,
         music_cfg: &MusicConfig,
-    ) -> (Vec<f32>, Vec<f32>) {
+    ) -> (Vec<f32>, Vec<f32>, usize) {
         let lay = self.layout;
         let t1 = t0 + self.frame_duration_s;
         let has_spectrum = matches!(lay.mode, FeatureMode::Joint | FeatureMode::MusicOnly);
@@ -253,6 +294,7 @@ impl FrameBuilder {
                         && r.time_s >= t0
                         && r.time_s < t1
                         && r.antenna < lay.n_antennas
+                        && r.rssi_dbm.is_finite()
                     {
                         sums[r.antenna] += r.rssi_dbm;
                         counts[r.antenna] += 1;
@@ -272,6 +314,7 @@ impl FrameBuilder {
                         && r.time_s >= t0
                         && r.time_s < t1
                         && r.antenna < lay.n_antennas
+                        && r.phase_rad.is_finite()
                     {
                         let phase = self.calibrator.calibrate(r);
                         sums[r.antenna] += Complex::cis(2.0 * phase);
@@ -288,7 +331,8 @@ impl FrameBuilder {
             }
             FeatureMode::MusicOnly => {}
         }
-        (spec_part, direct_part)
+        let n_snaps = snaps.len();
+        (spec_part, direct_part, n_snaps)
     }
 
     /// Builds the frame covering `[t0, t0 + frame_duration)`.
@@ -301,20 +345,67 @@ impl FrameBuilder {
         self.build_frame_with(readings, t0, self.parallelism)
     }
 
+    /// Like [`FrameBuilder::build_frame`], but also reports per-tag
+    /// input [`FrameQuality`] so streaming callers can gate on
+    /// coverage. The frame itself is bit-identical to `build_frame`'s.
+    pub fn build_frame_with_quality(
+        &self,
+        readings: &[TagReading],
+        t0: f64,
+    ) -> (Vec<f32>, FrameQuality) {
+        self.frame_and_quality(readings, t0, self.parallelism)
+    }
+
+    /// Fallible frame construction: rejects non-finite window starts
+    /// (data-dependent — e.g. a timestamp from a corrupted report)
+    /// instead of silently building an empty frame.
+    pub fn try_build_frame(&self, readings: &[TagReading], t0: f64) -> Result<Vec<f32>, Error> {
+        if !t0.is_finite() {
+            return Err(Error::NonFiniteInput {
+                context: "window start t0",
+            });
+        }
+        Ok(self.build_frame(readings, t0))
+    }
+
     fn build_frame_with(&self, readings: &[TagReading], t0: f64, threads: usize) -> Vec<f32> {
+        self.frame_and_quality(readings, t0, threads).0
+    }
+
+    fn frame_and_quality(
+        &self,
+        readings: &[TagReading],
+        t0: f64,
+        threads: usize,
+    ) -> (Vec<f32>, FrameQuality) {
         let lay = self.layout;
         let music_cfg = self.music_config();
         let parts = parallel_map(lay.n_tags, threads, |tag| {
             self.tag_features(readings, tag, t0, &music_cfg)
         });
         let mut frame = Vec::with_capacity(lay.frame_dim());
-        for (spec_part, _) in &parts {
+        for (spec_part, _, _) in &parts {
             frame.extend_from_slice(spec_part);
         }
-        for (_, direct_part) in &parts {
+        for (_, direct_part, _) in &parts {
             frame.extend_from_slice(direct_part);
         }
-        frame
+        // Degradation contract: an emitted frame never carries NaN/Inf,
+        // whatever the inputs did. Clean frames are already finite, so
+        // this pass is a bit-exact no-op on them.
+        for v in &mut frame {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        let expected_rounds = (self.frame_duration_s / self.round_duration_s)
+            .round()
+            .max(1.0);
+        let tag_coverage = parts
+            .iter()
+            .map(|(_, _, n_snaps)| ((*n_snaps as f64 / expected_rounds) as f32).clamp(0.0, 1.0))
+            .collect();
+        (frame, FrameQuality { tag_coverage })
     }
 
     /// Builds a `T`-frame sample starting at `start_s`.
@@ -485,6 +576,63 @@ mod tests {
                 "{mode:?} produced an all-zero frame"
             );
         }
+    }
+
+    #[test]
+    fn quality_tracks_coverage() {
+        let mut reader = Reader::new(anechoic(), clean_reader_config(), 2);
+        // Tag 1 far outside read range: zero coverage expected.
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(5.0, 3.0), Point2::new(50.0, 50.0)]);
+        let readings = reader.run(|_| scene.clone(), 1.0);
+        let layout = FrameLayout::new(2, 4, FeatureMode::Joint);
+        let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(2, 4), 0.5);
+        let (frame, q) = fb.build_frame_with_quality(&readings, 0.0);
+        assert_eq!(frame, fb.build_frame(&readings, 0.0));
+        assert_eq!(q.tag_coverage.len(), 2);
+        assert!(q.tag_coverage[0] > 0.5, "near tag: {:?}", q.tag_coverage);
+        assert_eq!(q.tag_coverage[1], 0.0, "unreadable tag");
+        assert_eq!(q.missing_tags(), vec![1]);
+        assert!(q.mean_coverage() > 0.0 && q.mean_coverage() < 1.0);
+    }
+
+    #[test]
+    fn nan_readings_never_reach_the_frame() {
+        let mut reader = Reader::new(anechoic(), clean_reader_config(), 1);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(5.0, 3.0)]);
+        let mut readings = reader.run(|_| scene.clone(), 1.0);
+        for (i, r) in readings.iter_mut().enumerate() {
+            match i % 3 {
+                0 => r.phase_rad = f64::NAN,
+                1 => r.rssi_dbm = f64::INFINITY,
+                _ => {}
+            }
+        }
+        for mode in [
+            FeatureMode::Joint,
+            FeatureMode::MusicOnly,
+            FeatureMode::PeriodogramOnly,
+            FeatureMode::PhaseOnly,
+            FeatureMode::RssiOnly,
+        ] {
+            let layout = FrameLayout::new(1, 4, mode);
+            let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+            let frame = fb.build_frame(&readings, 0.0);
+            assert!(
+                frame.iter().all(|v| v.is_finite()),
+                "{mode:?} leaked a non-finite value"
+            );
+        }
+    }
+
+    #[test]
+    fn try_build_frame_rejects_non_finite_t0() {
+        let layout = FrameLayout::new(1, 4, FeatureMode::Joint);
+        let fb = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+        assert!(matches!(
+            fb.try_build_frame(&[], f64::NAN),
+            Err(crate::error::Error::NonFiniteInput { .. })
+        ));
+        assert!(fb.try_build_frame(&[], 0.0).is_ok());
     }
 
     #[test]

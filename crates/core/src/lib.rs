@@ -19,7 +19,11 @@
 //!    and the Table-I confusion matrix, and run every classical
 //!    baseline on the same data (Fig. 9);
 //! 6. **[`online`]** — a streaming identifier for the realtime
-//!    deployment mode (Section V).
+//!    deployment mode (Section V), with a Healthy/Degraded/Stale
+//!    health state machine for faulty streams;
+//! 7. **[`degrade`]** + **[`error`]** — the graceful-degradation layer:
+//!    last-good-spectrum fallback with exponential decay, per-tag
+//!    coverage masks, and typed errors for data-dependent failures.
 //!
 //! # Example
 //!
@@ -39,13 +43,17 @@
 
 pub mod calibration;
 pub mod dataset;
+pub mod degrade;
+pub mod error;
 pub mod frames;
 pub mod network;
 pub mod online;
 pub mod pipeline;
 
 pub use dataset::{generate_dataset, DatasetBundle, ExperimentConfig};
-pub use frames::{FeatureMode, FrameLayout};
+pub use degrade::SpectrumFallback;
+pub use error::Error;
+pub use frames::{FeatureMode, FrameLayout, FrameQuality};
 pub use network::Architecture;
-pub use online::{OnlineIdentifier, OnlinePrediction};
+pub use online::{HealthConfig, HealthState, OnlineIdentifier, OnlinePrediction};
 pub use pipeline::{train_m2ai, TrainOptions, TrainOutcome};

@@ -5,11 +5,71 @@
 //! packages that mode: push readings as they arrive, and it maintains a
 //! sliding sequence of spectrum frames, emitting a prediction whenever
 //! a fresh frame completes.
+//!
+//! ## Degradation contract
+//!
+//! Real streams lose reads. The identifier tracks a
+//! [`HealthState`] per window:
+//!
+//! * **Healthy** — coverage is good; predictions flow normally.
+//! * **Degraded** — the window was sparse (low per-tag coverage, a
+//!   patched-in fallback spectrum, or no reads at all). Predictions
+//!   still flow, flagged, and are gated on
+//!   [`HealthConfig::min_confidence`].
+//! * **Stale** — the stream has been silent past
+//!   [`HealthConfig::stale_timeout_s`]: predictions are *suppressed*
+//!   (emitting garbage from an empty room helps nobody) and the frame
+//!   history plus fallback memory are cleared so a resuming stream
+//!   starts from truth, not from the world before the gap.
+//!
+//! Recovery is hysteretic: after degradation, the identifier returns to
+//! Healthy only after [`HealthConfig::recovery_windows`] consecutive
+//! good windows. Out-of-order and duplicate readings are tolerated: the
+//! window buffer keeps itself time-sorted and drops exact duplicates,
+//! so retransmitted or interleaved LLRP reports cannot skew a frame.
 
+use crate::degrade::SpectrumFallback;
 use crate::frames::FrameBuilder;
 use m2ai_nn::model::SequenceClassifier;
 use m2ai_rfsim::reading::TagReading;
 use std::collections::VecDeque;
+
+/// Stream health as judged from window coverage and silence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Coverage is good; predictions are trustworthy.
+    Healthy,
+    /// Sparse/patched input; predictions carry reduced confidence.
+    Degraded,
+    /// The stream went silent; predictions are suppressed.
+    Stale,
+}
+
+/// Thresholds of the health state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Mean per-tag coverage below which a window counts as degraded.
+    pub degraded_coverage: f32,
+    /// Silence (no readings at all) longer than this marks the stream
+    /// Stale and clears the sliding history.
+    pub stale_timeout_s: f64,
+    /// While Degraded, predictions with top-class probability below
+    /// this are suppressed (`0.0` = emit everything, the default).
+    pub min_confidence: f32,
+    /// Consecutive good windows required to return to Healthy.
+    pub recovery_windows: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degraded_coverage: 0.4,
+            stale_timeout_s: 2.0,
+            min_confidence: 0.0,
+            recovery_windows: 2,
+        }
+    }
+}
 
 /// A prediction emitted for one completed frame window.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +81,10 @@ pub struct OnlinePrediction {
     /// Class probabilities (mean per-frame softmax over the current
     /// frame history).
     pub probabilities: Vec<f32>,
+    /// Stream health when this prediction was made.
+    pub health: HealthState,
+    /// Top-class probability (convenience copy).
+    pub confidence: f32,
 }
 
 /// Streaming wrapper: reader stream in, per-window predictions out.
@@ -33,10 +97,19 @@ pub struct OnlineIdentifier {
     buffer: Vec<TagReading>,
     frames: VecDeque<Vec<f32>>,
     next_window_start: f64,
+    health: HealthState,
+    health_cfg: HealthConfig,
+    fallback: SpectrumFallback,
+    /// Timestamp of the newest reading seen so far.
+    last_reading_s: f64,
+    /// Consecutive good windows since the last degradation.
+    good_streak: u32,
+    /// Predictions suppressed (Stale stream or gated confidence).
+    suppressed: usize,
 }
 
 impl OnlineIdentifier {
-    /// Creates a streaming identifier.
+    /// Creates a streaming identifier with the default [`HealthConfig`].
     ///
     /// `history_len` should match the `frames_per_sample` the model was
     /// trained with.
@@ -45,7 +118,22 @@ impl OnlineIdentifier {
     ///
     /// Panics if `history_len` is zero.
     pub fn new(builder: FrameBuilder, model: SequenceClassifier, history_len: usize) -> Self {
+        Self::with_health_config(builder, model, history_len, HealthConfig::default())
+    }
+
+    /// Creates a streaming identifier with explicit health thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_len` is zero.
+    pub fn with_health_config(
+        builder: FrameBuilder,
+        model: SequenceClassifier,
+        history_len: usize,
+        health_cfg: HealthConfig,
+    ) -> Self {
         assert!(history_len > 0, "history must hold at least one frame");
+        let fallback = SpectrumFallback::new(builder.layout);
         OnlineIdentifier {
             builder,
             model,
@@ -53,6 +141,12 @@ impl OnlineIdentifier {
             buffer: Vec::new(),
             frames: VecDeque::new(),
             next_window_start: 0.0,
+            health: HealthState::Healthy,
+            health_cfg,
+            fallback,
+            last_reading_s: f64::NEG_INFINITY,
+            good_streak: 0,
+            suppressed: 0,
         }
     }
 
@@ -61,45 +155,162 @@ impl OnlineIdentifier {
         self.frames.len()
     }
 
+    /// Current stream health.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// Number of predictions suppressed so far (Stale windows and
+    /// confidence-gated Degraded windows).
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+
+    /// Inserts a reading into the time-sorted window buffer, dropping
+    /// exact duplicates (same time, tag, antenna and channel — e.g. an
+    /// LLRP retransmission).
+    fn insert_sorted(&mut self, r: &TagReading) -> bool {
+        // Key equality ⟺ "same physical read", so a strict comparison
+        // both keeps the buffer sorted and exposes duplicates at the
+        // insertion point. (Timestamps are finite here — `push`
+        // rejects non-finite ones — so the partial order is total.)
+        let key = |x: &TagReading| (x.time_s, x.tag.0, x.antenna, x.channel);
+        let pos = self.buffer.partition_point(|x| key(x) < key(r));
+        if pos < self.buffer.len() && key(&self.buffer[pos]) == key(r) {
+            return false;
+        }
+        self.buffer.insert(pos, r.clone());
+        true
+    }
+
+    /// Closes the window starting at `next_window_start`: builds the
+    /// frame, applies the fallback, updates health, and possibly emits
+    /// a prediction.
+    fn close_window(&mut self, out: &mut Vec<OnlinePrediction>) {
+        let frame_len = self.builder.frame_duration_s;
+        let window_start = self.next_window_start;
+        let window_end = window_start + frame_len;
+        let window_had_reads = self
+            .buffer
+            .iter()
+            .any(|b| b.time_s >= window_start && b.time_s < window_end);
+
+        // Staleness: nothing has arrived for `stale_timeout_s` as of
+        // this window's end. Drop history — whatever was happening
+        // before the gap is over — and suppress output. (The buffer is
+        // time-sorted, so the newest pre-window reading is the last
+        // one before `window_end`; the reading that *triggered* this
+        // close lies at or past the window end and does not count.)
+        let last_before = self
+            .buffer
+            .iter()
+            .rev()
+            .find(|b| b.time_s < window_end)
+            .map(|b| b.time_s);
+        let stale = !window_had_reads
+            && match last_before {
+                Some(t) => window_end - t >= self.health_cfg.stale_timeout_s,
+                None => true,
+            };
+        if stale {
+            self.health = HealthState::Stale;
+            self.good_streak = 0;
+            self.frames.clear();
+            self.fallback.reset();
+            self.next_window_start += frame_len;
+            let horizon = self.next_window_start - frame_len * self.history_len as f64;
+            self.buffer.retain(|b| b.time_s >= horizon);
+            self.suppressed += 1;
+            return;
+        }
+
+        let (mut frame, quality) = self
+            .builder
+            .build_frame_with_quality(&self.buffer, window_start);
+        let patched = self.fallback.observe_and_patch(&mut frame, &quality);
+
+        // Health transition for this window.
+        let degraded = !window_had_reads
+            || patched > 0
+            || quality.mean_coverage() < self.health_cfg.degraded_coverage;
+        if degraded {
+            self.health = HealthState::Degraded;
+            self.good_streak = 0;
+        } else {
+            self.good_streak = self.good_streak.saturating_add(1);
+            if self.health != HealthState::Healthy {
+                // Hysteretic recovery: a formerly Stale stream passes
+                // through Degraded while the streak builds.
+                self.health = if self.good_streak >= self.health_cfg.recovery_windows {
+                    HealthState::Healthy
+                } else {
+                    HealthState::Degraded
+                };
+            }
+        }
+
+        self.frames.push_back(frame);
+        if self.frames.len() > self.history_len {
+            self.frames.pop_front();
+        }
+        self.next_window_start += frame_len;
+        // Drop readings older than the sliding history.
+        let horizon = self.next_window_start - frame_len * self.history_len as f64;
+        self.buffer.retain(|b| b.time_s >= horizon);
+
+        if self.frames.len() == self.history_len {
+            let seq: Vec<Vec<f32>> = self.frames.iter().cloned().collect();
+            let Ok(probabilities) = self.model.try_predict_proba(&seq) else {
+                // Unscorable history (diverged model, non-finite
+                // output): suppress rather than emit garbage.
+                self.suppressed += 1;
+                return;
+            };
+            let (class, confidence) = probabilities.iter().enumerate().fold(
+                (0usize, f32::NEG_INFINITY),
+                |best, (i, &p)| {
+                    if p > best.1 {
+                        (i, p)
+                    } else {
+                        best
+                    }
+                },
+            );
+            if self.health == HealthState::Degraded && confidence < self.health_cfg.min_confidence {
+                self.suppressed += 1;
+                return;
+            }
+            out.push(OnlinePrediction {
+                time_s: self.next_window_start,
+                class,
+                probabilities,
+                health: self.health,
+                confidence,
+            });
+        }
+    }
+
     /// Pushes a batch of readings (need not be aligned to windows);
     /// returns one prediction per frame window completed by this batch.
     ///
-    /// Readings may arrive slightly out of order within a window;
-    /// windows close when a reading at or past the window end shows up.
+    /// Readings may arrive out of order and duplicated; the buffer
+    /// sorts and dedups them. Windows close when a reading at or past
+    /// the window end shows up. Non-finite timestamps are rejected
+    /// outright (they cannot be ordered).
     pub fn push(&mut self, readings: &[TagReading]) -> Vec<OnlinePrediction> {
         let mut out = Vec::new();
         let frame_len = self.builder.frame_duration_s;
         for r in readings {
-            self.buffer.push(r.clone());
+            if !r.time_s.is_finite() {
+                continue;
+            }
+            self.insert_sorted(r);
+            if r.time_s > self.last_reading_s {
+                self.last_reading_s = r.time_s;
+            }
             // Close every window that ends at or before this reading.
             while r.time_s >= self.next_window_start + frame_len {
-                let frame = self
-                    .builder
-                    .build_frame(&self.buffer, self.next_window_start);
-                self.frames.push_back(frame);
-                if self.frames.len() > self.history_len {
-                    self.frames.pop_front();
-                }
-                self.next_window_start += frame_len;
-                // Drop readings older than the sliding history.
-                let horizon = self.next_window_start - frame_len * self.history_len as f64;
-                self.buffer.retain(|b| b.time_s >= horizon);
-
-                if self.frames.len() == self.history_len {
-                    let seq: Vec<Vec<f32>> = self.frames.iter().cloned().collect();
-                    let probabilities = self.model.predict_proba(&seq);
-                    let class = probabilities
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                        .map(|(i, _)| i)
-                        .expect("non-empty");
-                    out.push(OnlinePrediction {
-                        time_s: self.next_window_start,
-                        class,
-                        probabilities,
-                    });
-                }
+                self.close_window(&mut out);
             }
         }
         out
@@ -148,6 +359,7 @@ mod tests {
         for p in &preds {
             assert!(p.class < 12);
             assert!((p.probabilities.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert!(p.confidence > 0.0 && p.confidence <= 1.0);
         }
     }
 
@@ -179,6 +391,103 @@ mod tests {
             incremental.extend(inc_ident.push(chunk));
         }
         assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    fn healthy_on_a_clean_stream() {
+        let mut ident = identifier(2);
+        let preds = ident.push(&stream(4.0));
+        assert!(!preds.is_empty());
+        // A dense, continuous stream must not trip the state machine.
+        assert!(
+            preds.iter().all(|p| p.health == HealthState::Healthy),
+            "clean stream flagged: {:?}",
+            preds.iter().map(|p| p.health).collect::<Vec<_>>()
+        );
+        assert_eq!(ident.suppressed(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let readings = stream(4.0);
+        let mut doubled = Vec::new();
+        for r in &readings {
+            doubled.push(r.clone());
+            doubled.push(r.clone()); // exact retransmission
+        }
+        let mut a = identifier(2);
+        let pa = a.push(&readings);
+        let mut b = identifier(2);
+        let pb = b.push(&doubled);
+        assert_eq!(pa, pb, "duplicates must not skew frames");
+    }
+
+    #[test]
+    fn out_of_order_within_window_matches_sorted() {
+        let readings = stream(4.0);
+        // Reverse inside small groups, keeping window boundaries: every
+        // group stays inside one 0.5 s window (group span ≤ 0.1 s ≪
+        // window), so no window-close trigger is reordered across a
+        // boundary.
+        let mut shuffled = Vec::new();
+        for chunk in readings.chunks(4) {
+            let mut g: Vec<TagReading> = chunk.to_vec();
+            let all_same_window = g
+                .iter()
+                .all(|r| (r.time_s / 0.5).floor() == (g[0].time_s / 0.5).floor());
+            if all_same_window {
+                g.reverse();
+            }
+            shuffled.extend(g);
+        }
+        let mut a = identifier(2);
+        let pa = a.push(&readings);
+        let mut b = identifier(2);
+        let pb = b.push(&shuffled);
+        assert_eq!(pa, pb, "in-window reordering must not change output");
+    }
+
+    #[test]
+    fn non_finite_timestamps_are_rejected() {
+        let mut ident = identifier(2);
+        let mut readings = stream(4.0);
+        let mut poison = readings[0].clone();
+        poison.time_s = f64::NAN;
+        readings.insert(10, poison);
+        let preds = ident.push(&readings);
+        assert!(!preds.is_empty());
+        for p in &preds {
+            assert!(p.probabilities.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn goes_stale_on_silence_and_recovers() {
+        let cfg = HealthConfig {
+            stale_timeout_s: 1.0,
+            ..HealthConfig::default()
+        };
+        let layout = FrameLayout::new(1, 4, FeatureMode::Joint);
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+        let model = build_model(&layout, 12, Architecture::CnnLstm, 1);
+        let mut ident = OnlineIdentifier::with_health_config(builder, model, 2, cfg);
+
+        // 0–2 s of stream, then a 3 s gap, then stream again.
+        let full = stream(7.0);
+        let before: Vec<TagReading> = full.iter().filter(|r| r.time_s < 2.0).cloned().collect();
+        let after: Vec<TagReading> = full.iter().filter(|r| r.time_s >= 5.0).cloned().collect();
+
+        let p1 = ident.push(&before);
+        assert!(!p1.is_empty());
+        let suppressed_before = ident.suppressed();
+
+        let p2 = ident.push(&after);
+        // The silent windows are suppressed, not predicted.
+        assert!(ident.suppressed() > suppressed_before, "gap must suppress");
+        // After the gap the history refills and predictions resume.
+        assert!(!p2.is_empty(), "stream resumption must recover");
+        let last = p2.last().unwrap();
+        assert!(last.probabilities.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Typed errors for data-dependent failures.
+//!
+//! Configuration mistakes (zero classes, bad hyper-parameters) stay
+//! `assert!`s — they are programmer errors. Everything that can go
+//! wrong because of *data* (an empty stream window, a label from a
+//! corrupted file, non-finite activations after a fault) is an [`Error`]
+//! so callers can degrade instead of crashing.
+
+use crate::serialize::CheckpointError;
+
+/// A data-dependent failure in the nn layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A frame sequence with no frames was submitted for inference.
+    EmptySequence,
+    /// A sample's label exceeds the model's class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The model's class count.
+        n_classes: usize,
+    },
+    /// The model produced non-finite probabilities (NaN/Inf inputs or a
+    /// diverged parameter state).
+    NonFiniteOutput,
+    /// A checkpoint failed to load.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptySequence => write!(f, "need at least one frame"),
+            Error::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            Error::NonFiniteOutput => write!(f, "model produced non-finite probabilities"),
+            Error::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Error {
+        Error::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(Error::EmptySequence.to_string().contains("frame"));
+        let e = Error::LabelOutOfRange {
+            label: 9,
+            n_classes: 3,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let c: Error = CheckpointError::BadMagic.into();
+        assert!(c.to_string().contains("checkpoint"));
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`train`] — minibatch training with multi-threaded data-parallel
 //!   gradient evaluation, dataset splitting, early metrics;
 //! * [`metrics`] — accuracy and confusion matrices (Table I);
-//! * [`serialize`] — a small self-describing binary checkpoint format.
+//! * [`serialize`] — a small self-describing binary checkpoint format;
+//! * [`error`] — typed errors for data-dependent failures (empty
+//!   sequences, non-finite outputs), backing the graceful-degradation
+//!   contract of the streaming pipeline.
 //!
 //! Every differentiable component is validated against numerical
 //! gradients in its unit tests.
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod init;
 pub mod layers;
 pub mod loss;

@@ -12,6 +12,7 @@
 //! * **CNN-only** — construct with [`SequenceClassifier::without_lstm`];
 //! * **LSTM-only** — use an empty [`Sequential`] encoder (identity).
 
+use crate::error::Error;
 use crate::layers::{Dense, SeqCache, Sequential, TwoBranchCache, TwoBranchEncoder};
 use crate::loss::{softmax, softmax_cross_entropy};
 use crate::lstm::LstmStack;
@@ -168,18 +169,53 @@ impl SequenceClassifier {
         acc
     }
 
+    /// Mean per-frame class probabilities, as a `Result`.
+    ///
+    /// Fallible counterpart of [`SequenceClassifier::predict_proba`]
+    /// for streaming/degraded inputs: empty sequences and non-finite
+    /// probabilities (NaN inputs, diverged parameters) become [`Error`]s
+    /// instead of panics or silent garbage.
+    pub fn try_predict_proba(&self, frames: &[Vec<f32>]) -> Result<Vec<f32>, Error> {
+        if frames.is_empty() {
+            return Err(Error::EmptySequence);
+        }
+        let p = self.predict_proba(frames);
+        if p.iter().all(|v| v.is_finite()) {
+            Ok(p)
+        } else {
+            Err(Error::NonFiniteOutput)
+        }
+    }
+
+    /// Most likely class, as a `Result` (see
+    /// [`SequenceClassifier::try_predict_proba`]).
+    pub fn try_predict(&self, frames: &[Vec<f32>]) -> Result<usize, Error> {
+        let p = self.try_predict_proba(frames)?;
+        // Probabilities are finite here, so a plain fold is total.
+        Ok(p.iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |best, (i, &v)| {
+                if v > best.1 {
+                    (i, v)
+                } else {
+                    best
+                }
+            })
+            .0)
+    }
+
     /// Most likely class.
     ///
     /// # Panics
     ///
-    /// Panics on an empty frame sequence.
+    /// Panics on an empty frame sequence or non-finite probabilities;
+    /// use [`SequenceClassifier::try_predict`] to handle those as
+    /// errors.
     pub fn predict(&self, frames: &[Vec<f32>]) -> usize {
-        let p = self.predict_proba(frames);
-        p.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
-            .map(|(i, _)| i)
-            .expect("non-empty probabilities")
+        match self.try_predict(frames) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Forward + backward for one labelled sequence; accumulates
@@ -390,6 +426,23 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn empty_sequence_panics() {
         tiny_model(0).predict(&[]);
+    }
+
+    #[test]
+    fn try_predict_reports_empty_and_nan() {
+        let m = tiny_model(4);
+        assert_eq!(m.try_predict(&[]), Err(crate::error::Error::EmptySequence));
+        let ok_frames = vec![vec![0.1; 4]; 3];
+        assert_eq!(m.try_predict(&ok_frames), Ok(m.predict(&ok_frames)));
+        // A diverged model (NaN parameters) must report, not emit
+        // garbage. (NaN *inputs* are often absorbed by ReLU's
+        // NaN-ignoring max — parameters are the reliable poison.)
+        let mut diverged = tiny_model(4);
+        diverged.visit_params(&mut |p, _| p.iter_mut().for_each(|v| *v = f32::NAN));
+        assert_eq!(
+            diverged.try_predict(&ok_frames),
+            Err(crate::error::Error::NonFiniteOutput)
+        );
     }
 
     #[test]

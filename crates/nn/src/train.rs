@@ -10,6 +10,7 @@
 use crate::metrics::ConfusionMatrix;
 use crate::model::SequenceClassifier;
 use crate::optim::Sgd;
+use crate::serialize::{load_params, save_params};
 use crate::Parameterized;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -66,6 +67,10 @@ impl Default for TrainConfig {
 pub struct TrainReport {
     /// Mean training loss per epoch.
     pub epoch_losses: Vec<f32>,
+    /// Minibatches skipped because their loss or gradients were
+    /// non-finite (each skip rolls the model back to the last healthy
+    /// checkpoint).
+    pub skipped_batches: usize,
 }
 
 impl TrainReport {
@@ -75,7 +80,30 @@ impl TrainReport {
     }
 }
 
+/// `true` if every parameter value of `model` is finite.
+fn params_finite(model: &mut SequenceClassifier) -> bool {
+    let mut ok = true;
+    model.visit_params(&mut |p, _| ok &= p.iter().all(|v| v.is_finite()));
+    ok
+}
+
+/// `true` if every gradient value of `model` is finite.
+fn grads_finite(model: &mut SequenceClassifier) -> bool {
+    let mut ok = true;
+    model.visit_params(&mut |_, g| ok &= g.iter().all(|v| v.is_finite()));
+    ok
+}
+
 /// Trains `model` on `data` in place.
+///
+/// Non-finite minibatches (NaN/Inf loss or gradients — e.g. corrupted
+/// frames that slipped past upstream sanitisation, or a transient
+/// blow-up) are *skipped*: the optimizer step is withheld, the model is
+/// rolled back to the last healthy checkpoint (via the serialize path),
+/// and the skip is counted in [`TrainReport::skipped_batches`].
+/// Momentum state is intentionally not rolled back — it decays on its
+/// own and re-snapshotting it per batch would double memory traffic.
+/// On clean data the loop is bit-identical to the unguarded one.
 ///
 /// # Panics
 ///
@@ -92,11 +120,14 @@ pub fn fit(model: &mut SequenceClassifier, data: &[Sample], cfg: &TrainConfig) -
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let threads = cfg.n_threads.max(1);
+    let mut checkpoint = save_params(model);
+    let mut skipped_batches = 0usize;
 
     for epoch in 0..cfg.epochs {
         opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
+        let mut used_samples = 0usize;
         for batch in order.chunks(cfg.batch_size.max(1)) {
             model.zero_grad();
             let batch_loss = if threads == 1 || batch.len() == 1 {
@@ -108,16 +139,39 @@ pub fn fit(model: &mut SequenceClassifier, data: &[Sample], cfg: &TrainConfig) -
             } else {
                 parallel_grads(model, data, batch, threads)
             };
+            if !batch_loss.is_finite() || !grads_finite(model) {
+                skipped_batches += 1;
+                load_params(model, &checkpoint)
+                    .expect("rollback checkpoint must match its own model");
+                if cfg.log_every > 0 {
+                    eprintln!(
+                        "epoch {:>3}: skipped non-finite batch (rolled back)",
+                        epoch + 1
+                    );
+                }
+                continue;
+            }
             epoch_loss += batch_loss;
+            used_samples += batch.len();
             opt.step(model, 1.0 / batch.len() as f32);
         }
-        let mean = (epoch_loss / data.len() as f64) as f32;
+        // Refresh the rollback point only from a healthy state; a
+        // diverged epoch keeps the previous checkpoint alive.
+        if params_finite(model) {
+            checkpoint = save_params(model);
+        } else {
+            load_params(model, &checkpoint).expect("rollback checkpoint must match its own model");
+        }
+        let mean = (epoch_loss / used_samples.max(1) as f64) as f32;
         epoch_losses.push(mean);
         if cfg.log_every > 0 && (epoch + 1) % cfg.log_every == 0 {
             eprintln!("epoch {:>3}: loss {:.4}", epoch + 1, mean);
         }
     }
-    TrainReport { epoch_losses }
+    TrainReport {
+        epoch_losses,
+        skipped_batches,
+    }
 }
 
 /// Evaluates gradients for `batch` across `threads` workers, reducing
@@ -160,22 +214,29 @@ fn parallel_grads(
 }
 
 /// Classification accuracy of `model` over `data`.
+///
+/// A sample the model cannot score (empty sequence, non-finite
+/// probabilities) counts as wrong rather than panicking — degraded
+/// inputs must degrade accuracy, not crash evaluation.
 pub fn evaluate(model: &SequenceClassifier, data: &[Sample]) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
     let correct = data
         .iter()
-        .filter(|(frames, label)| model.predict(frames) == *label)
+        .filter(|(frames, label)| model.try_predict(frames) == Ok(*label))
         .count();
     correct as f64 / data.len() as f64
 }
 
-/// Confusion matrix of `model` over `data`.
+/// Confusion matrix of `model` over `data`. Unscorable samples (see
+/// [`evaluate`]) are omitted from the matrix.
 pub fn confusion(model: &SequenceClassifier, data: &[Sample]) -> ConfusionMatrix {
     let mut cm = ConfusionMatrix::new(model.n_classes());
     for (frames, label) in data {
-        cm.record(*label, model.predict(frames));
+        if let Ok(pred) = model.try_predict(frames) {
+            cm.record(*label, pred);
+        }
     }
     cm
 }
@@ -320,5 +381,63 @@ mod tests {
     #[test]
     fn evaluate_empty_is_zero() {
         assert_eq!(evaluate(&toy_model(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn nan_batches_are_skipped_with_rollback() {
+        let mut data = toy_data(6);
+        // Poison a few samples with NaN features: their batches must be
+        // skipped, not detonate the parameters.
+        for poisoned in [1usize, 8, 15] {
+            data[poisoned].0[0][0] = f32::NAN;
+        }
+        let mut model = toy_model(2);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 4,
+            n_threads: 1,
+            ..TrainConfig::default()
+        };
+        let report = fit(&mut model, &data, &cfg);
+        assert!(report.skipped_batches > 0, "poisoned batches must skip");
+        assert!(report.final_loss().unwrap().is_finite());
+        let mut all_finite = true;
+        model.visit_params(&mut |p, _| all_finite &= p.iter().all(|v| v.is_finite()));
+        assert!(all_finite, "parameters must stay finite");
+        // The clean samples still train to a useful model.
+        let clean: Vec<Sample> = toy_data(6)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| ![1usize, 8, 15].contains(i))
+            .map(|(_, s)| s)
+            .collect();
+        assert!(evaluate(&model, &clean) > 0.8);
+    }
+
+    #[test]
+    fn clean_training_reports_zero_skips() {
+        let data = toy_data(4);
+        let mut model = toy_model(9);
+        let report = fit(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 5,
+                n_threads: 1,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(report.skipped_batches, 0);
+    }
+
+    #[test]
+    fn evaluate_tolerates_unscorable_models() {
+        // A diverged model scores nothing: 0% accuracy, empty matrix —
+        // but no panic.
+        let mut model = toy_model(4);
+        model.visit_params(&mut |p, _| p.iter_mut().for_each(|v| *v = f32::NAN));
+        let data = toy_data(2);
+        assert_eq!(evaluate(&model, &data), 0.0);
+        assert_eq!(confusion(&model, &data).total() as usize, 0);
     }
 }

@@ -1,0 +1,449 @@
+//! Deterministic fault injection for the reading stream.
+//!
+//! Real UHF-RFID deployments lose and corrupt reads constantly: Gen2
+//! slot collisions starve tags, bodies occlude antennas, cables and
+//! multiplexers brown out, and the receive chain occasionally reports
+//! garbage phase. A [`FaultPlan`] reproduces those impairments as a
+//! *pure post-transform* on [`TagReading`]s, so that
+//!
+//! * the clean pipeline is untouched — [`FaultPlan::none`] passes every
+//!   reading through bit-identically and consumes no randomness;
+//! * every fault decision is a deterministic hash of the plan seed and
+//!   the reading's coordinates (tag, antenna, channel, time), never of
+//!   execution order — the same plan applied to the same stream yields
+//!   the same faults on any thread count;
+//! * faults compose: each impairment has its own rate knob and they
+//!   apply independently, in a fixed order (drops first, then signal
+//!   corruption).
+//!
+//! The modelled faults and their physical analogues:
+//!
+//! | knob | physical fault |
+//! |---|---|
+//! | `antenna_dropout_rate` | a port goes dark for whole intervals (cable/mux fault) |
+//! | `tag_occlusion_rate` | a tag is shadowed for a burst (body blocks the link) |
+//! | `miss_rate` | elevated per-read miss (Gen2 slot collisions under load) |
+//! | `phase_glitch_rate` | discontinuous phase jumps (PLL re-lock glitches) |
+//! | `brownout_rate` | interval-wide RSSI sag (supply/LNA brownout) |
+//! | `corrupt_rate` | non-finite phase/RSSI fields (malformed LLRP reports) |
+
+use crate::reading::TagReading;
+
+/// SplitMix64 finalizer — the same mixing used for the reader's
+/// deterministic π-ambiguity flips.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes `(seed, salt, vals…)` into a u64, order-sensitively.
+fn hash(seed: u64, salt: u64, vals: &[u64]) -> u64 {
+    let mut h = mix(seed ^ salt);
+    for &v in vals {
+        h = mix(h ^ v);
+    }
+    h
+}
+
+/// Maps a hash to a uniform sample in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Interval index of time `t` under interval length `len` (0 when the
+/// length is degenerate, so rate-0 plans never divide by zero).
+fn interval_index(t: f64, len: f64) -> u64 {
+    if len > 0.0 && t.is_finite() {
+        (t / len).floor().max(0.0) as u64
+    } else {
+        0
+    }
+}
+
+const SALT_ANTENNA: u64 = 0xA17E_17A0;
+const SALT_OCCLUDE: u64 = 0x0CC1_0DE5;
+const SALT_MISS: u64 = 0x5107_3717;
+const SALT_GLITCH: u64 = 0x611C_7C4E;
+const SALT_GLITCH_MAG: u64 = 0x611C_7C4F;
+const SALT_BROWNOUT: u64 = 0xB0B0_0D07;
+const SALT_CORRUPT: u64 = 0xC0FF_EE00;
+const SALT_CORRUPT_FIELD: u64 = 0xC0FF_EE01;
+
+/// A composable, seed-driven fault-injection plan.
+///
+/// All `*_rate` knobs are probabilities in `[0, 1]`; a plan with every
+/// rate at zero (see [`FaultPlan::none`]) is the identity transform.
+/// Interval-style faults (antenna dropout, tag occlusion, brownout)
+/// partition time into fixed-length scheduling intervals and decide
+/// per interval; per-read faults (miss, glitch, corruption) decide per
+/// reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed driving every fault decision (independent of the reader's).
+    pub seed: u64,
+    /// Probability an antenna port is dark during a given interval.
+    pub antenna_dropout_rate: f64,
+    /// Antenna-dropout scheduling interval, seconds.
+    pub antenna_dropout_interval_s: f64,
+    /// Probability a tag is occluded during a given burst interval.
+    pub tag_occlusion_rate: f64,
+    /// Tag-occlusion burst interval, seconds.
+    pub tag_occlusion_interval_s: f64,
+    /// Extra per-read miss probability (Gen2 slot starvation).
+    pub miss_rate: f64,
+    /// Per-read probability of a discontinuous phase jump.
+    pub phase_glitch_rate: f64,
+    /// Magnitude ceiling of an injected phase jump, radians.
+    pub phase_glitch_max_rad: f64,
+    /// Probability the whole array browns out during an interval.
+    pub brownout_rate: f64,
+    /// Brownout scheduling interval, seconds.
+    pub brownout_interval_s: f64,
+    /// RSSI attenuation while browned out, dB.
+    pub brownout_depth_db: f64,
+    /// Per-read probability a report field is corrupted to NaN.
+    pub corrupt_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: nothing is dropped or altered. Applying it is
+    /// bit-identical to not applying a plan at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            antenna_dropout_rate: 0.0,
+            antenna_dropout_interval_s: 1.0,
+            tag_occlusion_rate: 0.0,
+            tag_occlusion_interval_s: 0.5,
+            miss_rate: 0.0,
+            phase_glitch_rate: 0.0,
+            phase_glitch_max_rad: std::f64::consts::PI,
+            brownout_rate: 0.0,
+            brownout_interval_s: 1.0,
+            brownout_depth_db: 0.0,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    /// `true` if no fault can ever fire (every rate is zero).
+    pub fn is_none(&self) -> bool {
+        self.antenna_dropout_rate <= 0.0
+            && self.tag_occlusion_rate <= 0.0
+            && self.miss_rate <= 0.0
+            && self.phase_glitch_rate <= 0.0
+            && self.brownout_rate <= 0.0
+            && self.corrupt_rate <= 0.0
+    }
+
+    /// A plan with every impairment scaled by a single `intensity` in
+    /// `[0, 1]` — the knob the robustness sweep drives. Intensity 0 is
+    /// [`FaultPlan::none`]; intensity 1 loses roughly three quarters of
+    /// all reads and corrupts a further few percent.
+    pub fn with_intensity(intensity: f64, seed: u64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        FaultPlan {
+            seed,
+            antenna_dropout_rate: 0.35 * i,
+            tag_occlusion_rate: 0.35 * i,
+            miss_rate: 0.45 * i,
+            phase_glitch_rate: 0.25 * i,
+            brownout_rate: 0.40 * i,
+            brownout_depth_db: 18.0 * i,
+            corrupt_rate: 0.06 * i,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Validates the plan's knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate lies outside `[0, 1]` or an interval is
+    /// non-positive (configuration errors, as distinct from the
+    /// data-dependent failures the plan itself models).
+    pub fn assert_valid(&self) {
+        for (name, r) in [
+            ("antenna_dropout_rate", self.antenna_dropout_rate),
+            ("tag_occlusion_rate", self.tag_occlusion_rate),
+            ("miss_rate", self.miss_rate),
+            ("phase_glitch_rate", self.phase_glitch_rate),
+            ("brownout_rate", self.brownout_rate),
+            ("corrupt_rate", self.corrupt_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} must be in [0, 1]");
+        }
+        assert!(
+            self.antenna_dropout_interval_s > 0.0
+                && self.tag_occlusion_interval_s > 0.0
+                && self.brownout_interval_s > 0.0,
+            "fault intervals must be positive"
+        );
+    }
+
+    /// Applies the plan to one reading: `None` if the read is lost,
+    /// otherwise the (possibly corrupted) reading.
+    ///
+    /// Pure: the result depends only on the plan and the reading, so
+    /// applying a plan is deterministic and thread-count invariant.
+    pub fn transform(&self, mut r: TagReading) -> Option<TagReading> {
+        if self.is_none() {
+            return Some(r);
+        }
+        let tag = r.tag.0 as u64;
+        let ant = r.antenna as u64;
+        let t_bits = r.time_s.to_bits();
+
+        // Drops first: a lost read cannot also be corrupted.
+        if self.antenna_dropout_rate > 0.0 {
+            let k = interval_index(r.time_s, self.antenna_dropout_interval_s);
+            if unit(hash(self.seed, SALT_ANTENNA, &[ant, k])) < self.antenna_dropout_rate {
+                return None;
+            }
+        }
+        if self.tag_occlusion_rate > 0.0 {
+            let k = interval_index(r.time_s, self.tag_occlusion_interval_s);
+            if unit(hash(self.seed, SALT_OCCLUDE, &[tag, k])) < self.tag_occlusion_rate {
+                return None;
+            }
+        }
+        if self.miss_rate > 0.0
+            && unit(hash(self.seed, SALT_MISS, &[tag, ant, t_bits])) < self.miss_rate
+        {
+            return None;
+        }
+
+        // Signal corruption on the surviving reads.
+        if self.brownout_rate > 0.0 {
+            let k = interval_index(r.time_s, self.brownout_interval_s);
+            if unit(hash(self.seed, SALT_BROWNOUT, &[k])) < self.brownout_rate {
+                r.rssi_dbm -= self.brownout_depth_db;
+                // Below the receive sensitivity the read is not
+                // decodable at all.
+                if r.rssi_dbm < -90.0 {
+                    return None;
+                }
+            }
+        }
+        if self.phase_glitch_rate > 0.0
+            && unit(hash(self.seed, SALT_GLITCH, &[tag, ant, t_bits])) < self.phase_glitch_rate
+        {
+            let u = unit(hash(self.seed, SALT_GLITCH_MAG, &[tag, ant, t_bits]));
+            let jump = (2.0 * u - 1.0) * self.phase_glitch_max_rad;
+            r.phase_rad = (r.phase_rad + jump).rem_euclid(2.0 * std::f64::consts::PI);
+        }
+        if self.corrupt_rate > 0.0
+            && unit(hash(self.seed, SALT_CORRUPT, &[tag, ant, t_bits])) < self.corrupt_rate
+        {
+            // Corrupt either the phase or the RSSI field, like a
+            // malformed LLRP report would.
+            if hash(self.seed, SALT_CORRUPT_FIELD, &[tag, ant, t_bits]) & 1 == 0 {
+                r.phase_rad = f64::NAN;
+            } else {
+                r.rssi_dbm = f64::NAN;
+            }
+        }
+        Some(r)
+    }
+
+    /// Applies the plan to a whole stream, preserving order.
+    pub fn apply(&self, readings: Vec<TagReading>) -> Vec<TagReading> {
+        if self.is_none() {
+            return readings;
+        }
+        readings
+            .into_iter()
+            .filter_map(|r| self.transform(r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reading::TagId;
+
+    fn reading(tag: usize, antenna: usize, t: f64) -> TagReading {
+        TagReading {
+            time_s: t,
+            tag: TagId(tag),
+            antenna,
+            channel: 3,
+            frequency_hz: 903e6,
+            phase_rad: 1.0,
+            rssi_dbm: -40.0,
+            doppler_hz: 0.0,
+        }
+    }
+
+    fn stream(n: usize) -> Vec<TagReading> {
+        (0..n)
+            .map(|i| reading(i % 3, i % 4, i as f64 * 0.025))
+            .collect()
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        let s = stream(50);
+        assert_eq!(plan.apply(s.clone()), s);
+    }
+
+    #[test]
+    fn intensity_zero_is_none() {
+        assert!(FaultPlan::with_intensity(0.0, 9).is_none());
+        assert!(!FaultPlan::with_intensity(0.5, 9).is_none());
+    }
+
+    /// Bit-exact comparison key (NaN-corrupted fields make the derived
+    /// `PartialEq` useless for identity checks: NaN ≠ NaN).
+    fn bits(r: &TagReading) -> (u64, usize, usize, u64, u64) {
+        (
+            r.time_s.to_bits(),
+            r.tag.0,
+            r.antenna,
+            r.phase_rad.to_bits(),
+            r.rssi_dbm.to_bits(),
+        )
+    }
+
+    #[test]
+    fn transform_is_pure_and_deterministic() {
+        let plan = FaultPlan::with_intensity(0.6, 1234);
+        let s = stream(200);
+        let a: Vec<_> = plan.apply(s.clone()).iter().map(bits).collect();
+        let b: Vec<_> = plan.apply(s).iter().map(bits).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_fault_differently() {
+        let s = stream(400);
+        let a = FaultPlan::with_intensity(0.5, 1).apply(s.clone());
+        let b = FaultPlan::with_intensity(0.5, 2).apply(s);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn read_loss_grows_with_intensity() {
+        let s = stream(600);
+        let mut prev = s.len();
+        for i in [0.2, 0.5, 0.9] {
+            let n = FaultPlan::with_intensity(i, 7).apply(s.clone()).len();
+            assert!(n <= prev, "intensity {i}: {n} > {prev}");
+            prev = n;
+        }
+        assert!(prev < s.len() / 2, "heavy faults must lose many reads");
+    }
+
+    #[test]
+    fn miss_rate_one_drops_everything() {
+        let plan = FaultPlan {
+            miss_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        assert!(plan.apply(stream(40)).is_empty());
+    }
+
+    #[test]
+    fn antenna_dropout_kills_whole_intervals() {
+        let plan = FaultPlan {
+            seed: 3,
+            antenna_dropout_rate: 0.5,
+            antenna_dropout_interval_s: 1.0,
+            ..FaultPlan::none()
+        };
+        // 4 antennas × 8 intervals; a dark (antenna, interval) pair must
+        // drop *all* of its reads, a lit one must keep all.
+        for a in 0..4usize {
+            for k in 0..8u64 {
+                let reads: Vec<TagReading> = (0..10)
+                    .map(|j| reading(0, a, k as f64 + j as f64 * 0.09))
+                    .collect();
+                let kept = plan.apply(reads).len();
+                assert!(kept == 0 || kept == 10, "antenna {a} interval {k}: {kept}");
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_injects_non_finite_fields() {
+        let plan = FaultPlan {
+            seed: 11,
+            corrupt_rate: 0.5,
+            ..FaultPlan::none()
+        };
+        let out = plan.apply(stream(400));
+        assert_eq!(out.len(), 400, "corruption must not drop reads");
+        let bad = out
+            .iter()
+            .filter(|r| !r.phase_rad.is_finite() || !r.rssi_dbm.is_finite())
+            .count();
+        assert!(
+            (100..300).contains(&bad),
+            "≈50% of reads should be corrupted, got {bad}/400"
+        );
+    }
+
+    #[test]
+    fn brownout_attenuates_rssi() {
+        let plan = FaultPlan {
+            seed: 5,
+            brownout_rate: 1.0,
+            brownout_depth_db: 12.0,
+            ..FaultPlan::none()
+        };
+        let out = plan.apply(vec![reading(0, 0, 0.5)]);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].rssi_dbm - (-52.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_brownout_drops_reads_below_sensitivity() {
+        let plan = FaultPlan {
+            seed: 5,
+            brownout_rate: 1.0,
+            brownout_depth_db: 60.0,
+            ..FaultPlan::none()
+        };
+        assert!(plan.apply(vec![reading(0, 0, 0.5)]).is_empty());
+    }
+
+    #[test]
+    fn phase_glitch_moves_phase_but_keeps_range() {
+        let plan = FaultPlan {
+            seed: 21,
+            phase_glitch_rate: 1.0,
+            phase_glitch_max_rad: std::f64::consts::PI,
+            ..FaultPlan::none()
+        };
+        let out = plan.apply(stream(100));
+        assert_eq!(out.len(), 100);
+        let moved = out
+            .iter()
+            .filter(|r| (r.phase_rad - 1.0).abs() > 1e-6)
+            .count();
+        assert!(moved > 90, "glitch rate 1.0 must perturb phases: {moved}");
+        for r in &out {
+            assert!((0.0..2.0 * std::f64::consts::PI).contains(&r.phase_rad));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rejects_bad_rate() {
+        FaultPlan {
+            miss_rate: 1.5,
+            ..FaultPlan::none()
+        }
+        .assert_valid();
+    }
+}

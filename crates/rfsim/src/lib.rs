@@ -17,7 +17,10 @@
 //! * an Impinj-style [`reader`] with 25 ms time-division antenna
 //!   multiplexing, π phase-reporting ambiguity, RSSI quantisation,
 //!   thermal noise and range-dependent read loss;
-//! * LLRP-style [`reading::TagReading`] reports.
+//! * LLRP-style [`reading::TagReading`] reports;
+//! * a deterministic, composable [`fault::FaultPlan`] injecting antenna
+//!   dropouts, tag occlusion bursts, Gen2 slot starvation, phase
+//!   glitches and RSSI brownouts into the reading stream.
 //!
 //! The simulator is deterministic given a seed.
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod fault;
 pub mod geometry;
 pub mod paths;
 pub mod reader;

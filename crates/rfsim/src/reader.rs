@@ -11,6 +11,7 @@
 //! read loss (passive tags stop harvesting beyond ~6 m).
 
 use crate::channel::{HopSchedule, PhaseOffsets};
+use crate::fault::FaultPlan;
 use crate::geometry::{Point2, Vec2};
 use crate::paths::{enumerate_paths, enumerate_paths_second_order};
 use crate::reading::{TagId, TagReading};
@@ -125,6 +126,8 @@ pub struct Reader {
     /// Per-tag modulation phase offset (radians).
     tag_phases: Vec<f64>,
     rng: StdRng,
+    /// Fault-injection plan applied to every emitted reading.
+    faults: FaultPlan,
 }
 
 impl Reader {
@@ -153,7 +156,33 @@ impl Reader {
             offsets,
             tag_phases,
             rng,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Installs a fault-injection plan (see [`FaultPlan`]). The plan is
+    /// a pure post-transform on the emitted readings: with
+    /// [`FaultPlan::none`] the stream is bit-identical to a reader with
+    /// no plan, and the plan never consumes the reader's RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's knobs are out of domain (see
+    /// [`FaultPlan::assert_valid`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        plan.assert_valid();
+        self.faults = plan;
+    }
+
+    /// Builder-style variant of [`Reader::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// The fault plan currently in effect.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The reader's configuration.
@@ -272,8 +301,10 @@ impl Reader {
                 let radial = v.dot((self.config.array_center - pos).normalized());
                 let doppler = 2.0 * radial * freq / SPEED_OF_LIGHT + self.gauss(0.3);
 
+                // The clean read happened (it consumed RNG and a Gen2
+                // slot) even if the fault layer then loses the report.
                 reads_this_slot += 1;
-                out.push(TagReading {
+                let reading = TagReading {
                     time_s: t_a,
                     tag: TagId(tag_idx),
                     antenna: a,
@@ -282,7 +313,10 @@ impl Reader {
                     phase_rad: phase,
                     rssi_dbm: rssi,
                     doppler_hz: doppler,
-                });
+                };
+                if let Some(reading) = self.faults.transform(reading) {
+                    out.push(reading);
+                }
             }
         }
         out
@@ -495,6 +529,37 @@ mod tests {
                 .any(|(a, b)| (a.phase_rad - b.phase_rad).abs() > 1e-6),
             "double bounces must perturb phases"
         );
+    }
+
+    #[test]
+    fn none_fault_plan_is_bit_identical() {
+        let cfg = ReaderConfig::default();
+        let clean = Reader::new(Room::hall(), cfg.clone(), 1).run(|_| static_scene(3.0), 2.0);
+        let planned = Reader::new(Room::hall(), cfg, 1)
+            .with_fault_plan(FaultPlan::none())
+            .run(|_| static_scene(3.0), 2.0);
+        assert_eq!(clean, planned);
+    }
+
+    #[test]
+    fn faults_reduce_reads_without_perturbing_survivors_downstream() {
+        // The fault layer must not consume reader RNG: surviving reads
+        // are bit-identical to their clean counterparts.
+        let cfg = ReaderConfig::default();
+        let clean = Reader::new(Room::hall(), cfg.clone(), 1).run(|_| static_scene(3.0), 2.0);
+        let plan = FaultPlan {
+            seed: 77,
+            miss_rate: 0.4,
+            ..FaultPlan::none()
+        };
+        let faulted = Reader::new(Room::hall(), cfg, 1)
+            .with_fault_plan(plan)
+            .run(|_| static_scene(3.0), 2.0);
+        assert!(faulted.len() < clean.len());
+        // Every faulted reading appears verbatim in the clean stream.
+        for r in &faulted {
+            assert!(clean.contains(r));
+        }
     }
 
     #[test]

@@ -209,4 +209,98 @@ proptest! {
         let lambda = m2ai::rfsim::wavelength(f);
         prop_assert!((0.32..0.34).contains(&lambda));
     }
+
+    /// `FaultPlan::transform` is a pure function of the plan and the
+    /// reading: applying the same plan to the same stream twice gives
+    /// bit-identical survivors, and the zero-intensity plan is the
+    /// identity for any seed.
+    #[test]
+    fn fault_transform_pure_and_none_is_identity(
+        intensity in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let base = base_stream();
+        let plan = FaultPlan::with_intensity(intensity, seed);
+        let a = plan.apply(base.clone());
+        let b = plan.apply(base.clone());
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+            prop_assert_eq!(x.phase_rad.to_bits(), y.phase_rad.to_bits());
+            prop_assert_eq!(x.rssi_dbm.to_bits(), y.rssi_dbm.to_bits());
+        }
+        let none = FaultPlan::with_intensity(0.0, seed);
+        let passed = none.apply(base.clone());
+        prop_assert_eq!(passed.len(), base.len());
+        for (x, y) in passed.iter().zip(base) {
+            prop_assert_eq!(x.phase_rad.to_bits(), y.phase_rad.to_bits());
+            prop_assert_eq!(x.rssi_dbm.to_bits(), y.rssi_dbm.to_bits());
+        }
+    }
+
+    /// Frames built from arbitrarily faulted streams are always finite,
+    /// and per-tag coverage stays inside `[0, 1]` — the degradation
+    /// contract of PR-2.
+    #[test]
+    fn faulted_frames_finite_with_coverage_in_unit_interval(
+        intensity in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::with_intensity(intensity, seed);
+        let readings = plan.apply(base_stream());
+        let layout = FrameLayout::new(2, 4, FeatureMode::Joint);
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(2, 4), 0.5);
+        let (frame, quality) = builder.build_frame_with_quality(&readings, 0.0);
+        prop_assert_eq!(frame.len(), layout.frame_dim());
+        for &v in &frame {
+            prop_assert!(v.is_finite(), "non-finite frame value {v}");
+        }
+        prop_assert_eq!(quality.tag_coverage.len(), 2);
+        for &c in &quality.tag_coverage {
+            prop_assert!((0.0..=1.0).contains(&c), "coverage {c} out of range");
+        }
+    }
+
+    /// Even frames built from streams with hand-corrupted fields (NaN
+    /// and infinities injected directly, beyond what `FaultPlan` does)
+    /// never leak a non-finite value.
+    #[test]
+    fn hand_corrupted_streams_still_yield_finite_frames(
+        corruption in prop::collection::vec((0usize..400, 0usize..3), 1..40),
+    ) {
+        let mut readings = base_stream();
+        let n = readings.len();
+        for &(idx, field) in &corruption {
+            let r = &mut readings[idx % n];
+            match field {
+                0 => r.phase_rad = f64::NAN,
+                1 => r.rssi_dbm = f64::INFINITY,
+                _ => r.time_s = f64::NEG_INFINITY,
+            }
+        }
+        let layout = FrameLayout::new(2, 4, FeatureMode::Joint);
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(2, 4), 0.5);
+        let (frame, _) = builder.build_frame_with_quality(&readings, 0.0);
+        for &v in &frame {
+            prop_assert!(v.is_finite(), "corrupted reading leaked: {v}");
+        }
+    }
+}
+
+/// A fixed clean reader stream shared by the fault properties, built
+/// once (the reader simulation is the expensive part, and every
+/// property only needs *a* realistic stream, not a fresh one per case).
+fn base_stream() -> Vec<m2ai::rfsim::reading::TagReading> {
+    use std::sync::OnceLock;
+    static STREAM: OnceLock<Vec<m2ai::rfsim::reading::TagReading>> = OnceLock::new();
+    STREAM
+        .get_or_init(|| {
+            let mut reader = Reader::new(Room::laboratory(), ReaderConfig::default(), 2);
+            let scene = SceneSnapshot::with_tags(vec![
+                m2ai::rfsim::geometry::Point2::new(2.0, 2.5),
+                m2ai::rfsim::geometry::Point2::new(3.5, 2.5),
+            ]);
+            reader.run(|_| scene.clone(), 2.0)
+        })
+        .clone()
 }
