@@ -40,10 +40,19 @@ fn main() {
             "robustness" => {
                 m2ai_bench::robustness::run_and_write(budget, "BENCH_robustness.json", 2026);
             }
+            "throughput" => {
+                if args.iter().any(|a| a == "--check") {
+                    if !m2ai_bench::throughput::check("BENCH_throughput.json") {
+                        std::process::exit(1);
+                    }
+                } else {
+                    m2ai_bench::throughput::run_and_write("BENCH_throughput.json");
+                }
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness; flag --fast"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput; flags --fast --check"
                 );
                 std::process::exit(2);
             }

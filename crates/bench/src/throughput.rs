@@ -1,0 +1,404 @@
+//! Throughput benchmark and regression gate (GEMM-kernels PR).
+//!
+//! Measures the three pipeline rates the realtime claim rests on —
+//! feature-extraction frames/sec, training samples/sec and online
+//! predictions/sec — plus the same training workload under the naive
+//! [`Backend::Reference`] kernels, whose ratio to the fast path is the
+//! headline speedup of the GEMM lowering.
+//!
+//! The emitted `BENCH_throughput.json` doubles as the CI baseline:
+//! [`check`] re-measures on the current machine and fails on a > 15 %
+//! regression of any *machine-normalised* rate (each rate divided by
+//! the same machine's reference-kernel training rate, so an absolute
+//! slowdown of the runner cancels out) or if the fast-over-reference
+//! training speedup drops below the 2× floor the PR promises.
+
+use m2ai_core::calibration::PhaseCalibrator;
+use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
+use m2ai_core::network::{build_model, Architecture};
+use m2ai_kernels::{self as kernels, Backend};
+use m2ai_nn::model::SequenceClassifier;
+use m2ai_nn::Parameterized;
+use m2ai_rfsim::geometry::Point2;
+use m2ai_rfsim::reader::{Reader, ReaderConfig};
+use m2ai_rfsim::reading::TagReading;
+use m2ai_rfsim::room::Room;
+use m2ai_rfsim::scene::SceneSnapshot;
+use std::time::Instant;
+
+use crate::header;
+
+/// Frames cut per extracted sample (the paper's 12-scenario window).
+const FRAMES_PER_SAMPLE: usize = 12;
+
+/// Maximum tolerated drop of a machine-normalised rate vs baseline.
+const MAX_REGRESSION: f64 = 0.15;
+
+/// Minimum fast-over-reference training speedup.
+const MIN_TRAIN_SPEEDUP: f64 = 2.0;
+
+/// One throughput measurement (all rates in events per second).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Feature-extraction frames/sec (12-frame samples, 6 tags, joint
+    /// features, single-threaded builder).
+    pub frames_per_sec_extract: f64,
+    /// Training samples/sec under the fast GEMM kernels.
+    pub samples_per_sec_train_fast: f64,
+    /// Training samples/sec under the naive reference kernels.
+    pub samples_per_sec_train_reference: f64,
+    /// Whole-sample online predictions/sec (fast kernels).
+    pub predictions_per_sec_online: f64,
+    /// `samples_per_sec_train_fast / samples_per_sec_train_reference`.
+    pub train_speedup: f64,
+}
+
+impl ThroughputReport {
+    /// Renders the report as a small stable JSON document (hand-rolled;
+    /// the workspace carries no serde). Key order is fixed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"m2ai-throughput-v1\",\n");
+        out.push_str(&format!(
+            "  \"frames_per_sec_extract\": {},\n",
+            json_f64(self.frames_per_sec_extract)
+        ));
+        out.push_str(&format!(
+            "  \"samples_per_sec_train_fast\": {},\n",
+            json_f64(self.samples_per_sec_train_fast)
+        ));
+        out.push_str(&format!(
+            "  \"samples_per_sec_train_reference\": {},\n",
+            json_f64(self.samples_per_sec_train_reference)
+        ));
+        out.push_str(&format!(
+            "  \"predictions_per_sec_online\": {},\n",
+            json_f64(self.predictions_per_sec_online)
+        ));
+        out.push_str(&format!(
+            "  \"train_speedup\": {}\n",
+            json_f64(self.train_speedup)
+        ));
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Parses a report previously written by [`ThroughputReport::to_json`].
+    ///
+    /// Returns `None` if any expected key is missing or non-numeric.
+    pub fn from_json(json: &str) -> Option<ThroughputReport> {
+        Some(ThroughputReport {
+            frames_per_sec_extract: parse_metric(json, "frames_per_sec_extract")?,
+            samples_per_sec_train_fast: parse_metric(json, "samples_per_sec_train_fast")?,
+            samples_per_sec_train_reference: parse_metric(json, "samples_per_sec_train_reference")?,
+            predictions_per_sec_online: parse_metric(json, "predictions_per_sec_online")?,
+            train_speedup: parse_metric(json, "train_speedup")?,
+        })
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON document.
+fn parse_metric(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let idx = json.find(&pat)?;
+    let rest = json[idx + pat.len()..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The fixed small workload every rate is measured on: a 5 s six-tag
+/// recording, the paper-default joint frame layout and the CNN+LSTM
+/// model. Identical to the `micro` bench workload so numbers line up.
+struct Workload {
+    builder: FrameBuilder,
+    readings: Vec<TagReading>,
+    frames: Vec<Vec<f32>>,
+    model: SequenceClassifier,
+}
+
+fn workload() -> Workload {
+    let mut reader = Reader::new(
+        Room::laboratory(),
+        ReaderConfig {
+            n_antennas: 4,
+            seed: 11,
+            ..ReaderConfig::default()
+        },
+        6,
+    );
+    let scene = SceneSnapshot::with_tags(vec![
+        Point2::new(5.5, 4.0),
+        Point2::new(5.7, 4.2),
+        Point2::new(5.9, 4.1),
+        Point2::new(8.0, 4.3),
+        Point2::new(8.2, 4.5),
+        Point2::new(8.4, 4.2),
+    ]);
+    let readings = reader.run(|_| scene.clone(), 5.0);
+    let layout = FrameLayout::new(6, 4, FeatureMode::Joint);
+    let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(6, 4), 0.4);
+    let frames = builder.build_sample(&readings, 0.0, FRAMES_PER_SAMPLE);
+    let model = build_model(&layout, 12, Architecture::CnnLstm, 1);
+    Workload {
+        builder,
+        readings,
+        frames,
+        model,
+    }
+}
+
+/// Times `iters` repetitions of `f` (after one untimed warmup call)
+/// and returns events per second given `events_per_iter`.
+///
+/// Takes the best of three timed passes: scheduler preemption and
+/// frequency ramps only ever make a pass *slower*, so the fastest
+/// pass is the least-noisy estimate of what the code can sustain.
+fn rate(iters: usize, events_per_iter: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((iters * events_per_iter) as f64 / secs);
+    }
+    best
+}
+
+/// Measures the report on the current machine. Restores the fast
+/// backend before returning regardless of entry state.
+pub fn run() -> ThroughputReport {
+    header(
+        "Throughput",
+        "pipeline rates, fast vs reference kernel backends",
+    );
+    let w = workload();
+
+    kernels::set_backend(Backend::Fast);
+    let frames_per_sec_extract = rate(6, FRAMES_PER_SAMPLE, || {
+        std::hint::black_box(w.builder.build_sample(&w.readings, 0.0, FRAMES_PER_SAMPLE));
+    });
+    let predictions_per_sec_online = rate(60, 1, || {
+        std::hint::black_box(w.model.predict(&w.frames));
+    });
+    let train = |iters: usize| {
+        let mut m = w.model.clone();
+        rate(iters, 1, || {
+            m.zero_grad();
+            std::hint::black_box(m.loss_and_backprop(&w.frames, 3));
+        })
+    };
+    let samples_per_sec_train_fast = train(24);
+    kernels::set_backend(Backend::Reference);
+    let samples_per_sec_train_reference = train(8);
+    kernels::set_backend(Backend::Fast);
+
+    let report = ThroughputReport {
+        frames_per_sec_extract,
+        samples_per_sec_train_fast,
+        samples_per_sec_train_reference,
+        predictions_per_sec_online,
+        train_speedup: samples_per_sec_train_fast / samples_per_sec_train_reference,
+    };
+    println!(
+        "extraction    {:>10.1} frames/sec",
+        report.frames_per_sec_extract
+    );
+    println!(
+        "train (fast)  {:>10.1} samples/sec",
+        report.samples_per_sec_train_fast
+    );
+    println!(
+        "train (ref)   {:>10.1} samples/sec",
+        report.samples_per_sec_train_reference
+    );
+    println!(
+        "prediction    {:>10.1} samples/sec",
+        report.predictions_per_sec_online
+    );
+    println!(
+        "train speedup {:>10.2}x fast over reference",
+        report.train_speedup
+    );
+    report
+}
+
+/// Pure regression gate: every failure is one human-readable line.
+///
+/// Rates are compared *machine-normalised* — divided by that machine's
+/// own reference-kernel training rate — so CI runner speed differences
+/// cancel; only a real relative slowdown of a stage trips the gate. The
+/// fast-over-reference training speedup is additionally held to the
+/// absolute [`MIN_TRAIN_SPEEDUP`] floor.
+pub fn regressions(fresh: &ThroughputReport, baseline: &ThroughputReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    // NaN-safe: a NaN speedup must fail the floor check, not pass it.
+    if fresh.train_speedup < MIN_TRAIN_SPEEDUP || fresh.train_speedup.is_nan() {
+        failures.push(format!(
+            "train_speedup {:.2}x is below the {MIN_TRAIN_SPEEDUP}x floor",
+            fresh.train_speedup
+        ));
+    }
+    let norm_fresh = fresh.samples_per_sec_train_reference;
+    let norm_base = baseline.samples_per_sec_train_reference;
+    if norm_fresh <= 0.0 || norm_base <= 0.0 {
+        failures.push("reference training rate is non-positive; cannot normalise".to_string());
+        return failures;
+    }
+    for (name, f, b) in [
+        (
+            "frames_per_sec_extract",
+            fresh.frames_per_sec_extract,
+            baseline.frames_per_sec_extract,
+        ),
+        (
+            "samples_per_sec_train_fast",
+            fresh.samples_per_sec_train_fast,
+            baseline.samples_per_sec_train_fast,
+        ),
+        (
+            "predictions_per_sec_online",
+            fresh.predictions_per_sec_online,
+            baseline.predictions_per_sec_online,
+        ),
+    ] {
+        let r_fresh = f / norm_fresh;
+        let r_base = b / norm_base;
+        let floor = (1.0 - MAX_REGRESSION) * r_base;
+        // NaN-safe: NaN on either side counts as a regression.
+        if r_fresh < floor || r_fresh.is_nan() || floor.is_nan() {
+            failures.push(format!(
+                "{name}: normalised rate {r_fresh:.3} fell more than \
+                 {:.0}% below baseline {r_base:.3}",
+                100.0 * MAX_REGRESSION
+            ));
+        }
+    }
+    failures
+}
+
+/// Measures and writes the JSON baseline to `path`.
+///
+/// # Panics
+///
+/// Panics if `path` cannot be written.
+pub fn run_and_write(path: &str) -> ThroughputReport {
+    let report = run();
+    std::fs::write(path, report.to_json()).expect("write throughput report");
+    println!("wrote {path}");
+    report
+}
+
+/// Re-measures and gates against the baseline at `path`.
+///
+/// Returns `true` when no regression was detected; prints one line per
+/// failure otherwise.
+///
+/// # Panics
+///
+/// Panics if `path` is missing or unparseable — the baseline is
+/// checked in, so that is a repo defect, not a perf regression.
+pub fn check(path: &str) -> bool {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read throughput baseline {path}: {e}"));
+    let baseline = ThroughputReport::from_json(&json)
+        .unwrap_or_else(|| panic!("parse throughput baseline {path}"));
+    let fresh = run();
+    let failures = regressions(&fresh, &baseline);
+    if failures.is_empty() {
+        println!("throughput gate: PASS");
+        true
+    } else {
+        for f in &failures {
+            eprintln!("throughput gate FAIL: {f}");
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(extract: f64, fast: f64, reference: f64, predict: f64) -> ThroughputReport {
+        ThroughputReport {
+            frames_per_sec_extract: extract,
+            samples_per_sec_train_fast: fast,
+            samples_per_sec_train_reference: reference,
+            predictions_per_sec_online: predict,
+            train_speedup: fast / reference,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = report(120.5, 80.0, 20.0, 300.25);
+        let back = ThroughputReport::from_json(&r.to_json()).expect("roundtrip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn non_finite_becomes_null_and_fails_parse() {
+        let mut r = report(1.0, 4.0, 2.0, 1.0);
+        r.frames_per_sec_extract = f64::NAN;
+        let json = r.to_json();
+        assert!(json.contains("\"frames_per_sec_extract\": null"));
+        assert!(ThroughputReport::from_json(&json).is_none());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = report(100.0, 50.0, 20.0, 200.0);
+        assert!(regressions(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn machine_speed_cancels_out() {
+        // A uniformly 3x slower machine: all rates shrink together, the
+        // normalised ratios are unchanged, the gate must stay green.
+        let base = report(120.0, 60.0, 20.0, 240.0);
+        let slow = report(40.0, 20.0, 20.0 / 3.0, 80.0);
+        assert!(regressions(&slow, &base).is_empty());
+    }
+
+    #[test]
+    fn relative_stage_slowdown_trips_the_gate() {
+        let base = report(120.0, 60.0, 20.0, 240.0);
+        // Extraction alone lost 30% relative to the reference anchor.
+        let bad = report(84.0, 60.0, 20.0, 240.0);
+        let failures = regressions(&bad, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("frames_per_sec_extract"));
+    }
+
+    #[test]
+    fn speedup_floor_is_absolute() {
+        let base = report(120.0, 60.0, 20.0, 240.0);
+        // Fast path degraded to 1.5x reference: normalised train_fast
+        // regression AND the absolute floor both fire.
+        let bad = report(120.0, 30.0, 20.0, 240.0);
+        let failures = regressions(&bad, &base);
+        assert!(failures.iter().any(|f| f.contains("floor")));
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("samples_per_sec_train_fast")));
+    }
+
+    #[test]
+    fn parse_metric_handles_last_key() {
+        let json = "{\n  \"a\": 1.5,\n  \"train_speedup\": 3.25\n}\n";
+        assert_eq!(parse_metric(json, "train_speedup"), Some(3.25));
+        assert_eq!(parse_metric(json, "missing"), None);
+    }
+}

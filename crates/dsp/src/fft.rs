@@ -70,6 +70,24 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
     out
 }
 
+/// Computes the forward DFT of `buf`, reusing its storage.
+///
+/// Bitwise identical to [`fft`]; exists so hot paths can keep one
+/// buffer alive across calls. Power-of-two lengths transform fully in
+/// place; other lengths fall back to the (allocating) Bluestein chirp
+/// transform and replace the buffer's contents.
+pub fn fft_in_buffer(buf: &mut Vec<Complex>) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if is_pow2(n) {
+        fft_pow2_in_place(buf, false);
+    } else {
+        *buf = bluestein(buf, false);
+    }
+}
+
 /// Computes the forward DFT of a real-valued signal.
 ///
 /// Convenience wrapper that promotes to complex; returns all `n` bins.

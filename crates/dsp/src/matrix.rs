@@ -1,8 +1,12 @@
 //! Dense complex matrices (row-major), sized for antenna-array work.
 //!
 //! MUSIC on a 4-element array only ever touches tiny matrices, so this is
-//! a simple, allocation-friendly implementation with no blocking or SIMD;
-//! clarity and correctness win.
+//! a simple implementation with no blocking or SIMD; clarity and
+//! correctness win. What *does* matter at frame rate is allocation
+//! churn, so the hot accumulation paths have in-place variants
+//! ([`CMatrix::add_in_place`], [`CMatrix::scale_in_place`],
+//! [`CMatrix::resize_to`], [`CMatrix::copy_from`]) that let callers
+//! reuse one matrix across thousands of windows.
 
 use crate::{Complex, DspError};
 
@@ -198,6 +202,50 @@ impl CMatrix {
             cols: self.cols,
             data: self.data.iter().map(|z| *z * k).collect(),
         }
+    }
+
+    /// Scales every entry in place — same arithmetic as
+    /// [`CMatrix::scale`], no allocation.
+    pub fn scale_in_place(&mut self, k: Complex) {
+        for z in &mut self.data {
+            *z *= k;
+        }
+    }
+
+    /// Adds `rhs` into `self` element-wise (`self += rhs`) — same
+    /// arithmetic as [`CMatrix::add`], no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::DimensionMismatch`] on shape mismatch.
+    pub fn add_in_place(&mut self, rhs: &CMatrix) -> Result<(), DspError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(DspError::DimensionMismatch(
+                self.rows * self.cols,
+                rhs.rows * rhs.cols,
+            ));
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// Reshapes `self` to `rows × cols` and zeroes every entry,
+    /// reusing the existing storage when it is large enough.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex::ZERO);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing storage.
+    pub fn copy_from(&mut self, other: &CMatrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Outer product `x · yᴴ` of two vectors (as column matrices).

@@ -281,38 +281,88 @@ impl SteeringTable {
 /// * [`DspError::EmptyInput`] with no snapshots;
 /// * [`DspError::DimensionMismatch`] if snapshots have differing lengths.
 pub fn correlation_matrix(snapshots: &[Vec<Complex>]) -> Result<CMatrix, DspError> {
+    let mut r = CMatrix::zeros(0, 0);
+    correlation_matrix_into(snapshots, &mut r)?;
+    Ok(r)
+}
+
+/// In-place variant of [`correlation_matrix`]: writes `R` into `out`,
+/// reusing its storage across calls. Bitwise identical to the
+/// allocating variant. On error, `out`'s contents are unspecified.
+///
+/// # Errors
+///
+/// See [`correlation_matrix`].
+pub fn correlation_matrix_into(
+    snapshots: &[Vec<Complex>],
+    out: &mut CMatrix,
+) -> Result<(), DspError> {
     let first = snapshots.first().ok_or(DspError::EmptyInput)?;
     let n = first.len();
     if n == 0 {
         return Err(DspError::EmptyInput);
     }
-    let mut r = CMatrix::zeros(n, n);
+    out.resize_to(n, n);
     for snap in snapshots {
         if snap.len() != n {
             return Err(DspError::DimensionMismatch(n, snap.len()));
         }
         for i in 0..n {
             for j in 0..n {
-                r[(i, j)] += snap[i] * snap[j].conj();
+                out[(i, j)] += snap[i] * snap[j].conj();
             }
         }
     }
-    let scale = Complex::new(1.0 / snapshots.len() as f64, 0.0);
-    Ok(r.scale(scale))
+    out.scale_in_place(Complex::new(1.0 / snapshots.len() as f64, 0.0));
+    Ok(())
+}
+
+/// Sample correlation of the length-`len` window starting at `start` of
+/// every snapshot, written into `out` — the same arithmetic (accumulate
+/// every snapshot's outer product, then scale by `1/T`) and iteration
+/// order as [`correlation_matrix`] on materialised sub-snapshots,
+/// without allocating them.
+///
+/// Panics (like the slicing it replaces) if any snapshot is shorter
+/// than `start + len`. `snapshots` must be non-empty.
+fn windowed_correlation_into(
+    snapshots: &[Vec<Complex>],
+    start: usize,
+    len: usize,
+    out: &mut CMatrix,
+) {
+    out.resize_to(len, len);
+    for snap in snapshots {
+        let w = &snap[start..start + len];
+        for i in 0..len {
+            for j in 0..len {
+                out[(i, j)] += w[i] * w[j].conj();
+            }
+        }
+    }
+    out.scale_in_place(Complex::new(1.0 / snapshots.len() as f64, 0.0));
 }
 
 /// Forward–backward averaging: `R_fb = (R + J·R*·J)/2` with `J` the
 /// exchange matrix. Decorrelates up to two coherent sources.
 pub fn forward_backward_average(r: &CMatrix) -> CMatrix {
+    let mut out = CMatrix::zeros(0, 0);
+    forward_backward_average_into(r, &mut out);
+    out
+}
+
+/// In-place variant of [`forward_backward_average`]: writes `R_fb` into
+/// `out`, reusing its storage. Bitwise identical to the allocating
+/// variant. `out` must not alias `r`.
+pub fn forward_backward_average_into(r: &CMatrix, out: &mut CMatrix) {
     let n = r.rows();
-    let mut out = CMatrix::zeros(n, n);
+    out.resize_to(n, n);
     for i in 0..n {
         for j in 0..n {
             let flipped = r[(n - 1 - i, n - 1 - j)].conj();
             out[(i, j)] = (r[(i, j)] + flipped).scale(0.5);
         }
     }
-    out
 }
 
 /// Subarray spatial smoothing of snapshots.
@@ -338,15 +388,13 @@ pub fn spatially_smoothed_correlation(
     }
     let n_sub = n - subarray_len + 1;
     let mut acc = CMatrix::zeros(subarray_len, subarray_len);
+    let mut r = CMatrix::zeros(0, 0);
     for start in 0..n_sub {
-        let sub_snaps: Vec<Vec<Complex>> = snapshots
-            .iter()
-            .map(|s| s[start..start + subarray_len].to_vec())
-            .collect();
-        let r = correlation_matrix(&sub_snaps)?;
-        acc = acc.add(&r)?;
+        windowed_correlation_into(snapshots, start, subarray_len, &mut r);
+        acc.add_in_place(&r)?;
     }
-    Ok(acc.scale(Complex::new(1.0 / n_sub as f64, 0.0)))
+    acc.scale_in_place(Complex::new(1.0 / n_sub as f64, 0.0));
+    Ok(acc)
 }
 
 /// Estimates the number of sources from sorted eigenvalues via MDL.
@@ -427,11 +475,13 @@ pub fn pseudospectrum_from_correlation(
     config: &MusicConfig,
 ) -> Result<MusicSpectrum, DspError> {
     config.validate()?;
-    let mut r = if config.forward_backward {
-        forward_backward_average(r)
+    let mut work = CMatrix::zeros(0, 0);
+    if config.forward_backward {
+        forward_backward_average_into(r, &mut work);
     } else {
-        r.clone()
-    };
+        work.copy_from(r);
+    }
+    let mut r = work;
     let n = r.rows();
     // Diagonal loading keeps the eigensolver healthy on rank-deficient R.
     let load = config.diagonal_loading * (r.trace()?.re / n as f64).max(1e-300);
@@ -454,6 +504,18 @@ pub fn pseudospectrum_from_correlation(
         ..config.clone()
     };
     let table = SteeringTable::for_config(&sub_cfg);
+    // Hoist the noise-subspace access out of the per-angle loop: pack
+    // E_nᴴ row-major (`nh[j*n + i] = conj(E_n[i, j])`) once, so the grid
+    // scan reads it sequentially instead of re-conjugating and striding
+    // through the matrix `n_angles` times. The dot product below folds
+    // from `Complex::ZERO` in ascending `i`, exactly like the
+    // `Iterator::sum` it replaces — bitwise identical.
+    let mut nh = vec![Complex::ZERO; noise.cols() * n];
+    for j in 0..noise.cols() {
+        for i in 0..n {
+            nh[j * n + i] = noise[(i, j)].conj();
+        }
+    }
     let mut angles = Vec::with_capacity(config.n_angles);
     let mut power = Vec::with_capacity(config.n_angles);
     for g in 0..config.n_angles {
@@ -461,8 +523,11 @@ pub fn pseudospectrum_from_correlation(
         let a = table.vector(g);
         // ‖E_nᴴ a‖²
         let mut denom = 0.0;
-        for j in 0..noise.cols() {
-            let dot: Complex = (0..n).map(|i| noise[(i, j)].conj() * a[i]).sum();
+        for row in nh.chunks_exact(n) {
+            let mut dot = Complex::ZERO;
+            for (h, av) in row.iter().zip(a) {
+                dot += *h * *av;
+            }
             denom += dot.norm_sqr();
         }
         angles.push(theta);

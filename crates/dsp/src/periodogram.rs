@@ -7,9 +7,27 @@
 //! band-power helper summarises the per-antenna power that forms the
 //! paper's `n × N` periodogram frame.
 
-use crate::fft::fft;
+use crate::fft::fft_in_buffer;
 use crate::window::Window;
 use crate::{Complex, DspError};
+use std::cell::RefCell;
+
+/// Per-thread scratch for [`periodogram_into`]: the FFT work buffer and
+/// a one-entry taper cache (window coefficients plus their power
+/// normaliser, keyed by `(window, n)`). Periodograms are computed at a
+/// handful of fixed lengths per pipeline, so a last-used cache hits
+/// almost always; the cached values are recomputed by the very same
+/// calls on a miss, keeping results bitwise identical.
+#[derive(Default)]
+struct PeriodogramScratch {
+    taper: Option<(Window, usize, Vec<f64>, f64)>,
+    buf: Vec<Complex>,
+}
+
+thread_local! {
+    static PERIODOGRAM_SCRATCH: RefCell<PeriodogramScratch> =
+        RefCell::new(PeriodogramScratch::default());
+}
 
 /// A one-sided summary of the PSD of a complex record.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,17 +70,50 @@ impl Psd {
 ///
 /// Returns [`DspError::EmptyInput`] if `data` is empty.
 pub fn periodogram(data: &[Complex], window: Window) -> Result<Psd, DspError> {
+    let mut out = Psd {
+        freqs: Vec::new(),
+        power: Vec::new(),
+    };
+    periodogram_into(data, window, &mut out)?;
+    Ok(out)
+}
+
+/// In-place variant of [`periodogram`]: writes into `out`, reusing its
+/// `freqs`/`power` storage and a per-thread FFT buffer and taper cache,
+/// so steady-state callers allocate nothing (power-of-two lengths) per
+/// record. Bitwise identical to [`periodogram`]. On error, `out` is
+/// untouched.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `data` is empty.
+pub fn periodogram_into(data: &[Complex], window: Window, out: &mut Psd) -> Result<(), DspError> {
     if data.is_empty() {
         return Err(DspError::EmptyInput);
     }
     let n = data.len();
-    let w = window.coefficients(n);
-    let tapered: Vec<Complex> = data.iter().zip(&w).map(|(z, &wi)| z.scale(wi)).collect();
-    let spec = fft(&tapered);
-    let norm = window.power(n).max(1e-300);
-    let power: Vec<f64> = spec.iter().map(|z| z.norm_sqr() / norm).collect();
-    let freqs: Vec<f64> = (0..n).map(|k| k as f64 / n as f64).collect();
-    Ok(Psd { freqs, power })
+    PERIODOGRAM_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let scratch = &mut *scratch;
+        let hit = matches!(&scratch.taper, Some((w, len, _, _)) if *w == window && *len == n);
+        if !hit {
+            let coeffs = window.coefficients(n);
+            let norm = window.power(n).max(1e-300);
+            scratch.taper = Some((window, n, coeffs, norm));
+        }
+        let (_, _, coeffs, norm) = scratch.taper.as_ref().expect("taper just cached");
+        scratch.buf.clear();
+        scratch
+            .buf
+            .extend(data.iter().zip(coeffs).map(|(z, &wi)| z.scale(wi)));
+        fft_in_buffer(&mut scratch.buf);
+        out.power.clear();
+        out.power
+            .extend(scratch.buf.iter().map(|z| z.norm_sqr() / norm));
+        out.freqs.clear();
+        out.freqs.extend((0..n).map(|k| k as f64 / n as f64));
+    });
+    Ok(())
 }
 
 /// Computes the periodogram of a real-valued sequence.
@@ -105,10 +156,14 @@ pub fn welch(
     }
     let hop = segment_len - overlap;
     let mut acc = vec![0.0f64; segment_len];
+    let mut psd = Psd {
+        freqs: Vec::new(),
+        power: Vec::new(),
+    };
     let mut count = 0usize;
     let mut start = 0usize;
     while start + segment_len <= data.len() {
-        let psd = periodogram(&data[start..start + segment_len], window)?;
+        periodogram_into(&data[start..start + segment_len], window, &mut psd)?;
         for (a, p) in acc.iter_mut().zip(&psd.power) {
             *a += *p;
         }

@@ -1,0 +1,216 @@
+//! Register-blocked `mul_add` microkernels.
+//!
+//! Blocking strategy: each output element keeps exactly **one**
+//! accumulator chain over ascending `k` (the crate's ordering
+//! contract), so parallelism comes from working on a block of
+//! *adjacent outputs* at once — independent FMA chains that LLVM
+//! SLP-vectorises into packed FMA for the row-broadcast shapes
+//! (`gemm_nn`/`gemm_tn`/`gemv_t`, where a `B` row is read
+//! contiguously) and keeps in scalar registers for the dot-product
+//! shapes (`gemm_nt`/`gemv`, where each output reduces its own row).
+//! No reassociation ever happens within a single output: the fast and
+//! reference backends round each step identically except for the
+//! fused multiply-add (≤ 1 ulp per step).
+
+/// Width of the vectorised output block (two AVX2 `f32x8` lanes).
+const NB: usize = 16;
+
+/// C\[m×n\] += A\[m×k\] · B\[k×n\], row-major.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nn: A shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm_nn: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nn: C shape mismatch");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + NB <= n {
+            let mut acc = [0.0f32; NB];
+            acc.copy_from_slice(&crow[j..j + NB]);
+            for (p, &av) in arow.iter().enumerate() {
+                let bp = &b[p * n + j..p * n + j + NB];
+                for x in 0..NB {
+                    acc[x] = av.mul_add(bp[x], acc[x]);
+                }
+            }
+            crow[j..j + NB].copy_from_slice(&acc);
+            j += NB;
+        }
+        while j + 4 <= n {
+            let mut acc = [0.0f32; 4];
+            acc.copy_from_slice(&crow[j..j + 4]);
+            for (p, &av) in arow.iter().enumerate() {
+                let bp = &b[p * n + j..p * n + j + 4];
+                for x in 0..4 {
+                    acc[x] = av.mul_add(bp[x], acc[x]);
+                }
+            }
+            crow[j..j + 4].copy_from_slice(&acc);
+            j += 4;
+        }
+        while j < n {
+            let mut s = crow[j];
+            for (p, &av) in arow.iter().enumerate() {
+                s = av.mul_add(b[p * n + j], s);
+            }
+            crow[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// C\[m×n\] += A\[m×k\] · Bᵀ where B is stored \[n×k\] row-major.
+///
+/// This is the natural layout for `Dense`/LSTM weights (`out × in`):
+/// each output is a dot product of an `A` row with a `B` row, so the
+/// reduction cannot be packed without reassociating — eight
+/// independent scalar chains hide the FMA latency instead.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nt: C shape mismatch");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let b4 = &b[(j + 4) * k..(j + 5) * k];
+            let b5 = &b[(j + 5) * k..(j + 6) * k];
+            let b6 = &b[(j + 6) * k..(j + 7) * k];
+            let b7 = &b[(j + 7) * k..(j + 8) * k];
+            let mut acc = [0.0f32; 8];
+            acc.copy_from_slice(&crow[j..j + 8]);
+            for (p, &av) in arow.iter().enumerate() {
+                acc[0] = av.mul_add(b0[p], acc[0]);
+                acc[1] = av.mul_add(b1[p], acc[1]);
+                acc[2] = av.mul_add(b2[p], acc[2]);
+                acc[3] = av.mul_add(b3[p], acc[3]);
+                acc[4] = av.mul_add(b4[p], acc[4]);
+                acc[5] = av.mul_add(b5[p], acc[5]);
+                acc[6] = av.mul_add(b6[p], acc[6]);
+                acc[7] = av.mul_add(b7[p], acc[7]);
+            }
+            crow[j..j + 8].copy_from_slice(&acc);
+            j += 8;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = crow[j];
+            for (p, &av) in arow.iter().enumerate() {
+                s = av.mul_add(brow[p], s);
+            }
+            crow[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// C\[m×n\] += Aᵀ · B where A is \[k×m\] and B is \[k×n\], row-major.
+///
+/// The gradient-accumulation shape: `gw += gradsᵀ · inputs` over a
+/// batch/time axis `k`. `B` rows are contiguous, so the output block
+/// packs exactly like [`gemm_nn`].
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_tn: A shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm_tn: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_tn: C shape mismatch");
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + NB <= n {
+            let mut acc = [0.0f32; NB];
+            acc.copy_from_slice(&crow[j..j + NB]);
+            for p in 0..k {
+                let av = a[p * m + i];
+                let bp = &b[p * n + j..p * n + j + NB];
+                for x in 0..NB {
+                    acc[x] = av.mul_add(bp[x], acc[x]);
+                }
+            }
+            crow[j..j + NB].copy_from_slice(&acc);
+            j += NB;
+        }
+        while j + 4 <= n {
+            let mut acc = [0.0f32; 4];
+            acc.copy_from_slice(&crow[j..j + 4]);
+            for p in 0..k {
+                let av = a[p * m + i];
+                let bp = &b[p * n + j..p * n + j + 4];
+                for x in 0..4 {
+                    acc[x] = av.mul_add(bp[x], acc[x]);
+                }
+            }
+            crow[j..j + 4].copy_from_slice(&acc);
+            j += 4;
+        }
+        while j < n {
+            let mut s = crow[j];
+            for p in 0..k {
+                s = a[p * m + i].mul_add(b[p * n + j], s);
+            }
+            crow[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// y\[m\] += A\[m×k\] · x\[k\], row-major A.
+pub fn gemv(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemv: A shape mismatch");
+    assert_eq!(x.len(), k, "gemv: x length mismatch");
+    assert_eq!(y.len(), m, "gemv: y length mismatch");
+    let mut i = 0;
+    while i + 8 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let a4 = &a[(i + 4) * k..(i + 5) * k];
+        let a5 = &a[(i + 5) * k..(i + 6) * k];
+        let a6 = &a[(i + 6) * k..(i + 7) * k];
+        let a7 = &a[(i + 7) * k..(i + 8) * k];
+        let mut acc = [0.0f32; 8];
+        acc.copy_from_slice(&y[i..i + 8]);
+        for (p, &xv) in x.iter().enumerate() {
+            acc[0] = a0[p].mul_add(xv, acc[0]);
+            acc[1] = a1[p].mul_add(xv, acc[1]);
+            acc[2] = a2[p].mul_add(xv, acc[2]);
+            acc[3] = a3[p].mul_add(xv, acc[3]);
+            acc[4] = a4[p].mul_add(xv, acc[4]);
+            acc[5] = a5[p].mul_add(xv, acc[5]);
+            acc[6] = a6[p].mul_add(xv, acc[6]);
+            acc[7] = a7[p].mul_add(xv, acc[7]);
+        }
+        y[i..i + 8].copy_from_slice(&acc);
+        i += 8;
+    }
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut s = y[i];
+        for (p, &xv) in x.iter().enumerate() {
+            s = arow[p].mul_add(xv, s);
+        }
+        y[i] = s;
+        i += 1;
+    }
+}
+
+/// y\[n\] += Aᵀ · x: `y[j] += Σ_r x[r] * a[r*n + j]` for A \[r×n\].
+///
+/// Row-broadcast shape; the inner loop is element-wise over `j` and
+/// auto-vectorises cleanly.
+pub fn gemv_t(r: usize, n: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    assert_eq!(a.len(), r * n, "gemv_t: A shape mismatch");
+    assert_eq!(x.len(), r, "gemv_t: x length mismatch");
+    assert_eq!(y.len(), n, "gemv_t: y length mismatch");
+    for (row, &xv) in x.iter().enumerate() {
+        let arow = &a[row * n..(row + 1) * n];
+        for (slot, &av) in y.iter_mut().zip(arow) {
+            *slot = xv.mul_add(av, *slot);
+        }
+    }
+}

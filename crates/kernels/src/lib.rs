@@ -1,0 +1,269 @@
+//! Shared `f32` compute kernels for the M²AI neural-network hot paths.
+//!
+//! Every inner loop of the CNN + stacked-LSTM engine (Eq. 17 of the
+//! paper) is some flavour of matrix multiply. This crate provides that
+//! one primitive in two interchangeable implementations:
+//!
+//! * [`reference`] — the naive scalar triple-loops the seed repository
+//!   shipped with, preserved verbatim (same iteration order, same
+//!   `acc += a * b` arithmetic). This is the semantic ground truth.
+//! * [`fast`] — register-blocked microkernels built on [`f32::mul_add`]
+//!   with 4-wide output blocking. With `+fma` codegen (see
+//!   `.cargo/config.toml`) each accumulation step is a single hardware
+//!   FMA; LLVM additionally SLP-vectorises the contiguous 4-wide
+//!   blocks into AVX lanes.
+//!
+//! ## Numerical contract
+//!
+//! Both paths accumulate **into** the caller-provided `C` operand
+//! (`C += A·B`), visiting the reduction index `k` in strictly
+//! ascending order with one product per step — no split accumulators,
+//! no reassociation. The only difference is that the fast path fuses
+//! each `a*b + acc` into one correctly-rounded FMA while the reference
+//! path rounds the product first. Per output element the two results
+//! therefore differ by at most 1 ulp per accumulation step, and the
+//! fast result is the *more* accurate one. `tests/kernel_equivalence.rs`
+//! (repo root) property-tests this envelope across random shapes.
+//!
+//! ## Backend switch
+//!
+//! Callers go through the top-level dispatchers ([`gemm_nn`] & co.),
+//! which consult a process-wide [`Backend`] flag (default
+//! [`Backend::Fast`]). The flag exists so benchmarks can measure the
+//! genuine before/after gap through otherwise identical code paths —
+//! it is a measurement tool, not a tuning knob.
+//!
+//! ## Scratch arenas
+//!
+//! [`KernelScratch`] is a trivially simple buffer pool: `take` a zeroed
+//! `Vec<f32>`, `recycle` it when done. Threaded through the NN layers
+//! it removes every steady-state im2col / gate / packing allocation.
+//! [`with_thread_scratch`] offers a thread-local fallback for legacy
+//! entry points that predate the explicit-scratch signatures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod fast;
+pub mod im2col;
+pub mod reference;
+
+/// Which kernel implementation the top-level dispatchers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Naive scalar loops — the seed repository's original arithmetic.
+    Reference,
+    /// Register-blocked `mul_add` microkernels (the default).
+    Fast,
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(1);
+
+/// Returns the currently selected [`Backend`].
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => Backend::Reference,
+        _ => Backend::Fast,
+    }
+}
+
+/// Selects the process-wide [`Backend`].
+///
+/// Global rather than thread-local because `fit()` fans training out
+/// over scoped worker threads that must all honour the choice. Tests
+/// that flip this around measurements must serialise themselves.
+pub fn set_backend(b: Backend) {
+    let v = match b {
+        Backend::Reference => 0,
+        Backend::Fast => 1,
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}
+
+/// C\[m×n\] += A\[m×k\] · B\[k×n\] (all row-major).
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match backend() {
+        Backend::Fast => fast::gemm_nn(m, n, k, a, b, c),
+        Backend::Reference => reference::gemm_nn(m, n, k, a, b, c),
+    }
+}
+
+/// C\[m×n\] += A\[m×k\] · Bᵀ where B is \[n×k\] row-major.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match backend() {
+        Backend::Fast => fast::gemm_nt(m, n, k, a, b, c),
+        Backend::Reference => reference::gemm_nt(m, n, k, a, b, c),
+    }
+}
+
+/// C\[m×n\] += Aᵀ · B where A is \[k×m\] and B is \[k×n\], row-major.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match backend() {
+        Backend::Fast => fast::gemm_tn(m, n, k, a, b, c),
+        Backend::Reference => reference::gemm_tn(m, n, k, a, b, c),
+    }
+}
+
+/// y\[m\] += A\[m×k\] · x\[k\] (row-major A).
+pub fn gemv(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    match backend() {
+        Backend::Fast => fast::gemv(m, k, a, x, y),
+        Backend::Reference => reference::gemv(m, k, a, x, y),
+    }
+}
+
+/// y\[n\] += Aᵀ · x, i.e. `y[j] += Σ_r x[r] * a[r*n + j]` for A \[r×n\].
+pub fn gemv_t(r: usize, n: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    match backend() {
+        Backend::Fast => fast::gemv_t(r, n, a, x, y),
+        Backend::Reference => reference::gemv_t(r, n, a, x, y),
+    }
+}
+
+/// A tiny LIFO pool of reusable `f32` buffers.
+///
+/// `take` hands out a zeroed buffer of the requested length (reusing a
+/// previously recycled allocation when one exists); `recycle` returns
+/// it. In the steady state of training/inference every `take` is a
+/// `memset`, never a heap allocation.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    pool: Vec<Vec<f32>>,
+}
+
+impl KernelScratch {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        KernelScratch { pool: Vec::new() }
+    }
+
+    /// Returns a zeroed buffer of length `len`.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, v: Vec<f32>) {
+        // Keep the pool bounded; dozens of live buffers would indicate
+        // a recycle leak, not a workload.
+        if self.pool.len() < 32 {
+            self.pool.push(v);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`KernelScratch`].
+///
+/// Legacy entry points that predate the explicit `_with` signatures
+/// route through here so they still allocate nothing in steady state.
+/// Re-entrant calls (possible only if a caller nests legacy APIs) fall
+/// back to a fresh temporary pool instead of panicking on the borrow.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut KernelScratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_fast() {
+        assert_eq!(backend(), Backend::Fast);
+    }
+
+    #[test]
+    fn gemm_nn_known_values() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> A*B = [[19,22],[43,50]]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        for f in [fast::gemm_nn, reference::gemm_nn] {
+            let mut c = [0.0f32; 4];
+            f(2, 2, 2, &a, &b, &mut c);
+            assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let mut c = [10.0f32];
+        fast::gemm_nn(1, 1, 2, &a, &b, &mut c);
+        assert_eq!(c, [10.0 + 3.0 + 8.0]);
+    }
+
+    #[test]
+    fn gemm_nt_matches_manual_transpose() {
+        // A [1x3], B [2x3] (so B^T is [3x2]).
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let mut c = [0.0f32; 2];
+        fast::gemm_nt(1, 2, 3, &a, &b, &mut c);
+        assert_eq!(c, [4.0 + 10.0 + 18.0, 7.0 + 16.0 + 27.0]);
+    }
+
+    #[test]
+    fn gemm_tn_matches_manual_transpose() {
+        // A [2x2] (k x m), B [2x3] (k x n): C = A^T * B.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 0.0, 2.0, 0.0, 1.0, 1.0];
+        let mut c = [0.0f32; 6];
+        fast::gemm_tn(2, 3, 2, &a, &b, &mut c);
+        // C[0,:] = 1*[1,0,2] + 3*[0,1,1] = [1,3,5]
+        // C[1,:] = 2*[1,0,2] + 4*[0,1,1] = [2,4,8]
+        assert_eq!(c, [1.0, 3.0, 5.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn gemv_and_gemv_t_known_values() {
+        let a = [1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+        let x = [1.0, -1.0];
+        let mut y = [0.0f32; 2];
+        fast::gemv(2, 2, &a, &x, &mut y);
+        assert_eq!(y, [-1.0, -1.0]);
+        let mut yt = [0.0f32; 2];
+        fast::gemv_t(2, 2, &a, &x, &mut yt);
+        // y[j] = x[0]*a[0,j] + x[1]*a[1,j] = [1-3, 2-4]
+        assert_eq!(yt, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn scratch_reuses_allocations() {
+        let mut s = KernelScratch::new();
+        let v = s.take(16);
+        let ptr = v.as_ptr();
+        s.recycle(v);
+        let v2 = s.take(8);
+        assert_eq!(v2.as_ptr(), ptr);
+        assert!(v2.iter().all(|&x| x == 0.0));
+        assert_eq!(v2.len(), 8);
+    }
+
+    #[test]
+    fn thread_scratch_is_reentrant_safe() {
+        let out = with_thread_scratch(|s| {
+            let v = s.take(4);
+            let inner = with_thread_scratch(|s2| s2.take(2).len());
+            s.recycle(v);
+            inner
+        });
+        assert_eq!(out, 2);
+    }
+}

@@ -6,9 +6,22 @@
 //! returns the gradient with respect to the input. This makes
 //! backpropagation-through-time trivial — the sequence model simply
 //! keeps the per-timestep inputs and replays them in reverse.
+//!
+//! ## Kernel backends and scratch
+//!
+//! The arithmetic lives in [`m2ai_kernels`]: `Dense` is a GEMV/GEMM,
+//! `Conv1d` is lowered through im2col onto the same GEMM, and both
+//! dispatch on the process-wide [`m2ai_kernels::Backend`] (fast
+//! blocked kernels by default, the seed's naive loops under
+//! `Backend::Reference`). Every layer also offers `*_with` variants
+//! taking a [`KernelScratch`] so hot callers (`fit()`, the online
+//! pipeline) reuse im2col/packing buffers instead of allocating per
+//! frame; the plain signatures delegate to a thread-local scratch.
 
 use crate::init::he_uniform;
 use crate::Parameterized;
+use m2ai_kernels::im2col::{col2im_accumulate, im2col};
+use m2ai_kernels::{self as kernels, Backend, KernelScratch};
 
 /// A fully-connected layer `y = Wx + b`.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,33 +64,80 @@ impl Dense {
     ///
     /// Panics if `x.len() != in_dim`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.forward_with(x, s))
+    }
+
+    /// [`Dense::forward`] reusing buffers from `scratch`.
+    pub fn forward_with(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
         assert_eq!(x.len(), self.in_dim, "Dense input size mismatch");
-        let mut y = self.b.clone();
-        for (o, yo) in y.iter_mut().enumerate() {
-            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = 0.0;
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
-            *yo += acc;
+        let mut y = scratch.take(self.out_dim);
+        kernels::gemv(self.out_dim, self.in_dim, &self.w, x, &mut y);
+        for (yo, bo) in y.iter_mut().zip(&self.b) {
+            *yo += bo;
         }
         y
+    }
+
+    /// Forward pass over `rows` stacked inputs (`[rows × in_dim]`,
+    /// row-major), producing `[rows × out_dim]` — one GEMM for the
+    /// whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != rows * in_dim`.
+    pub fn forward_batch(&self, xs: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(
+            xs.len(),
+            rows * self.in_dim,
+            "Dense batch input size mismatch"
+        );
+        let mut ys = vec![0.0; rows * self.out_dim];
+        kernels::gemm_nt(rows, self.out_dim, self.in_dim, xs, &self.w, &mut ys);
+        for row in ys.chunks_exact_mut(self.out_dim) {
+            for (yo, bo) in row.iter_mut().zip(&self.b) {
+                *yo += bo;
+            }
+        }
+        ys
     }
 
     /// Backward pass: accumulates gradients, returns `∂L/∂x`.
     pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
         assert_eq!(grad_out.len(), self.out_dim);
-        let mut gx = vec![0.0; self.in_dim];
+        assert_eq!(x.len(), self.in_dim);
         for (o, &g) in grad_out.iter().enumerate() {
             self.gb[o] += g;
-            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
-            for i in 0..self.in_dim {
-                grow[i] += g * x[i];
-                gx[i] += g * row[i];
+        }
+        // Rank-1 weight update: gw += grad_outᵀ · x as a k=1 GEMM.
+        kernels::gemm_tn(self.out_dim, self.in_dim, 1, grad_out, x, &mut self.gw);
+        let mut gx = vec![0.0; self.in_dim];
+        kernels::gemv_t(self.out_dim, self.in_dim, &self.w, grad_out, &mut gx);
+        gx
+    }
+
+    /// Batched backward over `rows` stacked `(x, grad_out)` pairs:
+    /// parameter gradients accumulate across the whole batch in one
+    /// GEMM each; returns the stacked `∂L/∂x` (`[rows × in_dim]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward_batch(&mut self, xs: &[f32], grads: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(xs.len(), rows * self.in_dim, "Dense batch input mismatch");
+        assert_eq!(
+            grads.len(),
+            rows * self.out_dim,
+            "Dense batch gradient mismatch"
+        );
+        for grow in grads.chunks_exact(self.out_dim) {
+            for (o, &g) in grow.iter().enumerate() {
+                self.gb[o] += g;
             }
         }
-        gx
+        kernels::gemm_tn(self.out_dim, self.in_dim, rows, grads, xs, &mut self.gw);
+        let mut gxs = vec![0.0; rows * self.in_dim];
+        kernels::gemm_nn(rows, self.in_dim, self.out_dim, grads, &self.w, &mut gxs);
+        gxs
     }
 }
 
@@ -163,9 +223,45 @@ impl Conv1d {
     ///
     /// Panics if `x.len() != c_in × len_in`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.forward_with(x, s))
+    }
+
+    /// [`Conv1d::forward`] reusing the im2col buffer from `scratch`.
+    ///
+    /// Under the fast backend the window walk is lowered through
+    /// im2col onto one `[c_out × c_in·kernel] · [c_in·kernel ×
+    /// len_out]` GEMM seeded with the bias — the same `(ci, k)`
+    /// accumulation order as the naive loop, kept in the `reference`
+    /// path below.
+    pub fn forward_with(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
         assert_eq!(x.len(), self.in_dim(), "Conv1d input size mismatch");
+        if kernels::backend() == Backend::Reference {
+            return self.forward_reference(x, scratch);
+        }
         let len_out = self.len_out();
-        let mut y = vec![0.0; self.c_out * len_out];
+        let r = self.c_in * self.kernel;
+        let mut cols = scratch.take(r * len_out);
+        im2col(
+            x,
+            self.c_in,
+            self.len_in,
+            self.kernel,
+            self.stride,
+            &mut cols,
+        );
+        let mut y = scratch.take(self.c_out * len_out);
+        for (o, row) in y.chunks_exact_mut(len_out).enumerate() {
+            row.fill(self.b[o]);
+        }
+        kernels::fast::gemm_nn(self.c_out, len_out, r, &self.w, &cols, &mut y);
+        scratch.recycle(cols);
+        y
+    }
+
+    /// The seed repository's original 4-deep loop, bit-for-bit.
+    fn forward_reference(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
+        let len_out = self.len_out();
+        let mut y = scratch.take(self.c_out * len_out);
         for o in 0..self.c_out {
             for j in 0..len_out {
                 let mut acc = self.b[o];
@@ -185,8 +281,67 @@ impl Conv1d {
 
     /// Backward pass: accumulates gradients, returns `∂L/∂x`.
     pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.backward_with(x, grad_out, s))
+    }
+
+    /// [`Conv1d::backward`] reusing im2col buffers from `scratch`.
+    ///
+    /// Weight gradients accumulate through the *same* im2col buffer
+    /// as the forward lowering (`gw += grad_out · colsᵀ`), replacing
+    /// the duplicated window re-walk of the naive loop. Input
+    /// gradients come from `colsᵀ`-shaped `gcols = Wᵀ · grad_out`
+    /// scattered back with col2im; overlapping windows are summed in
+    /// a different (output-major) order than the naive loop, a
+    /// documented reassociation of gradient terms (see DESIGN.md).
+    pub fn backward_with(
+        &mut self,
+        x: &[f32],
+        grad_out: &[f32],
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
         let len_out = self.len_out();
         assert_eq!(grad_out.len(), self.c_out * len_out);
+        assert_eq!(x.len(), self.in_dim(), "Conv1d input size mismatch");
+        if kernels::backend() == Backend::Reference {
+            return self.backward_reference(x, grad_out);
+        }
+        let r = self.c_in * self.kernel;
+        let mut cols = scratch.take(r * len_out);
+        im2col(
+            x,
+            self.c_in,
+            self.len_in,
+            self.kernel,
+            self.stride,
+            &mut cols,
+        );
+        for (o, grow) in grad_out.chunks_exact(len_out).enumerate() {
+            let mut s = self.gb[o];
+            for &g in grow {
+                s += g;
+            }
+            self.gb[o] = s;
+        }
+        kernels::fast::gemm_nt(self.c_out, r, len_out, grad_out, &cols, &mut self.gw);
+        let mut gcols = scratch.take(r * len_out);
+        kernels::fast::gemm_tn(r, len_out, self.c_out, &self.w, grad_out, &mut gcols);
+        let mut gx = vec![0.0; self.in_dim()];
+        col2im_accumulate(
+            &gcols,
+            self.c_in,
+            self.len_in,
+            self.kernel,
+            self.stride,
+            &mut gx,
+        );
+        scratch.recycle(gcols);
+        scratch.recycle(cols);
+        gx
+    }
+
+    /// The seed repository's original backward loop, bit-for-bit.
+    fn backward_reference(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        let len_out = self.len_out();
         let mut gx = vec![0.0; self.in_dim()];
         for o in 0..self.c_out {
             for j in 0..len_out {
@@ -244,23 +399,46 @@ impl Layer {
         Layer::Relu
     }
 
+    #[cfg(test)]
     fn forward(&self, x: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.forward_with(x, s))
+    }
+
+    fn forward_with(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
         match self {
-            Layer::Dense(d) => d.forward(x),
-            Layer::Conv1d(c) => c.forward(x),
-            Layer::Relu => x.iter().map(|&v| v.max(0.0)).collect(),
+            Layer::Dense(d) => d.forward_with(x, scratch),
+            Layer::Conv1d(c) => c.forward_with(x, scratch),
+            Layer::Relu => {
+                let mut y = scratch.take(x.len());
+                for (slot, &v) in y.iter_mut().zip(x) {
+                    *slot = v.max(0.0);
+                }
+                y
+            }
         }
     }
 
+    #[cfg(test)]
     fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.backward_with(x, grad_out, s))
+    }
+
+    fn backward_with(
+        &mut self,
+        x: &[f32],
+        grad_out: &[f32],
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
         match self {
             Layer::Dense(d) => d.backward(x, grad_out),
-            Layer::Conv1d(c) => c.backward(x, grad_out),
-            Layer::Relu => x
-                .iter()
-                .zip(grad_out)
-                .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
-                .collect(),
+            Layer::Conv1d(c) => c.backward_with(x, grad_out, scratch),
+            Layer::Relu => {
+                let mut gx = scratch.take(x.len());
+                for ((slot, &xi), &g) in gx.iter_mut().zip(x).zip(grad_out) {
+                    *slot = if xi > 0.0 { g } else { 0.0 };
+                }
+                gx
+            }
         }
     }
 }
@@ -304,9 +482,18 @@ impl Sequential {
 
     /// Inference-only forward pass.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut cur = x.to_vec();
+        kernels::with_thread_scratch(|s| self.forward_with(x, s))
+    }
+
+    /// [`Sequential::forward`] reusing buffers from `scratch`:
+    /// intermediate activations are recycled as soon as the next
+    /// layer has consumed them.
+    pub fn forward_with(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
+        let mut cur = scratch.take(x.len());
+        cur.copy_from_slice(x);
         for l in &self.layers {
-            cur = l.forward(&cur);
+            let next = l.forward_with(&cur, scratch);
+            scratch.recycle(std::mem::replace(&mut cur, next));
         }
         cur
     }
@@ -314,11 +501,21 @@ impl Sequential {
     /// Forward pass that records the activations needed by
     /// [`Sequential::backward`].
     pub fn forward_cached(&self, x: &[f32]) -> SeqCache {
+        kernels::with_thread_scratch(|s| self.forward_cached_with(x, s))
+    }
+
+    /// [`Sequential::forward_cached`] reusing buffers from `scratch`.
+    ///
+    /// Layer inputs are moved into the cache instead of cloned; the
+    /// cache still owns plain `Vec`s because BPTT keeps it alive
+    /// across the whole sequence.
+    pub fn forward_cached_with(&self, x: &[f32], scratch: &mut KernelScratch) -> SeqCache {
         let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut cur = x.to_vec();
+        let mut cur = scratch.take(x.len());
+        cur.copy_from_slice(x);
         for l in &self.layers {
-            inputs.push(cur.clone());
-            cur = l.forward(&cur);
+            let next = l.forward_with(&cur, scratch);
+            inputs.push(std::mem::replace(&mut cur, next));
         }
         SeqCache {
             inputs,
@@ -328,9 +525,21 @@ impl Sequential {
 
     /// Backward pass through the whole chain.
     pub fn backward(&mut self, cache: &SeqCache, grad_out: &[f32]) -> Vec<f32> {
-        let mut grad = grad_out.to_vec();
+        kernels::with_thread_scratch(|s| self.backward_with(cache, grad_out, s))
+    }
+
+    /// [`Sequential::backward`] reusing buffers from `scratch`.
+    pub fn backward_with(
+        &mut self,
+        cache: &SeqCache,
+        grad_out: &[f32],
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
+        let mut grad = scratch.take(grad_out.len());
+        grad.copy_from_slice(grad_out);
         for (l, x) in self.layers.iter_mut().zip(&cache.inputs).rev() {
-            grad = l.backward(x, &grad);
+            let next = l.backward_with(x, &grad, scratch);
+            scratch.recycle(std::mem::replace(&mut grad, next));
         }
         grad
     }
@@ -395,20 +604,37 @@ impl TwoBranchEncoder {
     ///
     /// Panics if `x.len() < split`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.forward_with(x, s))
+    }
+
+    /// [`TwoBranchEncoder::forward`] reusing buffers from `scratch`.
+    pub fn forward_with(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
         assert!(x.len() >= self.split, "input shorter than split point");
-        let feat = self.branch.forward(&x[..self.split]);
-        let mut merged = feat;
-        merged.extend_from_slice(&x[self.split..]);
-        self.merge.forward(&merged)
+        let feat = self.branch.forward_with(&x[..self.split], scratch);
+        let mut merged = scratch.take(feat.len() + x.len() - self.split);
+        merged[..feat.len()].copy_from_slice(&feat);
+        merged[feat.len()..].copy_from_slice(&x[self.split..]);
+        scratch.recycle(feat);
+        let out = self.merge.forward_with(&merged, scratch);
+        scratch.recycle(merged);
+        out
     }
 
     /// Caching forward pass.
     pub fn forward_cached(&self, x: &[f32]) -> TwoBranchCache {
+        kernels::with_thread_scratch(|s| self.forward_cached_with(x, s))
+    }
+
+    /// [`TwoBranchEncoder::forward_cached`] reusing buffers from
+    /// `scratch`.
+    pub fn forward_cached_with(&self, x: &[f32], scratch: &mut KernelScratch) -> TwoBranchCache {
         assert!(x.len() >= self.split, "input shorter than split point");
-        let branch = self.branch.forward_cached(&x[..self.split]);
-        let mut merged = branch.output.clone();
-        merged.extend_from_slice(&x[self.split..]);
-        let merge = self.merge.forward_cached(&merged);
+        let branch = self.branch.forward_cached_with(&x[..self.split], scratch);
+        let mut merged = scratch.take(branch.output.len() + x.len() - self.split);
+        merged[..branch.output.len()].copy_from_slice(&branch.output);
+        merged[branch.output.len()..].copy_from_slice(&x[self.split..]);
+        let merge = self.merge.forward_cached_with(&merged, scratch);
+        scratch.recycle(merged);
         let output = merge.output.clone();
         TwoBranchCache {
             branch,
@@ -419,13 +645,24 @@ impl TwoBranchEncoder {
 
     /// Backward pass; returns `∂L/∂x` over the full concatenated input.
     pub fn backward(&mut self, cache: &TwoBranchCache, grad_out: &[f32]) -> Vec<f32> {
-        let grad_merged = self.merge.backward(&cache.merge, grad_out);
+        kernels::with_thread_scratch(|s| self.backward_with(cache, grad_out, s))
+    }
+
+    /// [`TwoBranchEncoder::backward`] reusing buffers from `scratch`.
+    pub fn backward_with(
+        &mut self,
+        cache: &TwoBranchCache,
+        grad_out: &[f32],
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
+        let grad_merged = self.merge.backward_with(&cache.merge, grad_out, scratch);
         let feat_len = cache.branch.output.len();
         let grad_spec = self
             .branch
-            .backward(&cache.branch, &grad_merged[..feat_len]);
+            .backward_with(&cache.branch, &grad_merged[..feat_len], scratch);
         let mut gx = grad_spec;
         gx.extend_from_slice(&grad_merged[feat_len..]);
+        scratch.recycle(grad_merged);
         gx
     }
 }

@@ -6,8 +6,20 @@
 //! context across the spectrum-frame sequence — the property the
 //! Fig. 17 ablation shows is essential.
 
+//! ## Kernel backends
+//!
+//! The gate matmuls dispatch on the process-wide
+//! [`m2ai_kernels::Backend`]. The fast path batches `W·x_t` for the
+//! whole sequence into one `[T × 4H]` GEMM, runs each step's
+//! recurrent `U·h_{t-1}` as a fused `[4H × H]` GEMV continuing the
+//! same accumulator, and folds BPTT's weight-gradient outer products
+//! into two `[4H × T]·[T × dim]` GEMMs after the time loop —
+//! preserving the reference accumulation order (ascending inputs,
+//! descending time) so results agree to within FMA rounding.
+
 use crate::init::xavier_uniform;
 use crate::Parameterized;
+use m2ai_kernels::{self as kernels, Backend, KernelScratch};
 
 #[inline]
 fn sigmoid(x: f32) -> f32 {
@@ -91,6 +103,73 @@ impl Lstm {
     ///
     /// Panics if any frame's length differs from `in_dim`.
     pub fn forward_sequence(&self, xs: &[Vec<f32>]) -> LstmCache {
+        kernels::with_thread_scratch(|s| self.forward_sequence_with(xs, s))
+    }
+
+    /// [`Lstm::forward_sequence`] reusing buffers from `scratch`.
+    ///
+    /// Fast path: `W·x_t` for all timesteps is one `[T × 4H]` GEMM up
+    /// front; each step then continues that row's accumulator with
+    /// the recurrent `U·h_{t-1}` GEMV and adds the bias last —
+    /// exactly the reference chaining (inputs before recurrence,
+    /// bias outermost).
+    pub fn forward_sequence_with(&self, xs: &[Vec<f32>], scratch: &mut KernelScratch) -> LstmCache {
+        if kernels::backend() == Backend::Reference || xs.is_empty() {
+            return self.forward_sequence_reference(xs);
+        }
+        let h = self.hidden;
+        let t_len = xs.len();
+        let mut xflat = scratch.take(t_len * self.in_dim);
+        for (t, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), self.in_dim, "LSTM input size mismatch");
+            xflat[t * self.in_dim..(t + 1) * self.in_dim].copy_from_slice(x);
+        }
+        let mut zw = scratch.take(t_len * 4 * h);
+        kernels::fast::gemm_nt(t_len, 4 * h, self.in_dim, &xflat, &self.w, &mut zw);
+        let mut zbuf = scratch.take(4 * h);
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        let mut steps = Vec::with_capacity(t_len);
+        let mut outputs = Vec::with_capacity(t_len);
+        for (t, x) in xs.iter().enumerate() {
+            zbuf.copy_from_slice(&zw[t * 4 * h..(t + 1) * 4 * h]);
+            kernels::fast::gemv(4 * h, h, &self.u, &h_prev, &mut zbuf);
+            let mut i = vec![0.0; h];
+            let mut f = vec![0.0; h];
+            let mut g = vec![0.0; h];
+            let mut o = vec![0.0; h];
+            let mut c = vec![0.0; h];
+            let mut h_new = vec![0.0; h];
+            for k in 0..h {
+                i[k] = sigmoid(self.b[k] + zbuf[k]);
+                f[k] = sigmoid(self.b[h + k] + zbuf[h + k]);
+                g[k] = (self.b[2 * h + k] + zbuf[2 * h + k]).tanh();
+                o[k] = sigmoid(self.b[3 * h + k] + zbuf[3 * h + k]);
+                c[k] = f[k] * c_prev[k] + i[k] * g[k];
+                h_new[k] = o[k] * c[k].tanh();
+            }
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i,
+                f,
+                g,
+                o,
+                c: c.clone(),
+            });
+            outputs.push(h_new.clone());
+            h_prev = h_new;
+            c_prev = c;
+        }
+        scratch.recycle(zbuf);
+        scratch.recycle(zw);
+        scratch.recycle(xflat);
+        LstmCache { steps, outputs }
+    }
+
+    /// The seed repository's original step loop, bit-for-bit.
+    fn forward_sequence_reference(&self, xs: &[Vec<f32>]) -> LstmCache {
         let h = self.hidden;
         let mut h_prev = vec![0.0; h];
         let mut c_prev = vec![0.0; h];
@@ -153,9 +232,85 @@ impl Lstm {
         cache: &LstmCache,
         grad_outputs: &[Vec<f32>],
     ) -> Vec<Vec<f32>> {
+        kernels::with_thread_scratch(|s| self.backward_sequence_with(cache, grad_outputs, s))
+    }
+
+    /// [`Lstm::backward_sequence`] reusing buffers from `scratch`.
+    ///
+    /// Fast path: the time loop only does the scalar gate math and
+    /// the per-step `Wᵀ`/`Uᵀ` GEMVs; pre-activation gradients and
+    /// step inputs are packed into time-reversed `[T × dim]` matrices
+    /// so `gw`/`gu` accumulate in two GEMMs afterwards, visiting
+    /// timesteps in the same descending order as the reference loop.
+    pub fn backward_sequence_with(
+        &mut self,
+        cache: &LstmCache,
+        grad_outputs: &[Vec<f32>],
+        scratch: &mut KernelScratch,
+    ) -> Vec<Vec<f32>> {
         let h = self.hidden;
         let t_len = cache.steps.len();
         assert_eq!(grad_outputs.len(), t_len, "grad/step count mismatch");
+        if kernels::backend() == Backend::Reference || t_len == 0 {
+            return self.backward_sequence_reference(cache, grad_outputs);
+        }
+        let mut grad_xs = vec![vec![0.0; self.in_dim]; t_len];
+        // Time-reversed packing: row `t_len-1-t` holds timestep `t`,
+        // so the post-loop GEMMs reduce over descending time exactly
+        // like the reference accumulation.
+        let mut zrev = scratch.take(t_len * 4 * h);
+        let mut xrev = scratch.take(t_len * self.in_dim);
+        let mut hrev = scratch.take(t_len * h);
+        let mut dh_next = scratch.take(h);
+        let mut dc_next = scratch.take(h);
+        for t in (0..t_len).rev() {
+            let srow = t_len - 1 - t;
+            let s = &cache.steps[t];
+            {
+                let zrow = &mut zrev[srow * 4 * h..(srow + 1) * 4 * h];
+                for k in 0..h {
+                    let dh = grad_outputs[t][k] + dh_next[k];
+                    let tc = s.c[k].tanh();
+                    let d_o = dh * tc;
+                    let dc = dh * s.o[k] * (1.0 - tc * tc) + dc_next[k];
+                    let d_i = dc * s.g[k];
+                    let d_g = dc * s.i[k];
+                    let d_f = dc * s.c_prev[k];
+                    dc_next[k] = dc * s.f[k];
+                    zrow[k] = d_i * s.i[k] * (1.0 - s.i[k]);
+                    zrow[h + k] = d_f * s.f[k] * (1.0 - s.f[k]);
+                    zrow[2 * h + k] = d_g * (1.0 - s.g[k] * s.g[k]);
+                    zrow[3 * h + k] = d_o * s.o[k] * (1.0 - s.o[k]);
+                }
+            }
+            let zrow = &zrev[srow * 4 * h..(srow + 1) * 4 * h];
+            for (gb, &zg) in self.gb.iter_mut().zip(zrow) {
+                *gb += zg;
+            }
+            kernels::fast::gemv_t(4 * h, self.in_dim, &self.w, zrow, &mut grad_xs[t]);
+            dh_next.fill(0.0);
+            kernels::fast::gemv_t(4 * h, h, &self.u, zrow, &mut dh_next);
+            xrev[srow * self.in_dim..(srow + 1) * self.in_dim].copy_from_slice(&s.x);
+            hrev[srow * h..(srow + 1) * h].copy_from_slice(&s.h_prev);
+        }
+        kernels::fast::gemm_tn(4 * h, self.in_dim, t_len, &zrev, &xrev, &mut self.gw);
+        kernels::fast::gemm_tn(4 * h, h, t_len, &zrev, &hrev, &mut self.gu);
+        scratch.recycle(dc_next);
+        scratch.recycle(dh_next);
+        scratch.recycle(hrev);
+        scratch.recycle(xrev);
+        scratch.recycle(zrev);
+        grad_xs
+    }
+
+    /// The seed repository's original BPTT loop, bit-for-bit.
+    fn backward_sequence_reference(
+        &mut self,
+        cache: &LstmCache,
+        grad_outputs: &[Vec<f32>],
+    ) -> Vec<Vec<f32>> {
+        let h = self.hidden;
+        let t_len = cache.steps.len();
         let mut grad_xs = vec![vec![0.0; self.in_dim]; t_len];
         let mut dh_next = vec![0.0; h];
         let mut dc_next = vec![0.0; h];
@@ -259,17 +414,25 @@ impl LstmStack {
 
     /// Forward over a sequence.
     pub fn forward_sequence(&self, xs: &[Vec<f32>]) -> StackCache {
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut cur = xs.to_vec();
-        for l in &self.layers {
-            let cache = l.forward_sequence(&cur);
-            cur = cache.outputs.clone();
+        kernels::with_thread_scratch(|s| self.forward_sequence_with(xs, s))
+    }
+
+    /// [`LstmStack::forward_sequence`] reusing buffers from `scratch`.
+    pub fn forward_sequence_with(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut KernelScratch,
+    ) -> StackCache {
+        let mut caches: Vec<LstmCache> = Vec::with_capacity(self.layers.len());
+        for (li, l) in self.layers.iter().enumerate() {
+            let cache = match li {
+                0 => l.forward_sequence_with(xs, scratch),
+                _ => l.forward_sequence_with(&caches[li - 1].outputs, scratch),
+            };
             caches.push(cache);
         }
-        StackCache {
-            caches,
-            outputs: cur,
-        }
+        let outputs = caches.last().expect("non-empty").outputs.clone();
+        StackCache { caches, outputs }
     }
 
     /// Backward over a sequence; returns `∂L/∂x_t`.
@@ -278,9 +441,19 @@ impl LstmStack {
         cache: &StackCache,
         grad_outputs: &[Vec<f32>],
     ) -> Vec<Vec<f32>> {
+        kernels::with_thread_scratch(|s| self.backward_sequence_with(cache, grad_outputs, s))
+    }
+
+    /// [`LstmStack::backward_sequence`] reusing buffers from `scratch`.
+    pub fn backward_sequence_with(
+        &mut self,
+        cache: &StackCache,
+        grad_outputs: &[Vec<f32>],
+        scratch: &mut KernelScratch,
+    ) -> Vec<Vec<f32>> {
         let mut grad = grad_outputs.to_vec();
         for (l, c) in self.layers.iter_mut().zip(&cache.caches).rev() {
-            grad = l.backward_sequence(c, &grad);
+            grad = l.backward_sequence_with(c, &grad, scratch);
         }
         grad
     }

@@ -17,6 +17,7 @@ use crate::layers::{Dense, SeqCache, Sequential, TwoBranchCache, TwoBranchEncode
 use crate::loss::{softmax, softmax_cross_entropy};
 use crate::lstm::LstmStack;
 use crate::Parameterized;
+use m2ai_kernels::{self as kernels, KernelScratch};
 
 /// Per-frame encoder: a plain layer chain or the two-branch merge.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,21 +40,35 @@ pub enum EncoderCache {
 impl Encoder {
     /// Inference-only forward pass.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.forward_with(x, s))
+    }
+
+    /// [`Encoder::forward`] reusing buffers from `scratch`.
+    pub fn forward_with(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
         match self {
-            Encoder::Sequential(s) => s.forward(x),
-            Encoder::TwoBranch(t) => t.forward(x),
+            Encoder::Sequential(s) => s.forward_with(x, scratch),
+            Encoder::TwoBranch(t) => t.forward_with(x, scratch),
         }
     }
 
     /// Caching forward pass.
     pub fn forward_cached(&self, x: &[f32]) -> (Vec<f32>, EncoderCache) {
+        kernels::with_thread_scratch(|s| self.forward_cached_with(x, s))
+    }
+
+    /// [`Encoder::forward_cached`] reusing buffers from `scratch`.
+    pub fn forward_cached_with(
+        &self,
+        x: &[f32],
+        scratch: &mut KernelScratch,
+    ) -> (Vec<f32>, EncoderCache) {
         match self {
             Encoder::Sequential(s) => {
-                let c = s.forward_cached(x);
+                let c = s.forward_cached_with(x, scratch);
                 (c.output.clone(), EncoderCache::Sequential(c))
             }
             Encoder::TwoBranch(t) => {
-                let c = t.forward_cached(x);
+                let c = t.forward_cached_with(x, scratch);
                 (c.output.clone(), EncoderCache::TwoBranch(c))
             }
         }
@@ -65,9 +80,27 @@ impl Encoder {
     ///
     /// Panics if the cache kind does not match the encoder kind.
     pub fn backward(&mut self, cache: &EncoderCache, grad_out: &[f32]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.backward_with(cache, grad_out, s))
+    }
+
+    /// [`Encoder::backward`] reusing buffers from `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache kind does not match the encoder kind.
+    pub fn backward_with(
+        &mut self,
+        cache: &EncoderCache,
+        grad_out: &[f32],
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
         match (self, cache) {
-            (Encoder::Sequential(s), EncoderCache::Sequential(c)) => s.backward(c, grad_out),
-            (Encoder::TwoBranch(t), EncoderCache::TwoBranch(c)) => t.backward(c, grad_out),
+            (Encoder::Sequential(s), EncoderCache::Sequential(c)) => {
+                s.backward_with(c, grad_out, scratch)
+            }
+            (Encoder::TwoBranch(t), EncoderCache::TwoBranch(c)) => {
+                t.backward_with(c, grad_out, scratch)
+            }
             _ => panic!("encoder/cache kind mismatch"),
         }
     }
@@ -142,12 +175,42 @@ impl SequenceClassifier {
 
     /// Per-frame logits for a sequence of frames (inference only).
     pub fn forward_logits(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        let feats: Vec<Vec<f32>> = frames.iter().map(|f| self.encoder.forward(f)).collect();
+        kernels::with_thread_scratch(|s| self.forward_logits_with(frames, s))
+    }
+
+    /// [`SequenceClassifier::forward_logits`] reusing buffers from
+    /// `scratch`; the per-frame head runs as one batched GEMM over
+    /// the whole sequence.
+    pub fn forward_logits_with(
+        &self,
+        frames: &[Vec<f32>],
+        scratch: &mut KernelScratch,
+    ) -> Vec<Vec<f32>> {
+        let feats: Vec<Vec<f32>> = frames
+            .iter()
+            .map(|f| self.encoder.forward_with(f, scratch))
+            .collect();
         let reps: Vec<Vec<f32>> = match &self.lstm {
-            Some(stack) => stack.forward_sequence(&feats).outputs,
+            Some(stack) => stack.forward_sequence_with(&feats, scratch).outputs,
             None => feats,
         };
-        reps.iter().map(|r| self.head.forward(r)).collect()
+        let t_len = reps.len();
+        if t_len == 0 {
+            return Vec::new();
+        }
+        let rep_dim = self.head.in_dim();
+        let mut reps_flat = scratch.take(t_len * rep_dim);
+        for (t, rep) in reps.iter().enumerate() {
+            reps_flat[t * rep_dim..(t + 1) * rep_dim].copy_from_slice(rep);
+        }
+        let logits_flat = self.head.forward_batch(&reps_flat, t_len);
+        scratch.recycle(reps_flat);
+        let out = logits_flat
+            .chunks_exact(self.n_classes)
+            .map(|c| c.to_vec())
+            .collect();
+        scratch.recycle(logits_flat);
+        out
     }
 
     /// Mean per-frame class probabilities.
@@ -225,6 +288,23 @@ impl SequenceClassifier {
     ///
     /// Panics if `frames` is empty or `label >= n_classes`.
     pub fn loss_and_backprop(&mut self, frames: &[Vec<f32>], label: usize) -> f32 {
+        kernels::with_thread_scratch(|s| self.loss_and_backprop_with(frames, label, s))
+    }
+
+    /// [`SequenceClassifier::loss_and_backprop`] reusing buffers from
+    /// `scratch` — the signature `fit()` drives so the whole training
+    /// loop shares one arena per worker thread. The per-frame head
+    /// runs forward *and* backward as batched GEMMs over the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or `label >= n_classes`.
+    pub fn loss_and_backprop_with(
+        &mut self,
+        frames: &[Vec<f32>],
+        label: usize,
+        scratch: &mut KernelScratch,
+    ) -> f32 {
         assert!(!frames.is_empty(), "need at least one frame");
         assert!(label < self.n_classes, "label out of range");
 
@@ -232,36 +312,59 @@ impl SequenceClassifier {
         let mut enc_caches = Vec::with_capacity(frames.len());
         let mut feats = Vec::with_capacity(frames.len());
         for f in frames {
-            let (out, cache) = self.encoder.forward_cached(f);
+            let (out, cache) = self.encoder.forward_cached_with(f, scratch);
             feats.push(out);
             enc_caches.push(cache);
         }
-        let lstm_cache = self.lstm.as_ref().map(|s| s.forward_sequence(&feats));
+        let lstm_cache = self
+            .lstm
+            .as_ref()
+            .map(|s| s.forward_sequence_with(&feats, scratch));
         let reps: &[Vec<f32>] = match &lstm_cache {
             Some(c) => &c.outputs,
             None => &feats,
         };
 
-        // Per-frame head + loss.
+        // Batched per-frame head + loss: one GEMM forward, one set of
+        // GEMMs backward, same per-step accumulation order as the old
+        // per-frame loop.
         let t_len = frames.len();
+        let rep_dim = self.head.in_dim();
         let scale = 1.0 / t_len as f32;
-        let mut total_loss = 0.0;
-        let mut rep_grads = Vec::with_capacity(t_len);
-        for rep in reps {
-            let logits = self.head.forward(rep);
-            let (loss, grad_logits) = softmax_cross_entropy(&logits, label);
-            total_loss += loss * scale;
-            let grad_logits: Vec<f32> = grad_logits.iter().map(|g| g * scale).collect();
-            rep_grads.push(self.head.backward(rep, &grad_logits));
+        let mut reps_flat = scratch.take(t_len * rep_dim);
+        for (t, rep) in reps.iter().enumerate() {
+            reps_flat[t * rep_dim..(t + 1) * rep_dim].copy_from_slice(rep);
         }
+        let logits_flat = self.head.forward_batch(&reps_flat, t_len);
+        let mut total_loss = 0.0;
+        let mut grads_flat = scratch.take(t_len * self.n_classes);
+        for t in 0..t_len {
+            let logits = &logits_flat[t * self.n_classes..(t + 1) * self.n_classes];
+            let (loss, grad_logits) = softmax_cross_entropy(logits, label);
+            total_loss += loss * scale;
+            for (slot, g) in grads_flat[t * self.n_classes..(t + 1) * self.n_classes]
+                .iter_mut()
+                .zip(&grad_logits)
+            {
+                *slot = g * scale;
+            }
+        }
+        let rep_grads_flat = self.head.backward_batch(&reps_flat, &grads_flat, t_len);
+        scratch.recycle(grads_flat);
+        scratch.recycle(logits_flat);
+        scratch.recycle(reps_flat);
+        let rep_grads: Vec<Vec<f32>> = rep_grads_flat
+            .chunks_exact(rep_dim)
+            .map(|c| c.to_vec())
+            .collect();
 
         // Back through LSTM (if any) and the encoder.
         let feat_grads: Vec<Vec<f32>> = match (&mut self.lstm, &lstm_cache) {
-            (Some(stack), Some(cache)) => stack.backward_sequence(cache, &rep_grads),
+            (Some(stack), Some(cache)) => stack.backward_sequence_with(cache, &rep_grads, scratch),
             _ => rep_grads,
         };
         for (cache, g) in enc_caches.iter().zip(&feat_grads) {
-            self.encoder.backward(cache, g);
+            self.encoder.backward_with(cache, g, scratch);
         }
         total_loss
     }

@@ -12,6 +12,7 @@ use crate::model::SequenceClassifier;
 use crate::optim::Sgd;
 use crate::serialize::{load_params, save_params};
 use crate::Parameterized;
+use m2ai_kernels::KernelScratch;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -122,6 +123,10 @@ pub fn fit(model: &mut SequenceClassifier, data: &[Sample], cfg: &TrainConfig) -
     let threads = cfg.n_threads.max(1);
     let mut checkpoint = save_params(model);
     let mut skipped_batches = 0usize;
+    // One scratch arena for the whole serial training run: im2col,
+    // gate and packing buffers are allocated once and reused across
+    // every sample of every epoch.
+    let mut scratch = KernelScratch::new();
 
     for epoch in 0..cfg.epochs {
         opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
@@ -133,7 +138,8 @@ pub fn fit(model: &mut SequenceClassifier, data: &[Sample], cfg: &TrainConfig) -
             let batch_loss = if threads == 1 || batch.len() == 1 {
                 let mut loss = 0.0f64;
                 for &i in batch {
-                    loss += model.loss_and_backprop(&data[i].0, data[i].1) as f64;
+                    loss +=
+                        model.loss_and_backprop_with(&data[i].0, data[i].1, &mut scratch) as f64;
                 }
                 loss
             } else {
@@ -192,9 +198,14 @@ fn parallel_grads(
                 let mut worker = template.clone();
                 scope.spawn(move || {
                     worker.zero_grad();
+                    // Worker threads each carry their own arena; the
+                    // thread-local fallback would work too, but an
+                    // explicit one keeps the reuse visible.
+                    let mut scratch = KernelScratch::new();
                     let mut loss = 0.0f64;
                     for &i in *shard {
-                        loss += worker.loss_and_backprop(&data[i].0, data[i].1) as f64;
+                        loss += worker.loss_and_backprop_with(&data[i].0, data[i].1, &mut scratch)
+                            as f64;
                     }
                     (worker, loss)
                 })

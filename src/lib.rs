@@ -41,6 +41,7 @@
 pub use m2ai_baselines as baselines;
 pub use m2ai_core as core;
 pub use m2ai_dsp as dsp;
+pub use m2ai_kernels as kernels;
 pub use m2ai_motion as motion;
 pub use m2ai_nn as nn;
 pub use m2ai_rfsim as rfsim;

@@ -1,0 +1,255 @@
+//! Fast-vs-reference kernel equivalence (PR-3 satellite).
+//!
+//! The fast kernels use `mul_add` (fused multiply-add) in the *same*
+//! accumulation order as the reference loops, so any output may differ
+//! from the naive arithmetic by at most the per-step FMA rounding
+//! (≤ 1 ulp each). These properties pin that contract across random
+//! shapes, including the degenerate ones the lowering must not trip
+//! over: `kernel = 1`, `c_in = 1`, a single timestep, single rows.
+//!
+//! Tests that flip the process-global backend serialise behind
+//! [`BACKEND_LOCK`] and restore the default (`Fast`) even on panic.
+
+use m2ai::kernels::{self, fast, reference, Backend};
+use m2ai::nn::layers::{Conv1d, Dense, Layer};
+use m2ai::nn::lstm::Lstm;
+use m2ai::nn::Parameterized;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises every test that reads or flips the global kernel backend.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the default backend when dropped, so a panicking case
+/// cannot leave `Reference` selected for the rest of the binary.
+struct RestoreFast;
+
+impl Drop for RestoreFast {
+    fn drop(&mut self) {
+        kernels::set_backend(Backend::Fast);
+    }
+}
+
+fn with_backend<T>(b: Backend, f: impl FnOnce() -> T) -> T {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = RestoreFast;
+    kernels::set_backend(b);
+    f()
+}
+
+/// Deterministic pseudo-random values in `(-1, 1)` (LCG; shapes are
+/// proptest-driven, the payload only needs to be well-spread).
+fn lcg_values(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "shape mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+fn grads_of(p: &mut dyn Parameterized) -> Vec<f32> {
+    let mut out = Vec::new();
+    p.visit_params(&mut |_, g| out.extend_from_slice(g));
+    out
+}
+
+/// Accumulated FMA-rounding slack for small shapes with O(1) values.
+const TOL: f32 = 5e-4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three GEMM storage layouts agree between backends.
+    #[test]
+    fn gemm_fast_matches_reference(
+        m in 1usize..7,
+        n in 1usize..7,
+        k in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let a = lcg_values(seed, m * k);
+        let b = lcg_values(seed ^ 0x9e37, k * n);
+        let c0 = lcg_values(seed ^ 0x79b9, m * n);
+
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0.clone();
+        fast::gemm_nn(m, n, k, &a, &b, &mut c_fast);
+        reference::gemm_nn(m, n, k, &a, &b, &mut c_ref);
+        prop_assert!(max_abs_diff(&c_fast, &c_ref) <= TOL);
+
+        // B stored [n × k] (dot-product layout).
+        let bt = lcg_values(seed ^ 0x7f4a, n * k);
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0.clone();
+        fast::gemm_nt(m, n, k, &a, &bt, &mut c_fast);
+        reference::gemm_nt(m, n, k, &a, &bt, &mut c_ref);
+        prop_assert!(max_abs_diff(&c_fast, &c_ref) <= TOL);
+
+        // A stored [k × m] (gradient-accumulation layout).
+        let at = lcg_values(seed ^ 0x7c15, k * m);
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0;
+        fast::gemm_tn(m, n, k, &at, &b, &mut c_fast);
+        reference::gemm_tn(m, n, k, &at, &b, &mut c_ref);
+        prop_assert!(max_abs_diff(&c_fast, &c_ref) <= TOL);
+    }
+
+    /// Matrix–vector products (both orientations) agree between
+    /// backends, accumulating into a non-zero `y`.
+    #[test]
+    fn gemv_fast_matches_reference(
+        m in 1usize..9,
+        k in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let a = lcg_values(seed, m * k);
+        let x = lcg_values(seed ^ 0x1ce4, k);
+        let y0 = lcg_values(seed ^ 0xe5b9, m);
+        let mut y_fast = y0.clone();
+        let mut y_ref = y0;
+        fast::gemv(m, k, &a, &x, &mut y_fast);
+        reference::gemv(m, k, &a, &x, &mut y_ref);
+        prop_assert!(max_abs_diff(&y_fast, &y_ref) <= TOL);
+
+        // Transposed: y[j] += Σ_r x[r]·a[r·n + j].
+        let xt = lcg_values(seed ^ 0x1331, m);
+        let z0 = lcg_values(seed ^ 0x11eb, k);
+        let mut z_fast = z0.clone();
+        let mut z_ref = z0;
+        fast::gemv_t(m, k, &a, &xt, &mut z_fast);
+        reference::gemv_t(m, k, &a, &xt, &mut z_ref);
+        prop_assert!(max_abs_diff(&z_fast, &z_ref) <= TOL);
+    }
+
+    /// `Dense` forward/backward agree between backends, and the batched
+    /// entry points match the per-row ones under the fast backend.
+    #[test]
+    fn dense_fast_matches_reference(
+        in_dim in 1usize..6,
+        out_dim in 1usize..6,
+        rows in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let xs = lcg_values(seed, rows * in_dim);
+        let gs = lcg_values(seed ^ 0x0dd5, rows * out_dim);
+
+        let run = |backend: Backend| {
+            with_backend(backend, || {
+                let mut d = Dense::new(in_dim, out_dim, 42);
+                let mut ys = Vec::new();
+                let mut gxs = Vec::new();
+                for (x, g) in xs.chunks_exact(in_dim).zip(gs.chunks_exact(out_dim)) {
+                    ys.extend(d.forward(x));
+                    gxs.extend(d.backward(x, g));
+                }
+                let grads = grads_of(&mut d);
+                (ys, gxs, grads)
+            })
+        };
+        let (y_f, gx_f, g_f) = run(Backend::Fast);
+        let (y_r, gx_r, g_r) = run(Backend::Reference);
+        prop_assert!(max_abs_diff(&y_f, &y_r) <= TOL);
+        prop_assert!(max_abs_diff(&gx_f, &gx_r) <= TOL);
+        prop_assert!(max_abs_diff(&g_f, &g_r) <= TOL);
+
+        // Batched path vs the sequence of single-row calls.
+        let (ys_b, gxs_b, g_b) = with_backend(Backend::Fast, || {
+            let mut d = Dense::new(in_dim, out_dim, 42);
+            let ys = d.forward_batch(&xs, rows);
+            let gxs = d.backward_batch(&xs, &gs, rows);
+            let grads = grads_of(&mut d);
+            (ys, gxs, grads)
+        });
+        prop_assert!(max_abs_diff(&ys_b, &y_f) <= TOL);
+        prop_assert!(max_abs_diff(&gxs_b, &gx_f) <= TOL);
+        prop_assert!(max_abs_diff(&g_b, &g_f) <= TOL);
+    }
+
+    /// `Conv1d` forward/backward agree between the im2col/GEMM lowering
+    /// and the original window walk — including `kernel = 1` and
+    /// `c_in = 1`.
+    #[test]
+    fn conv1d_fast_matches_reference(
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        extra in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let len_in = kernel + extra;
+        let probe = Conv1d::new(c_in, len_in, c_out, kernel, stride, 42);
+        let len_out = probe.len_out();
+        let x = lcg_values(seed, c_in * len_in);
+        let g = lcg_values(seed ^ 0x94d0, c_out * len_out);
+
+        let run = |backend: Backend| {
+            with_backend(backend, || {
+                let conv = Conv1d::new(c_in, len_in, c_out, kernel, stride, 42);
+                let mut layer = Layer::Conv1d(conv);
+                let (y, gx) = match &mut layer {
+                    Layer::Conv1d(c) => (c.forward(&x), c.backward(&x, &g)),
+                    _ => unreachable!(),
+                };
+                let grads = grads_of(&mut layer);
+                (y, gx, grads)
+            })
+        };
+        let (y_f, gx_f, g_f) = run(Backend::Fast);
+        let (y_r, gx_r, g_r) = run(Backend::Reference);
+        prop_assert!(max_abs_diff(&y_f, &y_r) <= TOL, "forward diverged");
+        prop_assert!(max_abs_diff(&gx_f, &gx_r) <= TOL, "input grads diverged");
+        prop_assert!(max_abs_diff(&g_f, &g_r) <= TOL, "weight grads diverged");
+    }
+
+    /// LSTM forward/backward-through-time agree between the fused-GEMM
+    /// timestep path and the original per-gate loops — including a
+    /// single-timestep sequence.
+    #[test]
+    fn lstm_fast_matches_reference(
+        in_dim in 1usize..4,
+        hidden in 1usize..5,
+        t_len in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let xs: Vec<Vec<f32>> = (0..t_len)
+            .map(|t| lcg_values(seed ^ (t as u64 * 0xbf58), in_dim))
+            .collect();
+        let gouts: Vec<Vec<f32>> = (0..t_len)
+            .map(|t| lcg_values(seed ^ 0x476d ^ (t as u64 * 0x2545), hidden))
+            .collect();
+
+        let run = |backend: Backend| {
+            with_backend(backend, || {
+                let mut l = Lstm::new(in_dim, hidden, 7);
+                let cache = l.forward_sequence(&xs);
+                let outputs: Vec<f32> = cache.outputs.iter().flatten().copied().collect();
+                let gxs: Vec<f32> = l
+                    .backward_sequence(&cache, &gouts)
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                let grads = grads_of(&mut l);
+                (outputs, gxs, grads)
+            })
+        };
+        let (y_f, gx_f, g_f) = run(Backend::Fast);
+        let (y_r, gx_r, g_r) = run(Backend::Reference);
+        prop_assert!(max_abs_diff(&y_f, &y_r) <= TOL, "hidden states diverged");
+        prop_assert!(max_abs_diff(&gx_f, &gx_r) <= TOL, "input grads diverged");
+        prop_assert!(max_abs_diff(&g_f, &g_r) <= TOL, "weight grads diverged");
+    }
+}
