@@ -49,10 +49,19 @@ fn main() {
                     m2ai_bench::throughput::run_and_write("BENCH_throughput.json");
                 }
             }
+            "serve" => {
+                if args.iter().any(|a| a == "--check") {
+                    if !m2ai_bench::serve::check("BENCH_serve.json") {
+                        std::process::exit(1);
+                    }
+                } else {
+                    m2ai_bench::serve::run_and_write("BENCH_serve.json");
+                }
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput; flags --fast --check"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve; flags --fast --check"
                 );
                 std::process::exit(2);
             }

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod robustness;
+pub mod serve;
 pub mod throughput;
 
 use m2ai_core::dataset::{generate_dataset, ExperimentConfig, RoomKind};

@@ -98,7 +98,7 @@ impl ThroughputReport {
     }
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -107,7 +107,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Extracts `"key": <number>` from a flat JSON document.
-fn parse_metric(json: &str, key: &str) -> Option<f64> {
+pub(crate) fn parse_metric(json: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let idx = json.find(&pat)?;
     let rest = json[idx + pat.len()..].trim_start();

@@ -49,11 +49,15 @@ pub mod frames;
 pub mod network;
 pub mod online;
 pub mod pipeline;
+pub mod serve;
 
 pub use dataset::{generate_dataset, DatasetBundle, ExperimentConfig};
 pub use degrade::SpectrumFallback;
 pub use error::Error;
 pub use frames::{FeatureMode, FrameLayout, FrameQuality};
 pub use network::Architecture;
-pub use online::{HealthConfig, HealthState, OnlineIdentifier, OnlinePrediction};
+pub use online::{
+    HealthConfig, HealthState, OnlineIdentifier, OnlinePrediction, SessionWindow, WindowEvent,
+};
 pub use pipeline::{train_m2ai, TrainOptions, TrainOutcome};
+pub use serve::{ServeConfig, ServeEngine, ServeError, ServePrediction, SessionId};

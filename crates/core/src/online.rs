@@ -30,6 +30,7 @@
 
 use crate::degrade::SpectrumFallback;
 use crate::frames::FrameBuilder;
+use m2ai_kernels::KernelScratch;
 use m2ai_nn::model::SequenceClassifier;
 use m2ai_rfsim::reading::TagReading;
 use std::collections::VecDeque;
@@ -87,25 +88,249 @@ pub struct OnlinePrediction {
     pub confidence: f32,
 }
 
-/// Streaming wrapper: reader stream in, per-window predictions out.
+/// Outcome of one closed frame window, emitted by [`SessionWindow`].
+///
+/// The window layer owns read buffering, frame assembly and the health
+/// state machine; what it *doesn't* own is inference. Consumers — the
+/// single-stream [`OnlineIdentifier`] and the multi-session
+/// [`crate::serve::ServeEngine`] — turn these events into predictions
+/// their own way (full-window replay vs. incremental stepping).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowEvent {
+    /// A frame was assembled for the window ending at `time_s`.
+    Frame {
+        /// End time of the closed window.
+        time_s: f64,
+        /// The spectrum frame (fallback-patched, NaN-sanitised).
+        frame: Vec<f32>,
+        /// Stream health as of this window.
+        health: HealthState,
+    },
+    /// The stream was silent past [`HealthConfig::stale_timeout_s`] at
+    /// the window ending at `time_s`. The window has already cleared
+    /// its own fallback memory; consumers must drop *their* history
+    /// (frame deques, LSTM state) so a resuming stream starts fresh.
+    Stale {
+        /// End time of the silent window.
+        time_s: f64,
+    },
+}
+
+/// Per-session read buffering, frame windowing and health tracking.
+///
+/// Extracted from [`OnlineIdentifier`] so the serve engine can run N
+/// of these (one per session slot) against a single shared model. The
+/// type is a pure event source: push raw readings in, get
+/// [`WindowEvent`]s out, with the out-of-order/duplicate tolerance and
+/// the Healthy → Degraded → Stale machinery documented at module
+/// level.
 #[derive(Debug, Clone)]
-pub struct OnlineIdentifier {
+pub struct SessionWindow {
     builder: FrameBuilder,
-    model: SequenceClassifier,
-    /// Sliding window length in frames (the training `T`).
+    /// Sliding-history length in frames; bounds the read buffer.
     history_len: usize,
     buffer: Vec<TagReading>,
-    frames: VecDeque<Vec<f32>>,
     next_window_start: f64,
     health: HealthState,
-    health_cfg: HealthConfig,
+    cfg: HealthConfig,
     fallback: SpectrumFallback,
     /// Timestamp of the newest reading seen so far.
     last_reading_s: f64,
     /// Consecutive good windows since the last degradation.
     good_streak: u32,
+}
+
+impl SessionWindow {
+    /// Creates a window tracker.
+    ///
+    /// `history_len` is the consumer's sliding-history length in
+    /// frames; the read buffer is trimmed to that horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_len` is zero.
+    pub fn new(builder: FrameBuilder, history_len: usize, cfg: HealthConfig) -> Self {
+        assert!(history_len > 0, "history must hold at least one frame");
+        let fallback = SpectrumFallback::new(builder.layout);
+        SessionWindow {
+            builder,
+            history_len,
+            buffer: Vec::new(),
+            next_window_start: 0.0,
+            health: HealthState::Healthy,
+            cfg,
+            fallback,
+            last_reading_s: f64::NEG_INFINITY,
+            good_streak: 0,
+        }
+    }
+
+    /// Current stream health.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// The frame layout's flat dimension (what `Frame` events carry).
+    pub fn frame_dim(&self) -> usize {
+        self.builder.layout.frame_dim()
+    }
+
+    /// Inserts a reading into the time-sorted window buffer, dropping
+    /// exact duplicates (same time, tag, antenna and channel — e.g. an
+    /// LLRP retransmission).
+    fn insert_sorted(&mut self, r: &TagReading) -> bool {
+        // Key equality ⟺ "same physical read", so a strict comparison
+        // both keeps the buffer sorted and exposes duplicates at the
+        // insertion point. (Timestamps are finite here — `push`
+        // rejects non-finite ones — so the partial order is total.)
+        let key = |x: &TagReading| (x.time_s, x.tag.0, x.antenna, x.channel);
+        let pos = self.buffer.partition_point(|x| key(x) < key(r));
+        if pos < self.buffer.len() && key(&self.buffer[pos]) == key(r) {
+            return false;
+        }
+        self.buffer.insert(pos, r.clone());
+        true
+    }
+
+    /// Closes the window starting at `next_window_start`: builds the
+    /// frame, applies the fallback, updates health, and emits one
+    /// event.
+    fn close_window(&mut self, out: &mut Vec<WindowEvent>) {
+        let frame_len = self.builder.frame_duration_s;
+        let window_start = self.next_window_start;
+        let window_end = window_start + frame_len;
+        let window_had_reads = self
+            .buffer
+            .iter()
+            .any(|b| b.time_s >= window_start && b.time_s < window_end);
+
+        // Staleness: nothing has arrived for `stale_timeout_s` as of
+        // this window's end. Drop fallback memory — whatever was
+        // happening before the gap is over — and tell the consumer to
+        // do the same. (The buffer is time-sorted, so the newest
+        // pre-window reading is the last one before `window_end`; the
+        // reading that *triggered* this close lies at or past the
+        // window end and does not count.)
+        let last_before = self
+            .buffer
+            .iter()
+            .rev()
+            .find(|b| b.time_s < window_end)
+            .map(|b| b.time_s);
+        let stale = !window_had_reads
+            && match last_before {
+                Some(t) => window_end - t >= self.cfg.stale_timeout_s,
+                None => true,
+            };
+        if stale {
+            self.health = HealthState::Stale;
+            self.good_streak = 0;
+            self.fallback.reset();
+            self.next_window_start += frame_len;
+            let horizon = self.next_window_start - frame_len * self.history_len as f64;
+            self.buffer.retain(|b| b.time_s >= horizon);
+            out.push(WindowEvent::Stale { time_s: window_end });
+            return;
+        }
+
+        let (mut frame, quality) = self
+            .builder
+            .build_frame_with_quality(&self.buffer, window_start);
+        let patched = self.fallback.observe_and_patch(&mut frame, &quality);
+
+        // Health transition for this window.
+        let degraded = !window_had_reads
+            || patched > 0
+            || quality.mean_coverage() < self.cfg.degraded_coverage;
+        if degraded {
+            self.health = HealthState::Degraded;
+            self.good_streak = 0;
+        } else {
+            self.good_streak = self.good_streak.saturating_add(1);
+            if self.health != HealthState::Healthy {
+                // Hysteretic recovery: a formerly Stale stream passes
+                // through Degraded while the streak builds.
+                self.health = if self.good_streak >= self.cfg.recovery_windows {
+                    HealthState::Healthy
+                } else {
+                    HealthState::Degraded
+                };
+            }
+        }
+
+        self.next_window_start += frame_len;
+        // Drop readings older than the sliding history.
+        let horizon = self.next_window_start - frame_len * self.history_len as f64;
+        self.buffer.retain(|b| b.time_s >= horizon);
+        out.push(WindowEvent::Frame {
+            time_s: window_end,
+            frame,
+            health: self.health,
+        });
+    }
+
+    /// Pushes a batch of readings (need not be aligned to windows),
+    /// appending one [`WindowEvent`] per frame window completed by
+    /// this batch.
+    ///
+    /// Readings may arrive out of order and duplicated; the buffer
+    /// sorts and dedups them. Windows close when a reading at or past
+    /// the window end shows up. Non-finite timestamps are rejected
+    /// outright (they cannot be ordered).
+    pub fn push(&mut self, readings: &[TagReading], out: &mut Vec<WindowEvent>) {
+        let frame_len = self.builder.frame_duration_s;
+        for r in readings {
+            if !r.time_s.is_finite() {
+                continue;
+            }
+            self.insert_sorted(r);
+            if r.time_s > self.last_reading_s {
+                self.last_reading_s = r.time_s;
+            }
+            // Close every window that ends at or before this reading.
+            while r.time_s >= self.next_window_start + frame_len {
+                self.close_window(out);
+            }
+        }
+    }
+}
+
+/// Streaming wrapper: reader stream in, per-window predictions out.
+///
+/// Single-stream consumer of [`SessionWindow`] events. Inference is
+/// full-window replay (`try_predict_proba` over the sliding frame
+/// history) through a persistent [`KernelScratch`], so the steady
+/// state allocates nothing per window. For many concurrent streams on
+/// one model, use [`crate::serve::ServeEngine`], which replaces the
+/// replay with incremental batched stepping.
+#[derive(Debug)]
+pub struct OnlineIdentifier {
+    window: SessionWindow,
+    model: SequenceClassifier,
+    /// Sliding window length in frames (the training `T`).
+    history_len: usize,
+    frames: VecDeque<Vec<f32>>,
     /// Predictions suppressed (Stale stream or gated confidence).
     suppressed: usize,
+    /// Reused event buffer (drained every push).
+    events: Vec<WindowEvent>,
+    scratch: KernelScratch,
+}
+
+impl Clone for OnlineIdentifier {
+    fn clone(&self) -> Self {
+        OnlineIdentifier {
+            window: self.window.clone(),
+            model: self.model.clone(),
+            history_len: self.history_len,
+            frames: self.frames.clone(),
+            suppressed: self.suppressed,
+            events: Vec::new(),
+            // The pool is a cache, not state: a fresh one is
+            // behaviourally identical.
+            scratch: KernelScratch::new(),
+        }
+    }
 }
 
 impl OnlineIdentifier {
@@ -132,21 +357,14 @@ impl OnlineIdentifier {
         history_len: usize,
         health_cfg: HealthConfig,
     ) -> Self {
-        assert!(history_len > 0, "history must hold at least one frame");
-        let fallback = SpectrumFallback::new(builder.layout);
         OnlineIdentifier {
-            builder,
+            window: SessionWindow::new(builder, history_len, health_cfg),
             model,
             history_len,
-            buffer: Vec::new(),
             frames: VecDeque::new(),
-            next_window_start: 0.0,
-            health: HealthState::Healthy,
-            health_cfg,
-            fallback,
-            last_reading_s: f64::NEG_INFINITY,
-            good_streak: 0,
             suppressed: 0,
+            events: Vec::new(),
+            scratch: KernelScratch::new(),
         }
     }
 
@@ -157,137 +375,13 @@ impl OnlineIdentifier {
 
     /// Current stream health.
     pub fn health(&self) -> HealthState {
-        self.health
+        self.window.health()
     }
 
     /// Number of predictions suppressed so far (Stale windows and
     /// confidence-gated Degraded windows).
     pub fn suppressed(&self) -> usize {
         self.suppressed
-    }
-
-    /// Inserts a reading into the time-sorted window buffer, dropping
-    /// exact duplicates (same time, tag, antenna and channel — e.g. an
-    /// LLRP retransmission).
-    fn insert_sorted(&mut self, r: &TagReading) -> bool {
-        // Key equality ⟺ "same physical read", so a strict comparison
-        // both keeps the buffer sorted and exposes duplicates at the
-        // insertion point. (Timestamps are finite here — `push`
-        // rejects non-finite ones — so the partial order is total.)
-        let key = |x: &TagReading| (x.time_s, x.tag.0, x.antenna, x.channel);
-        let pos = self.buffer.partition_point(|x| key(x) < key(r));
-        if pos < self.buffer.len() && key(&self.buffer[pos]) == key(r) {
-            return false;
-        }
-        self.buffer.insert(pos, r.clone());
-        true
-    }
-
-    /// Closes the window starting at `next_window_start`: builds the
-    /// frame, applies the fallback, updates health, and possibly emits
-    /// a prediction.
-    fn close_window(&mut self, out: &mut Vec<OnlinePrediction>) {
-        let frame_len = self.builder.frame_duration_s;
-        let window_start = self.next_window_start;
-        let window_end = window_start + frame_len;
-        let window_had_reads = self
-            .buffer
-            .iter()
-            .any(|b| b.time_s >= window_start && b.time_s < window_end);
-
-        // Staleness: nothing has arrived for `stale_timeout_s` as of
-        // this window's end. Drop history — whatever was happening
-        // before the gap is over — and suppress output. (The buffer is
-        // time-sorted, so the newest pre-window reading is the last
-        // one before `window_end`; the reading that *triggered* this
-        // close lies at or past the window end and does not count.)
-        let last_before = self
-            .buffer
-            .iter()
-            .rev()
-            .find(|b| b.time_s < window_end)
-            .map(|b| b.time_s);
-        let stale = !window_had_reads
-            && match last_before {
-                Some(t) => window_end - t >= self.health_cfg.stale_timeout_s,
-                None => true,
-            };
-        if stale {
-            self.health = HealthState::Stale;
-            self.good_streak = 0;
-            self.frames.clear();
-            self.fallback.reset();
-            self.next_window_start += frame_len;
-            let horizon = self.next_window_start - frame_len * self.history_len as f64;
-            self.buffer.retain(|b| b.time_s >= horizon);
-            self.suppressed += 1;
-            return;
-        }
-
-        let (mut frame, quality) = self
-            .builder
-            .build_frame_with_quality(&self.buffer, window_start);
-        let patched = self.fallback.observe_and_patch(&mut frame, &quality);
-
-        // Health transition for this window.
-        let degraded = !window_had_reads
-            || patched > 0
-            || quality.mean_coverage() < self.health_cfg.degraded_coverage;
-        if degraded {
-            self.health = HealthState::Degraded;
-            self.good_streak = 0;
-        } else {
-            self.good_streak = self.good_streak.saturating_add(1);
-            if self.health != HealthState::Healthy {
-                // Hysteretic recovery: a formerly Stale stream passes
-                // through Degraded while the streak builds.
-                self.health = if self.good_streak >= self.health_cfg.recovery_windows {
-                    HealthState::Healthy
-                } else {
-                    HealthState::Degraded
-                };
-            }
-        }
-
-        self.frames.push_back(frame);
-        if self.frames.len() > self.history_len {
-            self.frames.pop_front();
-        }
-        self.next_window_start += frame_len;
-        // Drop readings older than the sliding history.
-        let horizon = self.next_window_start - frame_len * self.history_len as f64;
-        self.buffer.retain(|b| b.time_s >= horizon);
-
-        if self.frames.len() == self.history_len {
-            let seq: Vec<Vec<f32>> = self.frames.iter().cloned().collect();
-            let Ok(probabilities) = self.model.try_predict_proba(&seq) else {
-                // Unscorable history (diverged model, non-finite
-                // output): suppress rather than emit garbage.
-                self.suppressed += 1;
-                return;
-            };
-            let (class, confidence) = probabilities.iter().enumerate().fold(
-                (0usize, f32::NEG_INFINITY),
-                |best, (i, &p)| {
-                    if p > best.1 {
-                        (i, p)
-                    } else {
-                        best
-                    }
-                },
-            );
-            if self.health == HealthState::Degraded && confidence < self.health_cfg.min_confidence {
-                self.suppressed += 1;
-                return;
-            }
-            out.push(OnlinePrediction {
-                time_s: self.next_window_start,
-                class,
-                probabilities,
-                health: self.health,
-                confidence,
-            });
-        }
     }
 
     /// Pushes a batch of readings (need not be aligned to windows);
@@ -298,22 +392,67 @@ impl OnlineIdentifier {
     /// the window end shows up. Non-finite timestamps are rejected
     /// outright (they cannot be ordered).
     pub fn push(&mut self, readings: &[TagReading]) -> Vec<OnlinePrediction> {
+        let mut events = std::mem::take(&mut self.events);
+        self.window.push(readings, &mut events);
         let mut out = Vec::new();
-        let frame_len = self.builder.frame_duration_s;
-        for r in readings {
-            if !r.time_s.is_finite() {
-                continue;
-            }
-            self.insert_sorted(r);
-            if r.time_s > self.last_reading_s {
-                self.last_reading_s = r.time_s;
-            }
-            // Close every window that ends at or before this reading.
-            while r.time_s >= self.next_window_start + frame_len {
-                self.close_window(&mut out);
+        for ev in events.drain(..) {
+            match ev {
+                WindowEvent::Stale { .. } => {
+                    self.frames.clear();
+                    self.suppressed += 1;
+                }
+                WindowEvent::Frame {
+                    time_s,
+                    frame,
+                    health,
+                } => {
+                    self.frames.push_back(frame);
+                    if self.frames.len() > self.history_len {
+                        self.frames.pop_front();
+                    }
+                    if self.frames.len() == self.history_len {
+                        self.predict(time_s, health, &mut out);
+                    }
+                }
             }
         }
+        self.events = events;
         out
+    }
+
+    /// Replays the full frame history through the model and appends a
+    /// prediction (or counts a suppression).
+    fn predict(&mut self, time_s: f64, health: HealthState, out: &mut Vec<OnlinePrediction>) {
+        self.frames.make_contiguous();
+        let (seq, _) = self.frames.as_slices();
+        let Ok(probabilities) = self.model.try_predict_proba_with(seq, &mut self.scratch) else {
+            // Unscorable history (diverged model, non-finite output):
+            // suppress rather than emit garbage.
+            self.suppressed += 1;
+            return;
+        };
+        let (class, confidence) =
+            probabilities
+                .iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |best, (i, &p)| {
+                    if p > best.1 {
+                        (i, p)
+                    } else {
+                        best
+                    }
+                });
+        if health == HealthState::Degraded && confidence < self.window.cfg.min_confidence {
+            self.suppressed += 1;
+            return;
+        }
+        out.push(OnlinePrediction {
+            time_s,
+            class,
+            probabilities,
+            health,
+            confidence,
+        });
     }
 }
 

@@ -1,0 +1,628 @@
+//! Multi-session serving engine: incremental inference with
+//! cross-session micro-batching.
+//!
+//! The paper's deployment mode (Section V) streams LLRP reads to a
+//! backend identifying activities in realtime. [`OnlineIdentifier`]
+//! serves exactly one stream and re-runs the whole CNN→LSTM window on
+//! every new frame — O(T) redundant work per step. A [`ServeEngine`]
+//! serves N streams from **one shared model** and advances each by
+//! *state*, not replay:
+//!
+//! * **Incremental stepping** — each session carries a
+//!   [`StreamState`] (persistent LSTM hidden/cell state plus a window
+//!   ring of per-frame softmax outputs), so a new frame costs one
+//!   encoder + LSTM step instead of a T-frame forward pass.
+//! * **Cross-session micro-batching** — each [`ServeEngine::tick`]
+//!   coalesces up to [`ServeConfig::max_batch`] ready sessions into
+//!   one batched step: per-session hidden states stack row-wise and
+//!   the LSTM/head matmuls run as `[B × ·]` GEMMs on `m2ai-kernels`
+//!   instead of B skinny GEMVs.
+//!
+//! ## Numerical contract
+//!
+//! The kernels compute every output element as one accumulator chain,
+//! row-independent, so a batched tick is **bit-identical** to the same
+//! sessions ticked serially, in any slot order — and a fresh session's
+//! first full window is bit-identical to [`OnlineIdentifier`]'s replay
+//! of the same frames. After the first window the engine *keeps* LSTM
+//! context across window boundaries instead of replaying from zero;
+//! that divergence is the point (context retention is what the paper's
+//! Fig. 17 ablation shows matters) and is documented in DESIGN.md.
+//!
+//! ## Flow control
+//!
+//! * **Admission** — at most [`ServeConfig::max_sessions`] concurrent
+//!   sessions; [`ServeEngine::open_session`] fails with
+//!   [`ServeError::SessionsFull`] beyond that.
+//! * **Backpressure** — per-session pending-event queues are bounded
+//!   by [`ServeConfig::queue_capacity`]; when a push overflows one,
+//!   the *oldest* pending events are shed (freshest data wins in a
+//!   realtime identifier) and the shed count is reported.
+//! * **Degradation** — each session runs the same
+//!   Healthy/Degraded/Stale machinery as [`OnlineIdentifier`] via its
+//!   own [`SessionWindow`]; Stale windows reset the session's stream
+//!   state, non-finite rows and low-confidence Degraded predictions
+//!   are suppressed, never emitted.
+//!
+//! [`OnlineIdentifier`]: crate::online::OnlineIdentifier
+
+use crate::frames::FrameBuilder;
+use crate::online::{HealthConfig, HealthState, SessionWindow, WindowEvent};
+use m2ai_kernels::KernelScratch;
+use m2ai_nn::model::{SequenceClassifier, StreamState};
+use m2ai_rfsim::reading::TagReading;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Opaque handle to one open session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+/// Serving-engine limits and per-session health thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Admission-control cap on concurrent sessions.
+    pub max_sessions: usize,
+    /// Micro-batch window: at most this many sessions advance per
+    /// [`ServeEngine::tick`].
+    pub max_batch: usize,
+    /// Bound on each session's pending-event queue; overflow sheds the
+    /// oldest events.
+    pub queue_capacity: usize,
+    /// Sliding window length in frames (the training `T`).
+    pub history_len: usize,
+    /// Health thresholds applied per session.
+    pub health: HealthConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 64,
+            max_batch: 64,
+            queue_capacity: 32,
+            history_len: 12,
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// Errors surfaced by the serving engine's flow control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: `max_sessions` sessions are already open.
+    SessionsFull,
+    /// The [`SessionId`] does not name an open session.
+    UnknownSession,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::SessionsFull => write!(f, "admission refused: max_sessions reached"),
+            ServeError::UnknownSession => write!(f, "no such session"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Outcome of feeding readings (or a frame) to one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PushReport {
+    /// Window events enqueued for the next ticks.
+    pub enqueued: usize,
+    /// Oldest pending events shed by backpressure to stay within
+    /// [`ServeConfig::queue_capacity`].
+    pub shed: usize,
+}
+
+/// A prediction emitted by [`ServeEngine::tick`] for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePrediction {
+    /// Session the prediction belongs to.
+    pub session: SessionId,
+    /// End time of the frame window that produced it.
+    pub time_s: f64,
+    /// Most likely activity class.
+    pub class: usize,
+    /// Window-mean class probabilities.
+    pub probabilities: Vec<f32>,
+    /// Session health when this prediction was made.
+    pub health: HealthState,
+    /// Top-class probability (convenience copy).
+    pub confidence: f32,
+}
+
+/// One session slot: windowing, stream state, and the pending queue
+/// between `push` and `tick`.
+#[derive(Debug)]
+struct Slot {
+    id: SessionId,
+    window: SessionWindow,
+    state: StreamState,
+    pending: VecDeque<WindowEvent>,
+}
+
+/// Multi-session serving engine over one shared model.
+///
+/// See the module docs for the architecture; see
+/// [`OnlineIdentifier`](crate::online::OnlineIdentifier) for the
+/// single-stream replay baseline this replaces.
+#[derive(Debug)]
+pub struct ServeEngine {
+    model: SequenceClassifier,
+    /// Template for each session's frame windowing.
+    builder: FrameBuilder,
+    cfg: ServeConfig,
+    slots: Vec<Option<Slot>>,
+    next_id: u64,
+    /// Round-robin start position for batch selection.
+    cursor: usize,
+    scratch: KernelScratch,
+    /// Reused event buffer (drained every push).
+    events: Vec<WindowEvent>,
+    suppressed: usize,
+    shed: usize,
+}
+
+impl ServeEngine {
+    /// Creates an engine around a shared model.
+    ///
+    /// `builder` is cloned into every session, so all sessions share
+    /// the frame layout and calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.history_len`, `cfg.max_sessions`, `cfg.max_batch`
+    /// or `cfg.queue_capacity` is zero.
+    pub fn new(model: SequenceClassifier, builder: FrameBuilder, cfg: ServeConfig) -> Self {
+        assert!(cfg.history_len > 0, "history must hold at least one frame");
+        assert!(cfg.max_sessions > 0, "need at least one session slot");
+        assert!(cfg.max_batch > 0, "micro-batch window must be positive");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        let slots = (0..cfg.max_sessions).map(|_| None).collect();
+        ServeEngine {
+            model,
+            builder,
+            cfg,
+            slots,
+            next_id: 0,
+            cursor: 0,
+            scratch: KernelScratch::new(),
+            events: Vec::new(),
+            suppressed: 0,
+            shed: 0,
+        }
+    }
+
+    /// Number of currently open sessions.
+    pub fn sessions(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Predictions suppressed so far (Stale windows, non-finite
+    /// outputs, confidence-gated Degraded windows) across all
+    /// sessions.
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+
+    /// Pending events shed by backpressure so far, across all
+    /// sessions.
+    pub fn shed(&self) -> usize {
+        self.shed
+    }
+
+    /// Opens a session, subject to admission control.
+    pub fn open_session(&mut self) -> Result<SessionId, ServeError> {
+        let free = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(ServeError::SessionsFull)?;
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.slots[free] = Some(Slot {
+            id,
+            window: SessionWindow::new(
+                self.builder.clone(),
+                self.cfg.history_len,
+                self.cfg.health.clone(),
+            ),
+            state: self.model.stream_state(self.cfg.history_len),
+            pending: VecDeque::new(),
+        });
+        Ok(id)
+    }
+
+    /// Closes a session, freeing its slot (pending events are
+    /// discarded).
+    pub fn close_session(&mut self, id: SessionId) -> Result<(), ServeError> {
+        let idx = self.find(id)?;
+        self.slots[idx] = None;
+        Ok(())
+    }
+
+    /// Current health of one session.
+    pub fn session_health(&self, id: SessionId) -> Result<HealthState, ServeError> {
+        let idx = self.find(id)?;
+        Ok(self.slots[idx]
+            .as_ref()
+            .expect("found above")
+            .window
+            .health())
+    }
+
+    /// Number of window events queued for one session.
+    pub fn queue_len(&self, id: SessionId) -> Result<usize, ServeError> {
+        let idx = self.find(id)?;
+        Ok(self.slots[idx].as_ref().expect("found above").pending.len())
+    }
+
+    fn find(&self, id: SessionId) -> Result<usize, ServeError> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|slot| slot.id == id))
+            .ok_or(ServeError::UnknownSession)
+    }
+
+    /// Feeds raw tag readings to one session. Completed frame windows
+    /// are queued for the next [`ServeEngine::tick`]s; the queue sheds
+    /// its oldest entries past [`ServeConfig::queue_capacity`].
+    pub fn push(
+        &mut self,
+        id: SessionId,
+        readings: &[TagReading],
+    ) -> Result<PushReport, ServeError> {
+        let idx = self.find(id)?;
+        let mut events = std::mem::take(&mut self.events);
+        let slot = self.slots[idx].as_mut().expect("found above");
+        slot.window.push(readings, &mut events);
+        let report = Self::enqueue(
+            slot,
+            events.drain(..),
+            self.cfg.queue_capacity,
+            &mut self.shed,
+        );
+        self.events = events;
+        Ok(report)
+    }
+
+    /// Feeds one pre-extracted frame to a session, bypassing read
+    /// buffering — the path for callers that already run their own
+    /// feature extraction (and for benches that must not measure it).
+    pub fn push_frame(
+        &mut self,
+        id: SessionId,
+        time_s: f64,
+        frame: Vec<f32>,
+        health: HealthState,
+    ) -> Result<PushReport, ServeError> {
+        let idx = self.find(id)?;
+        let slot = self.slots[idx].as_mut().expect("found above");
+        let ev = match health {
+            HealthState::Stale => WindowEvent::Stale { time_s },
+            _ => WindowEvent::Frame {
+                time_s,
+                frame,
+                health,
+            },
+        };
+        Ok(Self::enqueue(
+            slot,
+            std::iter::once(ev),
+            self.cfg.queue_capacity,
+            &mut self.shed,
+        ))
+    }
+
+    fn enqueue(
+        slot: &mut Slot,
+        events: impl Iterator<Item = WindowEvent>,
+        capacity: usize,
+        total_shed: &mut usize,
+    ) -> PushReport {
+        let mut report = PushReport::default();
+        for ev in events {
+            if slot.pending.len() == capacity {
+                slot.pending.pop_front();
+                report.shed += 1;
+            }
+            slot.pending.push_back(ev);
+            report.enqueued += 1;
+        }
+        *total_shed += report.shed;
+        report
+    }
+
+    /// Advances up to [`ServeConfig::max_batch`] ready sessions by one
+    /// pending event each, running all their frame steps as one
+    /// micro-batched model step. Returns the predictions emitted by
+    /// sessions whose window ring is full (suppressions are counted,
+    /// not returned).
+    ///
+    /// Selection is round-robin across slots between ticks, so no
+    /// session starves when more than `max_batch` are ready; *within*
+    /// a tick the batch is processed in slot order, which is
+    /// observable only in output ordering — row independence makes the
+    /// numbers identical under any order.
+    pub fn tick(&mut self) -> Vec<ServePrediction> {
+        let n = self.slots.len();
+        // Pass 1: pick ready sessions round-robin and pop their next
+        // event. Stale events act immediately (reset, suppress);
+        // frames join the micro-batch.
+        let mut rows: Vec<(usize, f64, Vec<f32>, HealthState)> = Vec::new();
+        let mut picked = 0usize;
+        let start = self.cursor;
+        for off in 0..n {
+            if picked == self.cfg.max_batch {
+                break;
+            }
+            let idx = (start + off) % n;
+            let Some(slot) = self.slots[idx].as_mut() else {
+                continue;
+            };
+            let Some(ev) = slot.pending.pop_front() else {
+                continue;
+            };
+            picked += 1;
+            // The next tick resumes the scan just past the last
+            // session served, so a saturated batch window cannot
+            // starve the slots behind it.
+            self.cursor = (idx + 1) % n;
+            match ev {
+                WindowEvent::Stale { .. } => {
+                    slot.state.reset();
+                    self.suppressed += 1;
+                }
+                WindowEvent::Frame {
+                    time_s,
+                    frame,
+                    health,
+                } => rows.push((idx, time_s, frame, health)),
+            }
+        }
+        if rows.is_empty() {
+            return Vec::new();
+        }
+
+        // Pass 2: gather disjoint &mut stream states in slot order
+        // (rows are in round-robin order; sort by slot so one sweep
+        // over `slots` lines up — numerically order-free, see above).
+        rows.sort_by_key(|r| r.0);
+        let frames: Vec<&[f32]> = rows.iter().map(|r| r.2.as_slice()).collect();
+        let mut states: Vec<&mut StreamState> = Vec::with_capacity(rows.len());
+        {
+            let mut want = rows.iter().map(|r| r.0).peekable();
+            for (i, s) in self.slots.iter_mut().enumerate() {
+                if want.peek() == Some(&i) {
+                    want.next();
+                    states.push(&mut s.as_mut().expect("picked above").state);
+                }
+            }
+        }
+        let probs = self
+            .model
+            .step_batch_with(&frames, &mut states, &mut self.scratch);
+
+        // Pass 3: gate and emit.
+        let mut out = Vec::new();
+        for ((idx, time_s, _, health), probabilities) in rows.iter().zip(probs) {
+            let slot = self.slots[*idx].as_ref().expect("picked above");
+            if !slot.state.ready() {
+                continue; // window ring still filling — no output yet
+            }
+            if probabilities.iter().any(|v| !v.is_finite()) {
+                // Row independence keeps the other sessions' outputs
+                // clean; this one is unscorable.
+                self.suppressed += 1;
+                continue;
+            }
+            let (class, confidence) = probabilities.iter().enumerate().fold(
+                (0usize, f32::NEG_INFINITY),
+                |best, (i, &p)| {
+                    if p > best.1 {
+                        (i, p)
+                    } else {
+                        best
+                    }
+                },
+            );
+            if *health == HealthState::Degraded && confidence < self.cfg.health.min_confidence {
+                self.suppressed += 1;
+                continue;
+            }
+            out.push(ServePrediction {
+                session: slot.id,
+                time_s: *time_s,
+                class,
+                probabilities,
+                health: *health,
+                confidence,
+            });
+        }
+        out
+    }
+
+    /// Runs ticks until every pending queue is empty, collecting all
+    /// predictions — the batch-mode convenience for tests and offline
+    /// replay.
+    pub fn drain(&mut self) -> Vec<ServePrediction> {
+        let mut out = Vec::new();
+        while self
+            .slots
+            .iter()
+            .any(|s| s.as_ref().is_some_and(|slot| !slot.pending.is_empty()))
+        {
+            out.extend(self.tick());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PhaseCalibrator;
+    use crate::frames::{FeatureMode, FrameLayout};
+    use crate::network::{build_model, Architecture};
+    use crate::online::OnlineIdentifier;
+    use m2ai_rfsim::geometry::Point2;
+    use m2ai_rfsim::reader::{Reader, ReaderConfig};
+    use m2ai_rfsim::room::Room;
+    use m2ai_rfsim::scene::SceneSnapshot;
+
+    fn layout() -> FrameLayout {
+        FrameLayout::new(1, 4, FeatureMode::Joint)
+    }
+
+    fn engine(cfg: ServeConfig) -> ServeEngine {
+        let layout = layout();
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+        let model = build_model(&layout, 12, Architecture::CnnLstm, 1);
+        ServeEngine::new(model, builder, cfg)
+    }
+
+    fn stream(duration: f64) -> Vec<TagReading> {
+        let mut reader = Reader::new(Room::hall(), ReaderConfig::default(), 1);
+        let scene = SceneSnapshot::with_tags(vec![Point2::new(4.4, 3.0)]);
+        reader.run(|_| scene.clone(), duration)
+    }
+
+    #[test]
+    fn admission_control_caps_sessions() {
+        let mut eng = engine(ServeConfig {
+            max_sessions: 2,
+            ..ServeConfig::default()
+        });
+        let a = eng.open_session().unwrap();
+        let _b = eng.open_session().unwrap();
+        assert_eq!(eng.open_session(), Err(ServeError::SessionsFull));
+        eng.close_session(a).unwrap();
+        assert!(eng.open_session().is_ok(), "slot must be reusable");
+        assert_eq!(eng.sessions(), 2);
+    }
+
+    #[test]
+    fn unknown_session_is_an_error() {
+        let mut eng = engine(ServeConfig::default());
+        let id = eng.open_session().unwrap();
+        eng.close_session(id).unwrap();
+        assert_eq!(eng.close_session(id), Err(ServeError::UnknownSession));
+        assert_eq!(eng.push(id, &[]), Err(ServeError::UnknownSession));
+        assert_eq!(eng.queue_len(id), Err(ServeError::UnknownSession));
+    }
+
+    #[test]
+    fn backpressure_sheds_oldest() {
+        let mut eng = engine(ServeConfig {
+            queue_capacity: 3,
+            history_len: 2,
+            ..ServeConfig::default()
+        });
+        let id = eng.open_session().unwrap();
+        let dim = layout().frame_dim();
+        let mut shed = 0;
+        for t in 0..5 {
+            let rep = eng
+                .push_frame(id, t as f64, vec![0.1; dim], HealthState::Healthy)
+                .unwrap();
+            shed += rep.shed;
+        }
+        assert_eq!(eng.queue_len(id).unwrap(), 3);
+        assert_eq!(shed, 2);
+        assert_eq!(eng.shed(), 2);
+        // The oldest events went; the newest survive. Steps still run.
+        let preds = eng.drain();
+        assert!(preds.iter().all(|p| p.time_s >= 2.0));
+    }
+
+    #[test]
+    fn serve_matches_online_identifier_first_window() {
+        // A fresh serve session's first prediction must bit-match the
+        // replay-based OnlineIdentifier on the same stream.
+        let readings = stream(4.0);
+        let layout = layout();
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+        let model = build_model(&layout, 12, Architecture::CnnLstm, 1);
+        let history = 3;
+        let mut ident = OnlineIdentifier::new(builder.clone(), model.clone(), history);
+        let replay = ident.push(&readings);
+        assert!(!replay.is_empty());
+
+        let mut eng = ServeEngine::new(
+            model,
+            builder,
+            ServeConfig {
+                history_len: history,
+                ..ServeConfig::default()
+            },
+        );
+        let id = eng.open_session().unwrap();
+        eng.push(id, &readings).unwrap();
+        let served = eng.drain();
+        assert!(!served.is_empty());
+        let first = &served[0];
+        assert_eq!(first.time_s, replay[0].time_s);
+        assert_eq!(first.class, replay[0].class);
+        assert_eq!(first.health, replay[0].health);
+        assert_eq!(
+            first.probabilities, replay[0].probabilities,
+            "first full window must bit-match the replay baseline"
+        );
+    }
+
+    #[test]
+    fn stale_resets_stream_state() {
+        let cfg = ServeConfig {
+            history_len: 2,
+            health: HealthConfig {
+                stale_timeout_s: 1.0,
+                ..HealthConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let mut eng = engine(cfg);
+        let id = eng.open_session().unwrap();
+        let full = stream(7.0);
+        let before: Vec<TagReading> = full.iter().filter(|r| r.time_s < 2.0).cloned().collect();
+        let after: Vec<TagReading> = full.iter().filter(|r| r.time_s >= 5.0).cloned().collect();
+        eng.push(id, &before).unwrap();
+        let p1 = eng.drain();
+        assert!(!p1.is_empty());
+        let suppressed_before = eng.suppressed();
+        eng.push(id, &after).unwrap();
+        let p2 = eng.drain();
+        assert!(eng.suppressed() > suppressed_before, "gap must suppress");
+        assert!(!p2.is_empty(), "stream resumption must recover");
+        assert!(p2[0].time_s > p1.last().unwrap().time_s);
+    }
+
+    #[test]
+    fn round_robin_serves_everyone() {
+        // More ready sessions than the batch window: all still drain.
+        let mut eng = engine(ServeConfig {
+            max_sessions: 6,
+            max_batch: 2,
+            history_len: 2,
+            ..ServeConfig::default()
+        });
+        let dim = layout().frame_dim();
+        let ids: Vec<SessionId> = (0..6).map(|_| eng.open_session().unwrap()).collect();
+        for &id in &ids {
+            for t in 0..3 {
+                eng.push_frame(id, t as f64, vec![0.05; dim], HealthState::Healthy)
+                    .unwrap();
+            }
+        }
+        let preds = eng.drain();
+        // 3 frames each, ring of 2 → predictions at t=1 and t=2 per
+        // session.
+        assert_eq!(preds.len(), 6 * 2);
+        for &id in &ids {
+            assert_eq!(preds.iter().filter(|p| p.session == id).count(), 2);
+            assert_eq!(eng.queue_len(id).unwrap(), 0);
+        }
+    }
+}

@@ -84,7 +84,17 @@ pub fn set_backend(b: Backend) {
 }
 
 /// C\[m×n\] += A\[m×k\] · B\[k×n\] (all row-major).
+///
+/// A single-row product (`m == 1`) is routed to [`gemv_t`] — the same
+/// accumulation chains element for element (bit-exact on either
+/// backend), but the matrix-vector blocking suits the skinny shape, so
+/// batch-size-1 steps through the batched serving API pay no GEMM
+/// overhead.
 pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if m == 1 {
+        // C[0,j] += Σ_p a[p]·b[p·n+j] is exactly y += Bᵀ·a.
+        return gemv_t(k, n, b, a, c);
+    }
     match backend() {
         Backend::Fast => fast::gemm_nn(m, n, k, a, b, c),
         Backend::Reference => reference::gemm_nn(m, n, k, a, b, c),
@@ -92,7 +102,16 @@ pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
 }
 
 /// C\[m×n\] += A\[m×k\] · Bᵀ where B is \[n×k\] row-major.
+///
+/// A single-row product (`m == 1`) is routed to [`gemv`] — bit-exact
+/// (identical per-output accumulation chains) but without the blocked
+/// GEMM's row machinery, so single-session steps through the batched
+/// serving API keep gemv latency.
 pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if m == 1 {
+        // C[0,j] += Σ_p a[p]·b[j·k+p] is exactly y += B·a.
+        return gemv(n, k, b, a, c);
+    }
     match backend() {
         Backend::Fast => fast::gemm_nt(m, n, k, a, b, c),
         Backend::Reference => reference::gemm_nt(m, n, k, a, b, c),
@@ -242,6 +261,38 @@ mod tests {
         fast::gemv_t(2, 2, &a, &x, &mut yt);
         // y[j] = x[0]*a[0,j] + x[1]*a[1,j] = [1-3, 2-4]
         assert_eq!(yt, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn one_row_gemm_nt_is_bitwise_gemv() {
+        // The m == 1 fast path must be indistinguishable from the
+        // blocked kernel: same chains, same rounding, every element.
+        let k = 13;
+        let n = 9;
+        let a: Vec<f32> = (0..k).map(|i| ((i * 37) as f32 * 0.013).sin()).collect();
+        let b: Vec<f32> = (0..n * k)
+            .map(|i| ((i * 17) as f32 * 0.007).cos())
+            .collect();
+        let mut via_dispatch = vec![0.25f32; n];
+        gemm_nt(1, n, k, &a, &b, &mut via_dispatch);
+        let mut via_blocked = vec![0.25f32; n];
+        fast::gemm_nt(1, n, k, &a, &b, &mut via_blocked);
+        assert_eq!(via_dispatch, via_blocked);
+    }
+
+    #[test]
+    fn one_row_gemm_nn_is_bitwise_gemv_t() {
+        let k = 11;
+        let n = 7;
+        let a: Vec<f32> = (0..k).map(|i| ((i * 29) as f32 * 0.011).sin()).collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 13) as f32 * 0.009).cos())
+            .collect();
+        let mut via_dispatch = vec![-0.5f32; n];
+        gemm_nn(1, n, k, &a, &b, &mut via_dispatch);
+        let mut via_blocked = vec![-0.5f32; n];
+        fast::gemm_nn(1, n, k, &a, &b, &mut via_blocked);
+        assert_eq!(via_dispatch, via_blocked);
     }
 
     #[test]

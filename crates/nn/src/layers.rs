@@ -86,12 +86,25 @@ impl Dense {
     ///
     /// Panics if `xs.len() != rows * in_dim`.
     pub fn forward_batch(&self, xs: &[f32], rows: usize) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.forward_batch_with(xs, rows, s))
+    }
+
+    /// [`Dense::forward_batch`] reusing buffers from `scratch`. A
+    /// one-row batch dispatches to the GEMV microkernel (bit-exact),
+    /// so single-session steps through the batched serving API keep
+    /// matrix-vector latency.
+    pub fn forward_batch_with(
+        &self,
+        xs: &[f32],
+        rows: usize,
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
         assert_eq!(
             xs.len(),
             rows * self.in_dim,
             "Dense batch input size mismatch"
         );
-        let mut ys = vec![0.0; rows * self.out_dim];
+        let mut ys = scratch.take(rows * self.out_dim);
         kernels::gemm_nt(rows, self.out_dim, self.in_dim, xs, &self.w, &mut ys);
         for row in ys.chunks_exact_mut(self.out_dim) {
             for (yo, bo) in row.iter_mut().zip(&self.b) {

@@ -222,6 +222,53 @@ impl Lstm {
         LstmCache { steps, outputs }
     }
 
+    /// One streaming timestep over `batch` independent sessions.
+    ///
+    /// `xs` is `[batch × in_dim]` row-major; `h` and `c` are
+    /// `[batch × hidden]` carrying each session's previous state on
+    /// entry and its new state on return. Rows never interact: row `r`
+    /// of the batched GEMMs reduces exactly the chain a solo
+    /// `[1 × ·]` step would, so a batched step is bit-identical to
+    /// `batch` serial steps — and identical to the corresponding step
+    /// of [`Lstm::forward_sequence`] from the same state (inputs
+    /// before recurrence, bias outermost, same rounding on either
+    /// backend). A one-row batch dispatches to the GEMV microkernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn step_batch_with(
+        &self,
+        batch: usize,
+        xs: &[f32],
+        h: &mut [f32],
+        c: &mut [f32],
+        scratch: &mut KernelScratch,
+    ) {
+        let hd = self.hidden;
+        assert_eq!(xs.len(), batch * self.in_dim, "LSTM step input mismatch");
+        assert_eq!(h.len(), batch * hd, "LSTM step hidden-state mismatch");
+        assert_eq!(c.len(), batch * hd, "LSTM step cell-state mismatch");
+        let mut z = scratch.take(batch * 4 * hd);
+        kernels::gemm_nt(batch, 4 * hd, self.in_dim, xs, &self.w, &mut z);
+        kernels::gemm_nt(batch, 4 * hd, hd, h, &self.u, &mut z);
+        for r in 0..batch {
+            let zrow = &z[r * 4 * hd..(r + 1) * 4 * hd];
+            let hrow = &mut h[r * hd..(r + 1) * hd];
+            let crow = &mut c[r * hd..(r + 1) * hd];
+            for k in 0..hd {
+                let i = sigmoid(self.b[k] + zrow[k]);
+                let f = sigmoid(self.b[hd + k] + zrow[hd + k]);
+                let g = (self.b[2 * hd + k] + zrow[2 * hd + k]).tanh();
+                let o = sigmoid(self.b[3 * hd + k] + zrow[3 * hd + k]);
+                let cn = f * crow[k] + i * g;
+                crow[k] = cn;
+                hrow[k] = o * cn.tanh();
+            }
+        }
+        scratch.recycle(z);
+    }
+
     /// BPTT backward pass.
     ///
     /// `grad_outputs[t]` is `∂L/∂h_t` from the layers above; the return
@@ -377,6 +424,39 @@ pub struct LstmStack {
     layers: Vec<Lstm>,
 }
 
+/// Persistent per-session hidden/cell state of an [`LstmStack`].
+///
+/// This is the "KV cache" of the streaming serving path: instead of
+/// replaying a whole window through [`LstmStack::forward_sequence`],
+/// a stream advances one frame at a time with
+/// [`LstmStack::step_batch_with`], carrying this state between calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmStackState {
+    /// Hidden state per layer (`hiddens[l]` long).
+    h: Vec<Vec<f32>>,
+    /// Cell state per layer.
+    c: Vec<Vec<f32>>,
+}
+
+impl LstmStackState {
+    /// Zeroes the state (stream reset after a gap).
+    pub fn reset(&mut self) {
+        for v in self.h.iter_mut().chain(self.c.iter_mut()) {
+            v.fill(0.0);
+        }
+    }
+
+    /// Hidden state of layer `l`.
+    pub fn hidden(&self, l: usize) -> &[f32] {
+        &self.h[l]
+    }
+
+    /// Cell state of layer `l`.
+    pub fn cell(&self, l: usize) -> &[f32] {
+        &self.c[l]
+    }
+}
+
 /// Cache of a stacked forward pass.
 #[derive(Debug, Clone)]
 pub struct StackCache {
@@ -433,6 +513,59 @@ impl LstmStack {
         }
         let outputs = caches.last().expect("non-empty").outputs.clone();
         StackCache { caches, outputs }
+    }
+
+    /// Creates a zero [`LstmStackState`] for one stream.
+    pub fn zero_state(&self) -> LstmStackState {
+        LstmStackState {
+            h: self.layers.iter().map(|l| vec![0.0; l.hidden()]).collect(),
+            c: self.layers.iter().map(|l| vec![0.0; l.hidden()]).collect(),
+        }
+    }
+
+    /// One streaming timestep for `batch` independent sessions.
+    ///
+    /// `xs` is `[batch × in_dim]` row-major; `states[r]` carries
+    /// session `r`'s per-layer state and is advanced in place. Returns
+    /// the top layer's new hidden states, `[batch × out_dim]`
+    /// row-major. Per-session gather/scatter into the batched GEMM
+    /// operands is exact copying, so the result is bit-identical to
+    /// `batch` serial one-session steps (see
+    /// [`Lstm::step_batch_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != batch`, on input shape mismatches,
+    /// or if a state was built for a different stack geometry.
+    pub fn step_batch_with(
+        &self,
+        batch: usize,
+        xs: &[f32],
+        states: &mut [&mut LstmStackState],
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
+        assert_eq!(states.len(), batch, "LSTM step state-count mismatch");
+        assert_eq!(xs.len(), batch * self.in_dim(), "LSTM step input mismatch");
+        let mut cur = scratch.take(xs.len());
+        cur.copy_from_slice(xs);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let hd = layer.hidden();
+            let mut hmat = scratch.take(batch * hd);
+            let mut cmat = scratch.take(batch * hd);
+            for (r, st) in states.iter().enumerate() {
+                assert_eq!(st.h[l].len(), hd, "LSTM state geometry mismatch");
+                hmat[r * hd..(r + 1) * hd].copy_from_slice(&st.h[l]);
+                cmat[r * hd..(r + 1) * hd].copy_from_slice(&st.c[l]);
+            }
+            layer.step_batch_with(batch, &cur, &mut hmat, &mut cmat, scratch);
+            for (r, st) in states.iter_mut().enumerate() {
+                st.h[l].copy_from_slice(&hmat[r * hd..(r + 1) * hd]);
+                st.c[l].copy_from_slice(&cmat[r * hd..(r + 1) * hd]);
+            }
+            scratch.recycle(std::mem::replace(&mut cur, hmat));
+            scratch.recycle(cmat);
+        }
+        cur
     }
 
     /// Backward over a sequence; returns `∂L/∂x_t`.
@@ -642,6 +775,50 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn empty_stack_panics() {
         LstmStack::new(3, &[], 0);
+    }
+
+    #[test]
+    fn streaming_steps_match_forward_sequence_bitwise() {
+        let s = LstmStack::new(3, &[5, 4], 21);
+        let xs: Vec<Vec<f32>> = (0..7)
+            .map(|t| (0..3).map(|j| ((t * 3 + j) as f32 * 0.19).sin()).collect())
+            .collect();
+        let full = s.forward_sequence(&xs);
+        let mut state = s.zero_state();
+        for (t, x) in xs.iter().enumerate() {
+            let h =
+                kernels::with_thread_scratch(|scr| s.step_batch_with(1, x, &mut [&mut state], scr));
+            assert_eq!(h, full.outputs[t], "step {t} diverged from replay");
+        }
+    }
+
+    #[test]
+    fn batched_step_matches_serial_steps_bitwise() {
+        let s = LstmStack::new(2, &[4, 3], 33);
+        let batch = 5;
+        // Distinct per-session streams, advanced twice.
+        let frame = |r: usize, t: usize| -> Vec<f32> {
+            (0..2)
+                .map(|j| ((r * 17 + t * 5 + j) as f32 * 0.23).cos())
+                .collect()
+        };
+        let mut serial: Vec<LstmStackState> = (0..batch).map(|_| s.zero_state()).collect();
+        let mut batched: Vec<LstmStackState> = (0..batch).map(|_| s.zero_state()).collect();
+        for t in 0..2 {
+            let mut serial_h = Vec::new();
+            for (r, st) in serial.iter_mut().enumerate() {
+                let h = kernels::with_thread_scratch(|scr| {
+                    s.step_batch_with(1, &frame(r, t), &mut [st], scr)
+                });
+                serial_h.extend(h);
+            }
+            let xs: Vec<f32> = (0..batch).flat_map(|r| frame(r, t)).collect();
+            let mut refs: Vec<&mut LstmStackState> = batched.iter_mut().collect();
+            let batched_h =
+                kernels::with_thread_scratch(|scr| s.step_batch_with(batch, &xs, &mut refs, scr));
+            assert_eq!(batched_h, serial_h, "t={t}: batched != serial");
+        }
+        assert_eq!(serial, batched);
     }
 
     #[test]

@@ -15,9 +15,10 @@
 use crate::error::Error;
 use crate::layers::{Dense, SeqCache, Sequential, TwoBranchCache, TwoBranchEncoder};
 use crate::loss::{softmax, softmax_cross_entropy};
-use crate::lstm::LstmStack;
+use crate::lstm::{LstmStack, LstmStackState};
 use crate::Parameterized;
 use m2ai_kernels::{self as kernels, KernelScratch};
+use std::collections::VecDeque;
 
 /// Per-frame encoder: a plain layer chain or the two-branch merge.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +128,85 @@ impl Parameterized for Encoder {
     }
 }
 
+/// Persistent per-stream inference state for incremental stepping.
+///
+/// Replaying a T-frame window on every new frame costs O(T) encoder +
+/// LSTM work per step. A `StreamState` instead carries what the replay
+/// would recompute: the LSTM hidden/cell state after the frames seen so
+/// far, and a ring of the last `history` per-frame softmax outputs so
+/// the window-mean probability (the quantity
+/// [`SequenceClassifier::predict_proba`] reports) can be maintained in
+/// O(history) scalar work without re-running the network.
+///
+/// A fresh state stepped through the same frames in order yields
+/// bit-identical probabilities to the full-window
+/// [`SequenceClassifier::predict_proba`] call: the LSTM step reduces
+/// the same accumulator chains as the sequence forward, and the ring
+/// mean accumulates per-frame softmax vectors oldest→newest before one
+/// division — the exact order `predict_proba` uses. After the first
+/// window the semantics *intentionally* diverge: the stream keeps its
+/// LSTM context instead of replaying from a zero state (that context
+/// retention is both the speedup and, per Fig. 17, the point of the
+/// recurrent model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamState {
+    /// LSTM carry; `None` for the CNN-only ablation.
+    lstm: Option<LstmStackState>,
+    /// Last `history` per-frame softmax outputs, oldest first.
+    probs: VecDeque<Vec<f32>>,
+    history: usize,
+}
+
+impl StreamState {
+    /// True once `history` frames have been absorbed — i.e. the ring
+    /// spans a full window and the running mean is comparable to a
+    /// whole-window `predict_proba`.
+    pub fn ready(&self) -> bool {
+        self.probs.len() == self.history
+    }
+
+    /// Number of frames currently in the probability ring
+    /// (saturates at the window length).
+    pub fn frames_seen(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Window length this state was created for.
+    pub fn history(&self) -> usize {
+        self.history
+    }
+
+    /// Clears all carried state (LSTM context and probability ring),
+    /// as after a stream gap: the next step starts a fresh window.
+    pub fn reset(&mut self) {
+        if let Some(l) = &mut self.lstm {
+            l.reset();
+        }
+        self.probs.clear();
+    }
+
+    /// Pushes one frame's softmax output and returns the running mean
+    /// over the ring, accumulated oldest→newest then divided once —
+    /// the same order and rounding as
+    /// [`SequenceClassifier::predict_proba`].
+    fn push_probs(&mut self, p: Vec<f32>) -> Vec<f32> {
+        if self.probs.len() == self.history {
+            self.probs.pop_front();
+        }
+        let n = p.len();
+        self.probs.push_back(p);
+        let mut acc = vec![0.0f32; n];
+        for frame in &self.probs {
+            for (a, &v) in acc.iter_mut().zip(frame) {
+                *a += v;
+            }
+        }
+        let t = self.probs.len() as f32;
+        acc.iter_mut().for_each(|a| *a /= t);
+        acc
+    }
+}
+
 /// CNN(+LSTM) sequence classifier with a per-frame softmax head.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SequenceClassifier {
@@ -203,7 +283,7 @@ impl SequenceClassifier {
         for (t, rep) in reps.iter().enumerate() {
             reps_flat[t * rep_dim..(t + 1) * rep_dim].copy_from_slice(rep);
         }
-        let logits_flat = self.head.forward_batch(&reps_flat, t_len);
+        let logits_flat = self.head.forward_batch_with(&reps_flat, t_len, scratch);
         scratch.recycle(reps_flat);
         let out = logits_flat
             .chunks_exact(self.n_classes)
@@ -213,14 +293,144 @@ impl SequenceClassifier {
         out
     }
 
+    /// Creates a fresh [`StreamState`] for one stream with a
+    /// `history`-frame probability window (matching the
+    /// `history_len` a replay-based caller would use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is zero.
+    pub fn stream_state(&self, history: usize) -> StreamState {
+        assert!(history > 0, "history must be positive");
+        StreamState {
+            lstm: self.lstm.as_ref().map(|s| s.zero_state()),
+            probs: VecDeque::with_capacity(history),
+            history,
+        }
+    }
+
+    /// Advances `batch` independent streams by one frame each and
+    /// returns each stream's running window-mean class probabilities.
+    ///
+    /// This is the micro-batched hot path: per-session encoder outputs
+    /// are stacked row-wise so the LSTM step and the softmax head run
+    /// as `[batch × ·]` GEMMs. Row independence of the kernels makes
+    /// the result bit-identical to `batch` serial
+    /// [`SequenceClassifier::step_with`] calls, in any slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len() != states.len()`, or on frame/state
+    /// shape mismatches.
+    pub fn step_batch_with(
+        &self,
+        frames: &[&[f32]],
+        states: &mut [&mut StreamState],
+        scratch: &mut KernelScratch,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(frames.len(), states.len(), "frame/state count mismatch");
+        let batch = frames.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        // Per-frame encoder (shared weights), gathered row-wise.
+        let feats: Vec<Vec<f32>> = frames
+            .iter()
+            .map(|f| self.encoder.forward_with(f, scratch))
+            .collect();
+        let rep_dim = self.head.in_dim();
+        let reps_flat = match &self.lstm {
+            Some(stack) => {
+                let feat_dim = stack.in_dim();
+                let mut xflat = scratch.take(batch * feat_dim);
+                for (r, feat) in feats.iter().enumerate() {
+                    xflat[r * feat_dim..(r + 1) * feat_dim].copy_from_slice(feat);
+                }
+                let mut lstm_states: Vec<&mut LstmStackState> = states
+                    .iter_mut()
+                    .map(|s| s.lstm.as_mut().expect("state built for an LSTM-less model"))
+                    .collect();
+                let out = stack.step_batch_with(batch, &xflat, &mut lstm_states, scratch);
+                scratch.recycle(xflat);
+                out
+            }
+            None => {
+                let mut flat = scratch.take(batch * rep_dim);
+                for (r, feat) in feats.iter().enumerate() {
+                    flat[r * rep_dim..(r + 1) * rep_dim].copy_from_slice(feat);
+                }
+                flat
+            }
+        };
+        let logits_flat = self.head.forward_batch_with(&reps_flat, batch, scratch);
+        let means = logits_flat
+            .chunks_exact(self.n_classes)
+            .zip(states.iter_mut())
+            .map(|(logits, state)| state.push_probs(softmax(logits)))
+            .collect();
+        scratch.recycle(logits_flat);
+        scratch.recycle(reps_flat);
+        means
+    }
+
+    /// Advances one stream by one frame; returns the running
+    /// window-mean class probabilities. Single-row shapes dispatch to
+    /// the GEMV microkernels, so solo-stream latency does not pay for
+    /// the batched API.
+    pub fn step_with(
+        &self,
+        frame: &[f32],
+        state: &mut StreamState,
+        scratch: &mut KernelScratch,
+    ) -> Vec<f32> {
+        self.step_batch_with(&[frame], &mut [state], scratch)
+            .pop()
+            .expect("one stream in, one prediction out")
+    }
+
+    /// [`SequenceClassifier::step_with`] using the thread-local
+    /// scratch arena.
+    pub fn step(&self, frame: &[f32], state: &mut StreamState) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.step_with(frame, state, s))
+    }
+
+    /// Fallible [`SequenceClassifier::step_with`]: non-finite
+    /// probabilities (NaN inputs, diverged parameters) become an
+    /// [`Error`] instead of silent garbage. On error the probability
+    /// ring still absorbed the frame; callers treating the stream as
+    /// poisoned should [`StreamState::reset`] it.
+    pub fn try_step_with(
+        &self,
+        frame: &[f32],
+        state: &mut StreamState,
+        scratch: &mut KernelScratch,
+    ) -> Result<Vec<f32>, Error> {
+        let p = self.step_with(frame, state, scratch);
+        if p.iter().all(|v| v.is_finite()) {
+            Ok(p)
+        } else {
+            Err(Error::NonFiniteOutput)
+        }
+    }
+
     /// Mean per-frame class probabilities.
     ///
     /// # Panics
     ///
     /// Panics on an empty frame sequence.
     pub fn predict_proba(&self, frames: &[Vec<f32>]) -> Vec<f32> {
+        kernels::with_thread_scratch(|s| self.predict_proba_with(frames, s))
+    }
+
+    /// [`SequenceClassifier::predict_proba`] reusing buffers from
+    /// `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty frame sequence.
+    pub fn predict_proba_with(&self, frames: &[Vec<f32>], scratch: &mut KernelScratch) -> Vec<f32> {
         assert!(!frames.is_empty(), "need at least one frame");
-        let logits = self.forward_logits(frames);
+        let logits = self.forward_logits_with(frames, scratch);
         let mut acc = vec![0.0f32; self.n_classes];
         for l in &logits {
             for (a, p) in acc.iter_mut().zip(softmax(l)) {
@@ -239,10 +449,21 @@ impl SequenceClassifier {
     /// probabilities (NaN inputs, diverged parameters) become [`Error`]s
     /// instead of panics or silent garbage.
     pub fn try_predict_proba(&self, frames: &[Vec<f32>]) -> Result<Vec<f32>, Error> {
+        kernels::with_thread_scratch(|s| self.try_predict_proba_with(frames, s))
+    }
+
+    /// [`SequenceClassifier::try_predict_proba`] reusing buffers from
+    /// `scratch` — the signature streaming callers drive so the
+    /// steady-state window path stops allocating per prediction.
+    pub fn try_predict_proba_with(
+        &self,
+        frames: &[Vec<f32>],
+        scratch: &mut KernelScratch,
+    ) -> Result<Vec<f32>, Error> {
         if frames.is_empty() {
             return Err(Error::EmptySequence);
         }
-        let p = self.predict_proba(frames);
+        let p = self.predict_proba_with(frames, scratch);
         if p.iter().all(|v| v.is_finite()) {
             Ok(p)
         } else {
@@ -335,7 +556,7 @@ impl SequenceClassifier {
         for (t, rep) in reps.iter().enumerate() {
             reps_flat[t * rep_dim..(t + 1) * rep_dim].copy_from_slice(rep);
         }
-        let logits_flat = self.head.forward_batch(&reps_flat, t_len);
+        let logits_flat = self.head.forward_batch_with(&reps_flat, t_len, scratch);
         let mut total_loss = 0.0;
         let mut grads_flat = scratch.take(t_len * self.n_classes);
         for t in 0..t_len {
@@ -552,5 +773,130 @@ mod tests {
     #[should_panic(expected = "label out of range")]
     fn bad_label_panics() {
         tiny_model(0).loss_and_backprop(&[vec![0.0; 4]], 9);
+    }
+
+    fn toy_frames(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|t| (0..4).map(|j| ((t * 4 + j) as f32 * 0.37).sin()).collect())
+            .collect()
+    }
+
+    /// The three Fig. 17 variants at toy size.
+    fn variants(seed: u64) -> Vec<(&'static str, SequenceClassifier)> {
+        let encoder = Sequential::new(vec![Layer::dense(4, 6, seed), Layer::relu()]);
+        let cnn_lstm =
+            SequenceClassifier::new(encoder.clone(), LstmStack::new(6, &[5, 4], seed), 3, seed);
+        let cnn_only = SequenceClassifier::without_lstm(encoder, 6, 3, seed);
+        let lstm_only = SequenceClassifier::new(
+            Sequential::default(),
+            LstmStack::new(4, &[5], seed),
+            3,
+            seed,
+        );
+        vec![
+            ("cnn_lstm", cnn_lstm),
+            ("cnn_only", cnn_only),
+            ("lstm_only", lstm_only),
+        ]
+    }
+
+    #[test]
+    fn fresh_stream_matches_predict_proba_bitwise() {
+        // Stepping a fresh state through a window must reproduce the
+        // full-window replay exactly, for every architecture variant.
+        let frames = toy_frames(6);
+        for (name, m) in variants(11) {
+            let mut state = m.stream_state(frames.len());
+            let mut last = Vec::new();
+            for f in &frames {
+                last = m.step(f, &mut state);
+            }
+            assert!(state.ready(), "{name}: state not ready after window");
+            assert_eq!(last, m.predict_proba(&frames), "{name}: stream != replay");
+        }
+    }
+
+    #[test]
+    fn stream_window_mean_tracks_sliding_replay_prefix() {
+        // Before the ring is full, the running mean equals the
+        // replay over the prefix seen so far (same accumulation
+        // order); for the memory-less CNN-only variant it stays equal
+        // to the sliding-window replay forever.
+        let frames = toy_frames(9);
+        let (_, m) = variants(12).remove(1); // cnn_only
+        let mut state = m.stream_state(4);
+        for (t, f) in frames.iter().enumerate() {
+            let p = m.step(f, &mut state);
+            let lo = (t + 1).saturating_sub(4);
+            assert_eq!(p, m.predict_proba(&frames[lo..=t]), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn batched_step_matches_serial_steps_bitwise() {
+        // One B-row batched tick == B serial single-stream ticks,
+        // regardless of slot order, for every variant.
+        for (name, m) in variants(13) {
+            let sessions: Vec<Vec<Vec<f32>>> = (0..5)
+                .map(|s| {
+                    (0..3)
+                        .map(|t| {
+                            (0..4)
+                                .map(|j| ((s * 31 + t * 4 + j) as f32 * 0.29).cos())
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut serial: Vec<StreamState> = (0..5).map(|_| m.stream_state(3)).collect();
+            let mut batched = serial.clone();
+            for t in 0..3 {
+                let serial_out: Vec<Vec<f32>> = sessions
+                    .iter()
+                    .zip(serial.iter_mut())
+                    .map(|(frames, st)| m.step(&frames[t], st))
+                    .collect();
+                let frames: Vec<&[f32]> = sessions.iter().map(|f| f[t].as_slice()).collect();
+                let mut refs: Vec<&mut StreamState> = batched.iter_mut().collect();
+                let batch_out =
+                    kernels::with_thread_scratch(|s| m.step_batch_with(&frames, &mut refs, s));
+                assert_eq!(batch_out, serial_out, "{name}: t={t}");
+            }
+            assert_eq!(batched, serial, "{name}: states diverged");
+        }
+    }
+
+    #[test]
+    fn stream_reset_restarts_the_window() {
+        let frames = toy_frames(6);
+        let (_, m) = variants(14).remove(0);
+        let mut state = m.stream_state(6);
+        for f in &frames {
+            m.step(f, &mut state);
+        }
+        state.reset();
+        assert_eq!(state.frames_seen(), 0);
+        let mut replayed = Vec::new();
+        for f in &frames {
+            replayed = m.step(f, &mut state);
+        }
+        assert_eq!(replayed, m.predict_proba(&frames), "reset state not fresh");
+    }
+
+    #[test]
+    fn try_step_reports_nan() {
+        let mut diverged = tiny_model(15);
+        diverged.visit_params(&mut |p, _| p.iter_mut().for_each(|v| *v = f32::NAN));
+        let mut state = diverged.stream_state(3);
+        let got = kernels::with_thread_scratch(|s| {
+            diverged.try_step_with(&[0.1, 0.2, 0.3, 0.4], &mut state, s)
+        });
+        assert_eq!(got, Err(crate::error::Error::NonFiniteOutput));
+    }
+
+    #[test]
+    #[should_panic(expected = "history")]
+    fn zero_history_stream_panics() {
+        tiny_model(0).stream_state(0);
     }
 }
