@@ -102,11 +102,24 @@ pub(crate) fn validate(x: &[Vec<f32>], y: &[usize]) -> Result<(usize, usize, usi
     Ok((x.len(), d, n_classes))
 }
 
+/// Evaluations-performed counter, resolved once per process.
+fn evals_total() -> &'static m2ai_obs::Counter {
+    static C: std::sync::OnceLock<m2ai_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        m2ai_obs::counter(
+            "m2ai_baselines_evals_total",
+            "samples scored through baseline accuracy evaluation",
+            &[],
+        )
+    })
+}
+
 /// Accuracy of a fitted classifier on a labelled set.
 pub fn accuracy<C: Classifier + ?Sized>(clf: &C, x: &[Vec<f32>], y: &[usize]) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
+    evals_total().add(x.len() as u64);
     let hits = x
         .iter()
         .zip(y)

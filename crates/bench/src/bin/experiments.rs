@@ -4,12 +4,33 @@
 //! ```text
 //! cargo run --release -p m2ai-bench --bin experiments -- all
 //! cargo run --release -p m2ai-bench --bin experiments -- fig9 --fast
+//! cargo run --release -p m2ai-bench --bin experiments -- serve --metrics-out m.json
 //! ```
 
 use m2ai_bench::{run_all, Budget};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Extract `--metrics-out <path>` (value form `--metrics-out=<path>`
+    // also accepted) before positional parsing, so the path is never
+    // mistaken for a subcommand.
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics-out" {
+            if i + 1 >= args.len() {
+                eprintln!("--metrics-out needs a path");
+                std::process::exit(2);
+            }
+            metrics_out = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(path) = args[i].strip_prefix("--metrics-out=") {
+            metrics_out = Some(path.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
     let budget = if args.iter().any(|a| a == "--fast") {
         Budget::Fast
     } else {
@@ -58,13 +79,24 @@ fn main() {
                     m2ai_bench::serve::run_and_write("BENCH_serve.json");
                 }
             }
+            "obs" => {
+                if !m2ai_bench::obs::check() {
+                    if let Some(path) = &metrics_out {
+                        m2ai_bench::obs::write_metrics(path);
+                    }
+                    std::process::exit(1);
+                }
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve; flags --fast --check"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve obs; flags --fast --check --metrics-out <path>"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = &metrics_out {
+        m2ai_bench::obs::write_metrics(path);
     }
 }

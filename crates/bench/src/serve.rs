@@ -53,6 +53,12 @@ const MAX_REGRESSION: f64 = 0.20;
 /// Maximum tolerated growth of replay-normalised p50 latency.
 const MAX_LATENCY_GROWTH: f64 = 0.5;
 
+/// Maximum tolerated growth of replay-normalised p99 latency. Wider
+/// than the p50 ceiling: even pooled over three passes the tail is the
+/// noisiest quantile, but a sustained blow-up (a stall in every tick,
+/// an accidental serialisation) moves it far beyond 2.5x.
+const MAX_P99_GROWTH: f64 = 1.5;
+
 /// Minimum batched-serve-over-replay predictions/sec speedup.
 const MIN_SERVE_SPEEDUP: f64 = 5.0;
 
@@ -193,12 +199,29 @@ fn best_rate(events_per_pass: usize, mut pass: impl FnMut()) -> f64 {
     best
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
+/// Current snapshot of the engine's per-prediction latency histogram
+/// (`m2ai_serve_prediction_seconds`), `None` until a `ServeEngine` has
+/// registered it.
+fn prediction_latency() -> Option<m2ai_obs::HistogramSnapshot> {
+    match m2ai_obs::find("m2ai_serve_prediction_seconds", &[]) {
+        Some(m2ai_obs::MetricValue::Histogram(h)) => Some(h),
+        _ => None,
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+}
+
+/// Pools observation windows from the same histogram (bucket-wise sum)
+/// so quantiles can be extracted over all timed passes at once.
+fn merge_windows(
+    mut acc: m2ai_obs::HistogramSnapshot,
+    w: &m2ai_obs::HistogramSnapshot,
+) -> m2ai_obs::HistogramSnapshot {
+    assert_eq!(acc.bounds, w.bounds, "windows from different histograms");
+    for (a, b) in acc.buckets.iter_mut().zip(&w.buckets) {
+        *a += b;
+    }
+    acc.count += w.count;
+    acc.sum += w.sum;
+    acc
 }
 
 /// Measures the report on the current machine (fast kernel backend).
@@ -255,12 +278,15 @@ pub fn run() -> ServeReport {
     // Micro-batched serve engine: all sessions advance per tick. The
     // timed region is the steady-state tick loop; frame queuing is
     // untimed (the workload pre-builds frames precisely so extraction
-    // stays out of the measurement). Per-tick time divided by the
-    // tick's batch size gives per-prediction latency samples.
-    let mut latencies_us: Vec<f64> = Vec::new();
-    let serve_rate = {
-        let mut collect = false;
-        let pass = |latencies: &mut Vec<f64>, collect: bool| {
+    // stays out of the measurement). Per-prediction latency comes from
+    // the engine's own `m2ai_serve_prediction_seconds` histogram —
+    // snapshot deltas window the steady-state ticks out of warmup and
+    // ring-filling noise, and the gate reads the same numbers an
+    // operator would scrape.
+    let (serve_rate, latency_window) = {
+        // One pass returns (elapsed seconds, latency window of the
+        // steady-state loop).
+        let pass = || {
             let mut eng = ServeEngine::new(
                 w.model.clone(),
                 w.builder.clone(),
@@ -297,29 +323,43 @@ pub fn run() -> ServeReport {
             // one prediction per session until the queues run dry.
             let expected = SESSIONS * STEP_STEPS;
             let mut emitted = 0usize;
+            let before = prediction_latency().expect("engine registered its metrics");
             let start = Instant::now();
             while emitted < expected {
-                let tick_start = Instant::now();
                 let preds = eng.tick();
                 assert!(!preds.is_empty(), "tick starved before queues drained");
                 emitted += preds.len();
-                if collect {
-                    let per_pred = tick_start.elapsed().as_secs_f64() * 1e6 / preds.len() as f64;
-                    latencies.extend(std::iter::repeat_n(per_pred, preds.len()));
-                }
             }
-            start.elapsed().as_secs_f64().max(1e-9)
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            let window = prediction_latency()
+                .expect("engine registered its metrics")
+                .delta(&before);
+            (secs, window)
         };
-        pass(&mut latencies_us, collect); // warmup
+        let (_, empty_window) = pass(); // warmup
+        let mut pooled = m2ai_obs::HistogramSnapshot {
+            buckets: vec![0; empty_window.buckets.len()],
+            count: 0,
+            sum: 0.0,
+            bounds: empty_window.bounds,
+        };
         let mut best = 0.0f64;
         for _ in 0..3 {
-            collect = true; // latency histogram pools all timed passes
-            let secs = pass(&mut latencies_us, collect);
+            let (secs, window) = pass();
             best = best.max((SESSIONS * STEP_STEPS) as f64 / secs);
+            pooled = merge_windows(pooled, &window);
         }
-        best
+        (best, pooled)
     };
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    // Stream-health smoke: one short *real-readings* session — faulty
+    // reader, extraction from raw reads, a silence gap and a recovery —
+    // so a `--metrics-out` export carries the full pipeline's counters
+    // (reader faults, steering-cache hits, coverage, health
+    // transitions), not just the pre-extracted-frame hot path. Runs
+    // after the latency window is taken, so it cannot pollute the
+    // gated numbers.
+    stream_health_smoke();
 
     let report = ServeReport {
         sessions: SESSIONS as f64,
@@ -328,8 +368,8 @@ pub fn run() -> ServeReport {
         predictions_per_sec_serve: serve_rate,
         serve_speedup: serve_rate / replay_rate,
         realtime_sessions_capacity: serve_rate * 0.5,
-        p50_latency_us: percentile(&latencies_us, 0.50),
-        p99_latency_us: percentile(&latencies_us, 0.99),
+        p50_latency_us: latency_window.quantile(0.50) * 1e6,
+        p99_latency_us: latency_window.quantile(0.99) * 1e6,
     };
     println!("sessions            {:>10}", SESSIONS);
     println!(
@@ -361,6 +401,58 @@ pub fn run() -> ServeReport {
         report.p99_latency_us
     );
     report
+}
+
+/// Pushes a short faulty stream with a silence gap through a one-tag
+/// engine, driving the read → extract → serve path end to end (see the
+/// call site in [`run`] for why).
+fn stream_health_smoke() {
+    use m2ai_rfsim::fault::FaultPlan;
+    use m2ai_rfsim::geometry::Point2;
+    use m2ai_rfsim::reader::{Reader, ReaderConfig};
+    use m2ai_rfsim::room::Room;
+    use m2ai_rfsim::scene::SceneSnapshot;
+
+    let layout = FrameLayout::new(1, 4, FeatureMode::Joint);
+    let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+    let model = build_model(&layout, 12, Architecture::CnnLstm, 1);
+    let mut eng = ServeEngine::new(
+        model,
+        builder,
+        ServeConfig {
+            history_len: 2,
+            health: m2ai_core::online::HealthConfig {
+                stale_timeout_s: 1.0,
+                ..Default::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let id = eng.open_session().expect("fresh engine has capacity");
+    // Intensity 0.25: faults fire (the fault counters must move) but
+    // enough complete 4-antenna snapshot rounds survive that several
+    // windows reach MUSIC — so the steering-table cache records hits,
+    // not just the first-build miss.
+    let mut reader = Reader::new(Room::hall(), ReaderConfig::default(), 1)
+        .with_fault_plan(FaultPlan::with_intensity(0.25, 7));
+    let scene = SceneSnapshot::with_tags(vec![Point2::new(4.4, 3.0)]);
+    let readings = reader.run(|_| scene.clone(), 7.0);
+    // 0–2 s of stream, a 3 s silence, then stream again: the session
+    // walks Healthy → Degraded/Stale → recovered.
+    let before: Vec<_> = readings
+        .iter()
+        .filter(|r| r.time_s < 2.0)
+        .cloned()
+        .collect();
+    let after: Vec<_> = readings
+        .iter()
+        .filter(|r| r.time_s >= 5.0)
+        .cloned()
+        .collect();
+    eng.push(id, &before).expect("session open");
+    eng.drain();
+    eng.push(id, &after).expect("session open");
+    eng.drain();
 }
 
 /// Pure regression gate: every failure is one human-readable line.
@@ -410,19 +502,35 @@ pub fn regressions(fresh: &ServeReport, baseline: &ServeReport) -> Vec<String> {
             ));
         }
     }
-    // Latency gate: p50 in units of replay per-prediction time. The
-    // median is robust to a single preempted tick; p99 is reported
-    // for information but not gated (with ~150 ticks per histogram it
-    // is nearly the max and one scheduler hiccup dominates it).
-    let l_fresh = fresh.p50_latency_us * 1e-6 * norm_fresh;
-    let l_base = baseline.p50_latency_us * 1e-6 * norm_base;
-    let ceiling = (1.0 + MAX_LATENCY_GROWTH) * l_base;
-    if l_fresh > ceiling || l_fresh.is_nan() || ceiling.is_nan() {
-        failures.push(format!(
-            "p50_latency_us: replay-normalised latency {l_fresh:.4} grew more than \
-             {:.0}% above baseline {l_base:.4}",
-            100.0 * MAX_LATENCY_GROWTH
-        ));
+    // Latency gates, both in units of replay per-prediction time. The
+    // quantiles come from the engine's own m2ai-obs histogram pooled
+    // over all timed passes, so the tail is an aggregate of ~150
+    // ticks, not a single unlucky sample; p99 still gets a wider
+    // ceiling than the median.
+    for (name, f, b, growth) in [
+        (
+            "p50_latency_us",
+            fresh.p50_latency_us,
+            baseline.p50_latency_us,
+            MAX_LATENCY_GROWTH,
+        ),
+        (
+            "p99_latency_us",
+            fresh.p99_latency_us,
+            baseline.p99_latency_us,
+            MAX_P99_GROWTH,
+        ),
+    ] {
+        let l_fresh = f * 1e-6 * norm_fresh;
+        let l_base = b * 1e-6 * norm_base;
+        let ceiling = (1.0 + growth) * l_base;
+        if l_fresh > ceiling || l_fresh.is_nan() || ceiling.is_nan() {
+            failures.push(format!(
+                "{name}: replay-normalised latency {l_fresh:.4} grew more than \
+                 {:.0}% above baseline {l_base:.4}",
+                100.0 * growth
+            ));
+        }
     }
     failures
 }
@@ -548,11 +656,22 @@ mod tests {
     }
 
     #[test]
-    fn p99_spike_alone_is_reported_not_gated() {
+    fn p99_blowup_trips_the_gate() {
         let base = report(100.0, 900.0, 1400.0, 600.0, 900.0);
-        // A single preempted tick blows p99 but leaves the median:
-        // informational only, the gate must stay quiet.
-        let noisy = report(100.0, 900.0, 1400.0, 600.0, 9000.0);
+        // Tail latency tripled on the same machine while the median
+        // held: a sustained stall, not noise — the p99 gate must fire.
+        let bad = report(100.0, 900.0, 1400.0, 600.0, 2700.0);
+        let failures = regressions(&bad, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("p99_latency_us"));
+    }
+
+    #[test]
+    fn p99_within_its_wider_ceiling_passes() {
+        let base = report(100.0, 900.0, 1400.0, 600.0, 900.0);
+        // Double the baseline tail: above the p50 ceiling but inside
+        // the 2.5x p99 allowance — the tail gets more slack.
+        let noisy = report(100.0, 900.0, 1400.0, 600.0, 1800.0);
         assert!(regressions(&noisy, &base).is_empty());
     }
 
@@ -566,10 +685,22 @@ mod tests {
     }
 
     #[test]
-    fn percentile_picks_ends() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 1.0), 4.0);
-        assert!(percentile(&[], 0.5).is_nan());
+    fn merge_windows_pools_counts_and_sums() {
+        let a = m2ai_obs::HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            buckets: vec![1, 2, 0],
+            count: 3,
+            sum: 3.5,
+        };
+        let b = m2ai_obs::HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            buckets: vec![0, 1, 4],
+            count: 5,
+            sum: 12.0,
+        };
+        let m = merge_windows(a, &b);
+        assert_eq!(m.buckets, vec![1, 3, 4]);
+        assert_eq!(m.count, 8);
+        assert!((m.sum - 15.5).abs() < 1e-12);
     }
 }

@@ -25,6 +25,30 @@ use m2ai_dsp::Complex;
 use m2ai_par::parallel_map;
 use m2ai_rfsim::reading::TagReading;
 
+/// Per-stage extraction latency histograms (calibration snapshot
+/// gathering, MUSIC pseudospectrum, periodogram), resolved once per
+/// process.
+fn stage_seconds(stage: &'static str) -> m2ai_obs::Histogram {
+    static H: std::sync::OnceLock<[m2ai_obs::Histogram; 3]> = std::sync::OnceLock::new();
+    let [calibration, music, periodogram] = H.get_or_init(|| {
+        let help = "feature-extraction stage wall time";
+        let bounds = m2ai_obs::latency_buckets();
+        let mk = |labels: &'static [(&'static str, &'static str)]| {
+            m2ai_obs::histogram("m2ai_extract_stage_seconds", help, labels, &bounds)
+        };
+        [
+            mk(&[("stage", "calibration")]),
+            mk(&[("stage", "music")]),
+            mk(&[("stage", "periodogram")]),
+        ]
+    });
+    match stage {
+        "calibration" => calibration.clone(),
+        "music" => music.clone(),
+        _ => periodogram.clone(),
+    }
+}
+
 /// Which preprocessing feeds the network (Fig. 16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeatureMode {
@@ -198,6 +222,7 @@ impl FrameBuilder {
     /// A round contributes a snapshot only if every antenna read the
     /// tag in that round. Phases are calibrated and doubled.
     fn snapshots(&self, readings: &[TagReading], tag: usize, t0: f64) -> Vec<Vec<Complex>> {
+        let _span = stage_seconds("calibration").time();
         let n_ant = self.layout.n_antennas;
         let t1 = t0 + self.frame_duration_s;
         let mut per_round: std::collections::BTreeMap<i64, Vec<Option<Complex>>> =
@@ -245,6 +270,7 @@ impl FrameBuilder {
         let snaps = self.snapshots(readings, tag, t0);
         // Pseudospectrum part.
         if has_spectrum && snaps.len() >= 2 {
+            let _span = stage_seconds("music").time();
             if let Ok(spec) = pseudospectrum(&snaps, music_cfg) {
                 let spec = spec.normalized();
                 // MUSIC peaks are needle-sharp; log-compress into
@@ -276,6 +302,7 @@ impl FrameBuilder {
                 // log scale so the temporal power waveform of
                 // radial gestures (squat/raise/push) stays visible
                 // across frames.
+                let _span = stage_seconds("periodogram").time();
                 for a in 0..lay.n_antennas {
                     let series: Vec<Complex> = snaps.iter().map(|s| s[a]).collect();
                     if series.is_empty() {

@@ -35,6 +35,77 @@ use m2ai_nn::model::SequenceClassifier;
 use m2ai_rfsim::reading::TagReading;
 use std::collections::VecDeque;
 
+/// Cap on the per-session transition log: long-lived sessions must not
+/// grow unbounded just for observability.
+const TRANSITION_LOG_CAP: usize = 1024;
+
+/// Stable label for a health state, used in metric label sets.
+fn health_label(h: HealthState) -> &'static str {
+    match h {
+        HealthState::Healthy => "healthy",
+        HealthState::Degraded => "degraded",
+        HealthState::Stale => "stale",
+    }
+}
+
+/// Global transition counter for the `from → to` edge, resolved once
+/// per process (one counter per directed edge of the state machine).
+fn transition_counter(from: HealthState, to: HealthState) -> m2ai_obs::Counter {
+    static C: std::sync::OnceLock<Vec<((&'static str, &'static str), m2ai_obs::Counter)>> =
+        std::sync::OnceLock::new();
+    static EDGE_LABELS: [[(&str, &str); 2]; 6] = [
+        [("from", "healthy"), ("to", "degraded")],
+        [("from", "healthy"), ("to", "stale")],
+        [("from", "degraded"), ("to", "healthy")],
+        [("from", "degraded"), ("to", "stale")],
+        [("from", "stale"), ("to", "healthy")],
+        [("from", "stale"), ("to", "degraded")],
+    ];
+    let edges = C.get_or_init(|| {
+        EDGE_LABELS
+            .iter()
+            .map(|labels| {
+                (
+                    (labels[0].1, labels[1].1),
+                    m2ai_obs::counter(
+                        "m2ai_core_health_transitions_total",
+                        "session health state-machine transitions",
+                        labels,
+                    ),
+                )
+            })
+            .collect()
+    });
+    let key = (health_label(from), health_label(to));
+    edges
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, c)| c.clone())
+        .expect("every directed edge is registered")
+}
+
+/// Window-quality instruments (coverage histogram + fallback patch
+/// counter), resolved once per process.
+fn window_quality() -> &'static (m2ai_obs::Histogram, m2ai_obs::Counter) {
+    static Q: std::sync::OnceLock<(m2ai_obs::Histogram, m2ai_obs::Counter)> =
+        std::sync::OnceLock::new();
+    Q.get_or_init(|| {
+        (
+            m2ai_obs::histogram(
+                "m2ai_core_frame_coverage_ratio",
+                "mean per-tag coverage of each closed frame window",
+                &[],
+                &m2ai_obs::ratio_buckets(),
+            ),
+            m2ai_obs::counter(
+                "m2ai_core_fallback_patches_total",
+                "per-tag spectrum blocks patched from the fallback memory",
+                &[],
+            ),
+        )
+    })
+}
+
 /// Stream health as judged from window coverage and silence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HealthState {
@@ -138,6 +209,9 @@ pub struct SessionWindow {
     last_reading_s: f64,
     /// Consecutive good windows since the last degradation.
     good_streak: u32,
+    /// Recorded health transitions, in order, capped at
+    /// [`TRANSITION_LOG_CAP`] entries.
+    transitions: Vec<(HealthState, HealthState)>,
 }
 
 impl SessionWindow {
@@ -162,12 +236,35 @@ impl SessionWindow {
             fallback,
             last_reading_s: f64::NEG_INFINITY,
             good_streak: 0,
+            transitions: Vec::new(),
         }
     }
 
     /// Current stream health.
     pub fn health(&self) -> HealthState {
         self.health
+    }
+
+    /// The health transitions this session has gone through, in order
+    /// (`(from, to)` pairs; capped at an internal limit so long-lived
+    /// sessions stay bounded).
+    pub fn transitions(&self) -> &[(HealthState, HealthState)] {
+        &self.transitions
+    }
+
+    /// Moves the state machine to `next`, recording the transition both
+    /// locally and in the global metrics registry. A no-op when the
+    /// state is unchanged.
+    fn set_health(&mut self, next: HealthState) {
+        if next == self.health {
+            return;
+        }
+        let prev = self.health;
+        self.health = next;
+        if self.transitions.len() < TRANSITION_LOG_CAP {
+            self.transitions.push((prev, next));
+        }
+        transition_counter(prev, next).inc();
     }
 
     /// The frame layout's flat dimension (what `Frame` events carry).
@@ -223,7 +320,7 @@ impl SessionWindow {
                 None => true,
             };
         if stale {
-            self.health = HealthState::Stale;
+            self.set_health(HealthState::Stale);
             self.good_streak = 0;
             self.fallback.reset();
             self.next_window_start += frame_len;
@@ -237,24 +334,30 @@ impl SessionWindow {
             .builder
             .build_frame_with_quality(&self.buffer, window_start);
         let patched = self.fallback.observe_and_patch(&mut frame, &quality);
+        let (coverage_hist, patch_counter) = window_quality();
+        coverage_hist.observe(quality.mean_coverage() as f64);
+        if patched > 0 {
+            patch_counter.add(patched as u64);
+        }
 
         // Health transition for this window.
         let degraded = !window_had_reads
             || patched > 0
             || quality.mean_coverage() < self.cfg.degraded_coverage;
         if degraded {
-            self.health = HealthState::Degraded;
+            self.set_health(HealthState::Degraded);
             self.good_streak = 0;
         } else {
             self.good_streak = self.good_streak.saturating_add(1);
             if self.health != HealthState::Healthy {
                 // Hysteretic recovery: a formerly Stale stream passes
                 // through Degraded while the streak builds.
-                self.health = if self.good_streak >= self.cfg.recovery_windows {
+                let next = if self.good_streak >= self.cfg.recovery_windows {
                     HealthState::Healthy
                 } else {
                     HealthState::Degraded
                 };
+                self.set_health(next);
             }
         }
 
@@ -382,6 +485,11 @@ impl OnlineIdentifier {
     /// confidence-gated Degraded windows).
     pub fn suppressed(&self) -> usize {
         self.suppressed
+    }
+
+    /// The health transitions this stream has gone through, in order.
+    pub fn transitions(&self) -> &[(HealthState, HealthState)] {
+        self.window.transitions()
     }
 
     /// Pushes a batch of readings (need not be aligned to windows);

@@ -54,6 +54,80 @@ use m2ai_rfsim::reading::TagReading;
 use std::collections::VecDeque;
 use std::fmt;
 
+/// Process-wide serving instruments, registered once on first use.
+struct ServeMetrics {
+    /// Sum of pending window events across all open sessions.
+    queue_depth: m2ai_obs::Gauge,
+    /// Oldest-first backpressure sheds across all sessions.
+    shed: m2ai_obs::Counter,
+    /// Admission refusals by reason.
+    sessions_full: m2ai_obs::Counter,
+    /// Sessions advanced per non-empty tick.
+    batch_size: m2ai_obs::Histogram,
+    /// Wall time of each tick (including empty ones).
+    tick_seconds: m2ai_obs::Histogram,
+    /// Batched model-step wall time divided evenly over the rows of
+    /// the batch.
+    prediction_seconds: m2ai_obs::Histogram,
+    /// Prediction outcomes: emitted vs the three suppression gates.
+    emitted: m2ai_obs::Counter,
+    suppressed_stale: m2ai_obs::Counter,
+    suppressed_non_finite: m2ai_obs::Counter,
+    suppressed_low_confidence: m2ai_obs::Counter,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static M: std::sync::OnceLock<ServeMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let outcome = |labels: &'static [(&'static str, &'static str)]| {
+            m2ai_obs::counter(
+                "m2ai_serve_predictions_total",
+                "serve predictions by outcome",
+                labels,
+            )
+        };
+        ServeMetrics {
+            queue_depth: m2ai_obs::gauge(
+                "m2ai_serve_queue_depth",
+                "pending window events across all open sessions",
+                &[],
+            ),
+            shed: m2ai_obs::counter(
+                "m2ai_serve_shed_total",
+                "pending events shed (oldest first) by backpressure",
+                &[],
+            ),
+            sessions_full: m2ai_obs::counter(
+                "m2ai_serve_rejections_total",
+                "admission refusals by reason",
+                &[("reason", "sessions_full")],
+            ),
+            batch_size: m2ai_obs::histogram(
+                "m2ai_serve_batch_size",
+                "sessions advanced per non-empty tick",
+                &[],
+                &m2ai_obs::batch_buckets(),
+            ),
+            tick_seconds: m2ai_obs::histogram(
+                "m2ai_serve_tick_seconds",
+                "serve-engine tick wall time",
+                &[],
+                &m2ai_obs::latency_buckets(),
+            ),
+            prediction_seconds: m2ai_obs::histogram(
+                "m2ai_serve_prediction_seconds",
+                "per-prediction share of the batched model-step wall time",
+                &[],
+                &m2ai_obs::latency_buckets(),
+            ),
+            emitted: outcome(&[("outcome", "emitted")]),
+            suppressed_stale: outcome(&[("outcome", "suppressed_stale")]),
+            suppressed_non_finite: outcome(&[("outcome", "suppressed_non_finite")]),
+            suppressed_low_confidence: outcome(&[("outcome", "suppressed_low_confidence")]),
+        }
+    })
+}
+
 /// Opaque handle to one open session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(u64);
@@ -142,6 +216,8 @@ struct Slot {
     window: SessionWindow,
     state: StreamState,
     pending: VecDeque<WindowEvent>,
+    /// Pending events shed from this session's queue by backpressure.
+    shed: usize,
 }
 
 /// Multi-session serving engine over one shared model.
@@ -216,11 +292,10 @@ impl ServeEngine {
 
     /// Opens a session, subject to admission control.
     pub fn open_session(&mut self) -> Result<SessionId, ServeError> {
-        let free = self
-            .slots
-            .iter()
-            .position(|s| s.is_none())
-            .ok_or(ServeError::SessionsFull)?;
+        let Some(free) = self.slots.iter().position(|s| s.is_none()) else {
+            serve_metrics().sessions_full.inc();
+            return Err(ServeError::SessionsFull);
+        };
         let id = SessionId(self.next_id);
         self.next_id += 1;
         self.slots[free] = Some(Slot {
@@ -232,6 +307,7 @@ impl ServeEngine {
             ),
             state: self.model.stream_state(self.cfg.history_len),
             pending: VecDeque::new(),
+            shed: 0,
         });
         Ok(id)
     }
@@ -240,6 +316,11 @@ impl ServeEngine {
     /// discarded).
     pub fn close_session(&mut self, id: SessionId) -> Result<(), ServeError> {
         let idx = self.find(id)?;
+        if let Some(slot) = &self.slots[idx] {
+            serve_metrics()
+                .queue_depth
+                .add(-(slot.pending.len() as i64));
+        }
         self.slots[idx] = None;
         Ok(())
     }
@@ -258,6 +339,13 @@ impl ServeEngine {
     pub fn queue_len(&self, id: SessionId) -> Result<usize, ServeError> {
         let idx = self.find(id)?;
         Ok(self.slots[idx].as_ref().expect("found above").pending.len())
+    }
+
+    /// Pending events shed by backpressure for one session (the
+    /// per-session share of [`ServeEngine::shed`]).
+    pub fn session_shed(&self, id: SessionId) -> Result<usize, ServeError> {
+        let idx = self.find(id)?;
+        Ok(self.slots[idx].as_ref().expect("found above").shed)
     }
 
     fn find(&self, id: SessionId) -> Result<usize, ServeError> {
@@ -333,6 +421,11 @@ impl ServeEngine {
             report.enqueued += 1;
         }
         *total_shed += report.shed;
+        slot.shed += report.shed;
+        let m = serve_metrics();
+        m.shed.add(report.shed as u64);
+        m.queue_depth
+            .add(report.enqueued as i64 - report.shed as i64);
         report
     }
 
@@ -348,6 +441,8 @@ impl ServeEngine {
     /// observable only in output ordering — row independence makes the
     /// numbers identical under any order.
     pub fn tick(&mut self) -> Vec<ServePrediction> {
+        let m = serve_metrics();
+        let _tick_span = m.tick_seconds.time();
         let n = self.slots.len();
         // Pass 1: pick ready sessions round-robin and pop their next
         // event. Stale events act immediately (reset, suppress);
@@ -375,6 +470,7 @@ impl ServeEngine {
                 WindowEvent::Stale { .. } => {
                     slot.state.reset();
                     self.suppressed += 1;
+                    m.suppressed_stale.inc();
                 }
                 WindowEvent::Frame {
                     time_s,
@@ -383,9 +479,13 @@ impl ServeEngine {
                 } => rows.push((idx, time_s, frame, health)),
             }
         }
+        if picked > 0 {
+            m.queue_depth.add(-(picked as i64));
+        }
         if rows.is_empty() {
             return Vec::new();
         }
+        m.batch_size.observe(rows.len() as f64);
 
         // Pass 2: gather disjoint &mut stream states in slot order
         // (rows are in round-robin order; sort by slot so one sweep
@@ -402,9 +502,14 @@ impl ServeEngine {
                 }
             }
         }
+        let step_start = m2ai_obs::enabled().then(std::time::Instant::now);
         let probs = self
             .model
             .step_batch_with(&frames, &mut states, &mut self.scratch);
+        if let Some(t0) = step_start {
+            let per_row = t0.elapsed().as_secs_f64() / rows.len() as f64;
+            m.prediction_seconds.observe_n(per_row, rows.len() as u64);
+        }
 
         // Pass 3: gate and emit.
         let mut out = Vec::new();
@@ -417,6 +522,7 @@ impl ServeEngine {
                 // Row independence keeps the other sessions' outputs
                 // clean; this one is unscorable.
                 self.suppressed += 1;
+                m.suppressed_non_finite.inc();
                 continue;
             }
             let (class, confidence) = probabilities.iter().enumerate().fold(
@@ -431,8 +537,10 @@ impl ServeEngine {
             );
             if *health == HealthState::Degraded && confidence < self.cfg.health.min_confidence {
                 self.suppressed += 1;
+                m.suppressed_low_confidence.inc();
                 continue;
             }
+            m.emitted.inc();
             out.push(ServePrediction {
                 session: slot.id,
                 time_s: *time_s,
@@ -533,6 +641,11 @@ mod tests {
         assert_eq!(eng.queue_len(id).unwrap(), 3);
         assert_eq!(shed, 2);
         assert_eq!(eng.shed(), 2);
+        assert_eq!(eng.session_shed(id).unwrap(), 2);
+        assert_eq!(
+            eng.session_shed(SessionId(99)),
+            Err(ServeError::UnknownSession)
+        );
         // The oldest events went; the newest survive. Steps still run.
         let preds = eng.drain();
         assert!(preds.iter().all(|p| p.time_s >= 2.0));

@@ -217,6 +217,19 @@ type SteeringMap = HashMap<SteeringKey, Arc<Vec<Vec<Complex>>>>;
 /// in play (a handful per process), so the map never needs eviction.
 static STEERING_CACHE: OnceLock<Mutex<SteeringMap>> = OnceLock::new();
 
+/// Hit/miss counters for the steering-table cache, resolved once per
+/// process.
+fn steering_cache_counters() -> &'static (m2ai_obs::Counter, m2ai_obs::Counter) {
+    static C: OnceLock<(m2ai_obs::Counter, m2ai_obs::Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        let help = "steering-table cache lookups by result";
+        (
+            m2ai_obs::counter("m2ai_dsp_steering_cache_total", help, &[("result", "hit")]),
+            m2ai_obs::counter("m2ai_dsp_steering_cache_total", help, &[("result", "miss")]),
+        )
+    })
+}
+
 /// Precomputed steering vectors over the estimator's angle grid.
 ///
 /// [`pseudospectrum_from_correlation`] evaluates `a(θ)` at the same
@@ -239,19 +252,24 @@ impl SteeringTable {
     pub fn for_config(config: &MusicConfig) -> Self {
         let cache = STEERING_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = cache.lock().expect("steering cache poisoned");
-        let vectors = map
-            .entry(SteeringKey::of(config))
-            .or_insert_with(|| {
-                Arc::new(
-                    (0..config.n_angles)
-                        .map(|g| {
-                            let theta = 180.0 * g as f64 / config.n_angles as f64;
-                            steering_vector(config, theta)
-                        })
-                        .collect(),
-                )
-            })
-            .clone();
+        let key = SteeringKey::of(config);
+        let (hits, misses) = steering_cache_counters();
+        if let Some(vectors) = map.get(&key) {
+            hits.inc();
+            return SteeringTable {
+                vectors: vectors.clone(),
+            };
+        }
+        misses.inc();
+        let vectors = Arc::new(
+            (0..config.n_angles)
+                .map(|g| {
+                    let theta = 180.0 * g as f64 / config.n_angles as f64;
+                    steering_vector(config, theta)
+                })
+                .collect::<Vec<_>>(),
+        );
+        map.insert(key, vectors.clone());
         SteeringTable { vectors }
     }
 

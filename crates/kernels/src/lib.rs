@@ -81,6 +81,34 @@ pub fn set_backend(b: Backend) {
         Backend::Fast => 1,
     };
     BACKEND.store(v, Ordering::Relaxed);
+    obs_metrics::record_backend(b);
+}
+
+/// Backend-selection metrics (which kernel implementation is live).
+mod obs_metrics {
+    use super::Backend;
+    use std::sync::OnceLock;
+
+    fn gauges() -> &'static (m2ai_obs::Gauge, m2ai_obs::Gauge) {
+        static G: OnceLock<(m2ai_obs::Gauge, m2ai_obs::Gauge)> = OnceLock::new();
+        G.get_or_init(|| {
+            let help = "1 when this kernel backend is the active dispatcher target";
+            (
+                m2ai_obs::gauge(
+                    "m2ai_kernels_backend_active",
+                    help,
+                    &[("backend", "reference")],
+                ),
+                m2ai_obs::gauge("m2ai_kernels_backend_active", help, &[("backend", "fast")]),
+            )
+        })
+    }
+
+    pub(super) fn record_backend(b: Backend) {
+        let (reference, fast) = gauges();
+        reference.set((b == Backend::Reference) as i64);
+        fast.set((b == Backend::Fast) as i64);
+    }
 }
 
 /// C\[m×n\] += A\[m×k\] · B\[k×n\] (all row-major).

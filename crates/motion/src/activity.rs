@@ -16,6 +16,18 @@ use crate::trajectory::Trajectory;
 use crate::volunteer::Volunteer;
 use m2ai_rfsim::geometry::Vec2;
 
+/// Scenario-catalogue build counter, resolved once per process.
+fn catalog_builds() -> &'static m2ai_obs::Counter {
+    static C: std::sync::OnceLock<m2ai_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        m2ai_obs::counter(
+            "m2ai_motion_catalog_builds_total",
+            "activity scenario catalogues constructed",
+            &[],
+        )
+    })
+}
+
 /// Identifier of an activity class (1-based, `A 01`…`A 12` as in
 /// Table I of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -169,6 +181,7 @@ pub fn catalog(n_persons: usize) -> Vec<ActivityScenario> {
         (1..=3).contains(&n_persons),
         "scenarios defined for 1..=3 persons"
     );
+    catalog_builds().inc();
     let a = anchors(n_persons);
     let wave = || GestureScript::constant(Gesture::Wave { freq_hz: 1.0 });
     let squat = || GestureScript::constant(Gesture::Squat { period_s: 2.5 });

@@ -20,6 +20,35 @@ use crate::Parameterized;
 use m2ai_kernels::{self as kernels, KernelScratch};
 use std::collections::VecDeque;
 
+/// Forward-latency histograms for the two inference paths (whole-window
+/// replay vs incremental streaming step), resolved once per process.
+fn forward_latency(path: &'static str) -> m2ai_obs::Histogram {
+    static H: std::sync::OnceLock<(m2ai_obs::Histogram, m2ai_obs::Histogram)> =
+        std::sync::OnceLock::new();
+    let (replay, step) = H.get_or_init(|| {
+        let help = "model forward-pass wall time by inference path";
+        let bounds = m2ai_obs::latency_buckets();
+        (
+            m2ai_obs::histogram(
+                "m2ai_nn_forward_seconds",
+                help,
+                &[("path", "replay")],
+                &bounds,
+            ),
+            m2ai_obs::histogram(
+                "m2ai_nn_forward_seconds",
+                help,
+                &[("path", "step")],
+                &bounds,
+            ),
+        )
+    });
+    match path {
+        "replay" => replay.clone(),
+        _ => step.clone(),
+    }
+}
+
 /// Per-frame encoder: a plain layer chain or the two-branch merge.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Encoder {
@@ -333,6 +362,7 @@ impl SequenceClassifier {
         if batch == 0 {
             return Vec::new();
         }
+        let _span = forward_latency("step").time();
         // Per-frame encoder (shared weights), gathered row-wise.
         let feats: Vec<Vec<f32>> = frames
             .iter()
@@ -430,6 +460,7 @@ impl SequenceClassifier {
     /// Panics on an empty frame sequence.
     pub fn predict_proba_with(&self, frames: &[Vec<f32>], scratch: &mut KernelScratch) -> Vec<f32> {
         assert!(!frames.is_empty(), "need at least one frame");
+        let _span = forward_latency("replay").time();
         let logits = self.forward_logits_with(frames, scratch);
         let mut acc = vec![0.0f32; self.n_classes];
         for l in &logits {

@@ -20,6 +20,32 @@ use rand::SeedableRng;
 /// One labelled training sample: a frame sequence and its class.
 pub type Sample = (Vec<Vec<f32>>, usize);
 
+/// Training counters (epochs, skipped batches, rollbacks), resolved
+/// once per process.
+fn fit_counters() -> &'static (m2ai_obs::Counter, m2ai_obs::Counter, m2ai_obs::Counter) {
+    static C: std::sync::OnceLock<(m2ai_obs::Counter, m2ai_obs::Counter, m2ai_obs::Counter)> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        (
+            m2ai_obs::counter(
+                "m2ai_nn_fit_epochs_total",
+                "training epochs completed by fit()",
+                &[],
+            ),
+            m2ai_obs::counter(
+                "m2ai_nn_batches_skipped_total",
+                "minibatches skipped for non-finite loss or gradients",
+                &[],
+            ),
+            m2ai_obs::counter(
+                "m2ai_nn_rollbacks_total",
+                "parameter rollbacks to the last healthy checkpoint",
+                &[],
+            ),
+        )
+    })
+}
+
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
@@ -147,6 +173,9 @@ pub fn fit(model: &mut SequenceClassifier, data: &[Sample], cfg: &TrainConfig) -
             };
             if !batch_loss.is_finite() || !grads_finite(model) {
                 skipped_batches += 1;
+                let (_, skips, rollbacks) = fit_counters();
+                skips.inc();
+                rollbacks.inc();
                 load_params(model, &checkpoint)
                     .expect("rollback checkpoint must match its own model");
                 if cfg.log_every > 0 {
@@ -166,8 +195,10 @@ pub fn fit(model: &mut SequenceClassifier, data: &[Sample], cfg: &TrainConfig) -
         if params_finite(model) {
             checkpoint = save_params(model);
         } else {
+            fit_counters().2.inc();
             load_params(model, &checkpoint).expect("rollback checkpoint must match its own model");
         }
+        fit_counters().0.inc();
         let mean = (epoch_loss / used_samples.max(1) as f64) as f32;
         epoch_losses.push(mean);
         if cfg.log_every > 0 && (epoch + 1) % cfg.log_every == 0 {

@@ -19,6 +19,18 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Tasks-dispatched counter, resolved once per process.
+fn tasks_executed() -> &'static m2ai_obs::Counter {
+    static C: std::sync::OnceLock<m2ai_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        m2ai_obs::counter(
+            "m2ai_par_tasks_total",
+            "index-pure tasks dispatched through parallel_map",
+            &[],
+        )
+    })
+}
+
 /// Resolves a thread-count knob: `0` means "use the machine's available
 /// parallelism", any other value is taken literally.
 pub fn resolve_threads(n_threads: usize) -> usize {
@@ -52,6 +64,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    tasks_executed().add(n_items as u64);
     let threads = resolve_threads(n_threads).min(n_items);
     if threads <= 1 {
         return (0..n_items).map(f).collect();

@@ -29,6 +29,39 @@
 
 use crate::reading::TagReading;
 
+/// Fault-fired counters, one label child per impairment kind. Handles
+/// resolve once per process; recording a fault is one relaxed atomic
+/// add, and the bit-exact [`FaultPlan::none`] fast path never touches
+/// them.
+mod obs_metrics {
+    use std::sync::OnceLock;
+
+    pub(super) struct FaultCounters {
+        pub antenna_dropout: m2ai_obs::Counter,
+        pub tag_occlusion: m2ai_obs::Counter,
+        pub miss: m2ai_obs::Counter,
+        pub brownout: m2ai_obs::Counter,
+        pub phase_glitch: m2ai_obs::Counter,
+        pub corrupt: m2ai_obs::Counter,
+    }
+
+    pub(super) fn faults() -> &'static FaultCounters {
+        static C: OnceLock<FaultCounters> = OnceLock::new();
+        C.get_or_init(|| {
+            let help = "faults fired by the FaultPlan post-transform, by impairment kind";
+            let c = |labels| m2ai_obs::counter("m2ai_reader_faults_total", help, labels);
+            FaultCounters {
+                antenna_dropout: c(&[("kind", "antenna_dropout")]),
+                tag_occlusion: c(&[("kind", "tag_occlusion")]),
+                miss: c(&[("kind", "miss")]),
+                brownout: c(&[("kind", "brownout")]),
+                phase_glitch: c(&[("kind", "phase_glitch")]),
+                corrupt: c(&[("kind", "corrupt")]),
+            }
+        })
+    }
+}
+
 /// SplitMix64 finalizer — the same mixing used for the reader's
 /// deterministic π-ambiguity flips.
 fn mix(mut z: u64) -> u64 {
@@ -197,6 +230,7 @@ impl FaultPlan {
         if self.is_none() {
             return Some(r);
         }
+        let fired = obs_metrics::faults();
         let tag = r.tag.0 as u64;
         let ant = r.antenna as u64;
         let t_bits = r.time_s.to_bits();
@@ -205,18 +239,21 @@ impl FaultPlan {
         if self.antenna_dropout_rate > 0.0 {
             let k = interval_index(r.time_s, self.antenna_dropout_interval_s);
             if unit(hash(self.seed, SALT_ANTENNA, &[ant, k])) < self.antenna_dropout_rate {
+                fired.antenna_dropout.inc();
                 return None;
             }
         }
         if self.tag_occlusion_rate > 0.0 {
             let k = interval_index(r.time_s, self.tag_occlusion_interval_s);
             if unit(hash(self.seed, SALT_OCCLUDE, &[tag, k])) < self.tag_occlusion_rate {
+                fired.tag_occlusion.inc();
                 return None;
             }
         }
         if self.miss_rate > 0.0
             && unit(hash(self.seed, SALT_MISS, &[tag, ant, t_bits])) < self.miss_rate
         {
+            fired.miss.inc();
             return None;
         }
 
@@ -224,6 +261,7 @@ impl FaultPlan {
         if self.brownout_rate > 0.0 {
             let k = interval_index(r.time_s, self.brownout_interval_s);
             if unit(hash(self.seed, SALT_BROWNOUT, &[k])) < self.brownout_rate {
+                fired.brownout.inc();
                 r.rssi_dbm -= self.brownout_depth_db;
                 // Below the receive sensitivity the read is not
                 // decodable at all.
@@ -235,6 +273,7 @@ impl FaultPlan {
         if self.phase_glitch_rate > 0.0
             && unit(hash(self.seed, SALT_GLITCH, &[tag, ant, t_bits])) < self.phase_glitch_rate
         {
+            fired.phase_glitch.inc();
             let u = unit(hash(self.seed, SALT_GLITCH_MAG, &[tag, ant, t_bits]));
             let jump = (2.0 * u - 1.0) * self.phase_glitch_max_rad;
             r.phase_rad = (r.phase_rad + jump).rem_euclid(2.0 * std::f64::consts::PI);
@@ -242,6 +281,7 @@ impl FaultPlan {
         if self.corrupt_rate > 0.0
             && unit(hash(self.seed, SALT_CORRUPT, &[tag, ant, t_bits])) < self.corrupt_rate
         {
+            fired.corrupt.inc();
             // Corrupt either the phase or the RSSI field, like a
             // malformed LLRP report would.
             if hash(self.seed, SALT_CORRUPT_FIELD, &[tag, ant, t_bits]) & 1 == 0 {

@@ -22,6 +22,18 @@ use crate::SPEED_OF_LIGHT;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Reads-emitted counter (post-fault), resolved once per process.
+fn reads_emitted() -> &'static m2ai_obs::Counter {
+    static C: std::sync::OnceLock<m2ai_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        m2ai_obs::counter(
+            "m2ai_reader_reads_total",
+            "tag read reports emitted by the reader after fault injection",
+            &[],
+        )
+    })
+}
+
 /// Reader configuration.
 ///
 /// Defaults reproduce the paper's prototype: 4 antennas spaced 0.04 m
@@ -319,6 +331,7 @@ impl Reader {
                 }
             }
         }
+        reads_emitted().add(out.len() as u64);
         out
     }
 

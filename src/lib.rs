@@ -44,6 +44,7 @@ pub use m2ai_dsp as dsp;
 pub use m2ai_kernels as kernels;
 pub use m2ai_motion as motion;
 pub use m2ai_nn as nn;
+pub use m2ai_obs as obs;
 pub use m2ai_rfsim as rfsim;
 
 /// The most commonly used items, re-exported flat.

@@ -102,6 +102,42 @@ fn frame_builder_is_parallelism_invariant() {
 }
 
 #[test]
+fn instrumentation_on_or_off_is_bit_invariant() {
+    // The observability layer records through relaxed atomics on the
+    // side; toggling it must leave every numeric output bit-identical
+    // (the no-op cargo feature compiles to the same contract).
+    let cfg = tiny_config();
+    let mut scratch = m2ai_kernels::KernelScratch::new();
+
+    m2ai_obs::set_enabled(true);
+    let with_obs = generate_dataset(&cfg);
+    let model = build_model(
+        &with_obs.layout,
+        with_obs.n_classes,
+        Architecture::CnnLstm,
+        1,
+    );
+    let probs_on = model.predict_proba_with(&with_obs.samples[0].0, &mut scratch);
+
+    m2ai_obs::set_enabled(false);
+    let without_obs = generate_dataset(&cfg);
+    let probs_off = model.predict_proba_with(&without_obs.samples[0].0, &mut scratch);
+    m2ai_obs::set_enabled(true);
+
+    assert_samples_bit_identical(&with_obs.samples, &without_obs.samples, "obs on vs off");
+    assert_eq!(
+        probs_on.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        probs_off.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "predict_proba must not see the instrumentation"
+    );
+    // And the instrumentation did actually record while enabled.
+    assert!(
+        m2ai_obs::counter_family_total("m2ai_reader_reads_total") > 0,
+        "enabled instrumentation must count reader output"
+    );
+}
+
+#[test]
 fn baseline_battery_is_thread_count_invariant() {
     let bundle = generate_dataset(&tiny_config());
     let serial = evaluate_baselines(&bundle, 0.25, 3, 1);

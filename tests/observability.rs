@@ -1,0 +1,61 @@
+//! Golden-schema contract for the observability surface.
+//!
+//! After the bench crate's smoke workload, the registry must carry
+//! every metric family in `m2ai_bench::obs::REQUIRED_METRICS`, and
+//! both exporters must render a document their own linters accept.
+//! These tests share the process-global registry and the runtime
+//! enable flag, so they serialise on a local lock.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn smoke_workload_satisfies_the_golden_schema() {
+    let _g = lock();
+    m2ai_bench::obs::smoke_workload();
+    let gaps = m2ai_bench::obs::registry_gaps();
+    assert!(gaps.is_empty(), "golden schema gaps: {gaps:?}");
+}
+
+#[test]
+fn json_snapshot_is_versioned_and_lint_clean() {
+    let _g = lock();
+    m2ai_bench::obs::smoke_workload();
+    let json = m2ai_obs::export::snapshot_json();
+    assert!(
+        json.contains(m2ai_obs::export::SNAPSHOT_SCHEMA),
+        "snapshot must carry its schema tag"
+    );
+    let errs = m2ai_obs::export::validate_snapshot_json(&json);
+    assert!(errs.is_empty(), "json lint: {errs:?}");
+}
+
+#[test]
+fn prometheus_text_is_lint_clean_and_complete() {
+    let _g = lock();
+    m2ai_bench::obs::smoke_workload();
+    let text = m2ai_obs::export::prometheus_text();
+    let errs = m2ai_obs::export::validate_prometheus(&text);
+    assert!(errs.is_empty(), "prometheus lint: {errs:?}");
+    for name in m2ai_bench::obs::REQUIRED_METRICS {
+        assert!(text.contains(name), "{name} missing from Prometheus text");
+    }
+}
+
+#[test]
+fn runtime_disable_stops_recording() {
+    let _g = lock();
+    // Warm the registry so the counter exists, then freeze it.
+    m2ai_bench::obs::smoke_workload();
+    let frozen = m2ai_obs::counter_family_total("m2ai_reader_reads_total");
+    assert!(frozen > 0, "smoke must have counted reads");
+    m2ai_obs::set_enabled(false);
+    m2ai_bench::obs::smoke_workload();
+    let still = m2ai_obs::counter_family_total("m2ai_reader_reads_total");
+    m2ai_obs::set_enabled(true);
+    assert_eq!(frozen, still, "disabled instrumentation must not record");
+}
