@@ -79,6 +79,15 @@ fn main() {
                     m2ai_bench::serve::run_and_write("BENCH_serve.json");
                 }
             }
+            "shard" => {
+                if args.iter().any(|a| a == "--check") {
+                    if !m2ai_bench::shard::check("BENCH_shard.json") {
+                        std::process::exit(1);
+                    }
+                } else {
+                    m2ai_bench::shard::run_and_write("BENCH_shard.json");
+                }
+            }
             "obs" => {
                 if !m2ai_bench::obs::check() {
                     if let Some(path) = &metrics_out {
@@ -90,7 +99,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve obs; flags --fast --check --metrics-out <path>"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve shard obs; flags --fast --check --metrics-out <path>"
                 );
                 std::process::exit(2);
             }

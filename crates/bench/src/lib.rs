@@ -11,6 +11,7 @@
 pub mod obs;
 pub mod robustness;
 pub mod serve;
+pub mod shard;
 pub mod throughput;
 
 use m2ai_core::dataset::{generate_dataset, ExperimentConfig, RoomKind};

@@ -49,6 +49,13 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "m2ai_serve_tick_seconds",
     "m2ai_serve_prediction_seconds",
     "m2ai_serve_predictions_total",
+    "m2ai_fabric_ingress_depth",
+    "m2ai_fabric_ingress_shed_total",
+    "m2ai_fabric_sessions",
+    "m2ai_fabric_predictions_total",
+    "m2ai_fabric_tick_seconds",
+    "m2ai_fabric_spill_total",
+    "m2ai_fabric_rejections_total",
 ];
 
 /// Counter families that must be *non-zero* after the smoke workload
@@ -62,6 +69,7 @@ const NONZERO_COUNTERS: &[&str] = &[
     "m2ai_nn_fit_epochs_total",
     "m2ai_core_health_transitions_total",
     "m2ai_serve_predictions_total",
+    "m2ai_fabric_predictions_total",
 ];
 
 /// Histogram families that must have observations after the smoke
@@ -73,6 +81,7 @@ const NONZERO_HISTOGRAMS: &[&str] = &[
     "m2ai_serve_batch_size",
     "m2ai_serve_tick_seconds",
     "m2ai_serve_prediction_seconds",
+    "m2ai_fabric_tick_seconds",
 ];
 
 /// Drives a miniature end-to-end workload that touches every
@@ -125,6 +134,42 @@ pub fn smoke_workload() {
     eng.drain();
     eng.push(id, &after).expect("session open");
     eng.drain();
+
+    // A two-shard fabric over the same model: per-shard ingress /
+    // session / prediction / tick families plus the fabric-wide
+    // spill and rejection counters (registered on construction).
+    let fabric = m2ai_serve_fabric::ServeFabric::new(
+        model.clone(),
+        FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5),
+        m2ai_serve_fabric::FabricConfig {
+            shards: 2,
+            vnodes: 16,
+            ingress_capacity: 64,
+            serve: ServeConfig {
+                history_len: 2,
+                ..ServeConfig::default()
+            },
+        },
+    );
+    let dim = layout.frame_dim();
+    for s in 0..3u64 {
+        let key = fabric.open_session().expect("fresh fabric has capacity");
+        for t in 0..4usize {
+            let frame: Vec<f32> = (0..dim)
+                .map(|d| 0.1 + 0.01 * ((s as usize + t + d) % 7) as f32)
+                .collect();
+            let _ = fabric
+                .push_frame(
+                    key,
+                    t as f64 * 0.5,
+                    frame,
+                    m2ai_core::online::HealthState::Healthy,
+                )
+                .expect("session open");
+        }
+    }
+    fabric.flush();
+    fabric.shutdown();
 
     // One-epoch fit on two synthetic samples + one replay forward:
     // the nn counters and the replay-path latency histogram.

@@ -290,6 +290,17 @@ impl ServeEngine {
         self.shed
     }
 
+    /// Total window events pending across all open sessions — the
+    /// "is there work?" probe the serve fabric's shard workers use to
+    /// decide whether a tick can make progress.
+    pub fn pending(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|slot| slot.pending.len())
+            .sum()
+    }
+
     /// Opens a session, subject to admission control.
     pub fn open_session(&mut self) -> Result<SessionId, ServeError> {
         let Some(free) = self.slots.iter().position(|s| s.is_none()) else {

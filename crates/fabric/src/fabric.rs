@@ -1,0 +1,742 @@
+//! The sharded serve fabric: N [`ServeEngine`] shards on dedicated
+//! worker threads behind consistent-hash routing.
+//!
+//! See the crate docs for the architecture and the determinism
+//! contract; this module holds the moving parts.
+
+use crate::metrics::{fabric_instruments, shard_instruments, FabricInstruments, ShardInstruments};
+use crate::router::{RouteError, RoutingTable};
+use m2ai_core::frames::FrameBuilder;
+use m2ai_core::online::HealthState;
+use m2ai_core::serve::{ServeConfig, ServeEngine, ServePrediction, SessionId};
+use m2ai_nn::model::SequenceClassifier;
+use m2ai_rfsim::reading::TagReading;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
+    TrySendError,
+};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Commands a shard worker drains from its bounded ingress queue.
+enum ShardCmd {
+    /// Open an engine session for `key`; ack when the slot exists.
+    Open {
+        key: u64,
+        reply: SyncSender<()>,
+    },
+    /// Close `key`'s engine session (pending events are discarded).
+    Close {
+        key: u64,
+    },
+    /// One pre-extracted frame for `key`.
+    Frame {
+        key: u64,
+        time_s: f64,
+        frame: Vec<f32>,
+        health: HealthState,
+    },
+    /// A batch of raw tag readings for `key`.
+    Readings {
+        key: u64,
+        readings: Vec<TagReading>,
+    },
+    /// Tick until every pending queue is empty, then ack — the
+    /// fabric-wide barrier underneath [`ServeFabric::flush`].
+    Flush {
+        reply: SyncSender<()>,
+    },
+    Shutdown,
+}
+
+/// Worker throttle states, used by tests and operational drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardThrottle {
+    /// Normal operation: drain ingress, tick the engine.
+    Run,
+    /// Keep draining ingress into the engine, but do not tick — events
+    /// pile up in the per-session queues (engine-side backpressure
+    /// becomes deterministic).
+    HoldTicks,
+    /// Stop consuming the ingress entirely — the bounded queue fills
+    /// and pushes shed at the fabric edge (ingress backpressure
+    /// becomes deterministic).
+    Freeze,
+}
+
+impl ShardThrottle {
+    fn from_u8(v: u8) -> ShardThrottle {
+        match v {
+            1 => ShardThrottle::HoldTicks,
+            2 => ShardThrottle::Freeze,
+            _ => ShardThrottle::Run,
+        }
+    }
+}
+
+/// Errors surfaced by the fabric's control and data planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// Admission refused: every alive shard is at session capacity.
+    FabricFull,
+    /// The key does not name an open fabric session.
+    UnknownSession,
+    /// The session's shard worker has terminated.
+    ShardDown,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::FabricFull => write!(f, "admission refused: every shard is full"),
+            FabricError::UnknownSession => write!(f, "no such fabric session"),
+            FabricError::ShardDown => write!(f, "shard worker terminated"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Outcome of a data-plane push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The event was queued on the session's shard.
+    Enqueued,
+    /// The shard's ingress queue was full; the event was dropped at
+    /// the fabric edge and counted against the session.
+    Shed,
+}
+
+/// Opaque fabric-wide session handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionKey(u64);
+
+impl SessionKey {
+    /// The raw routing key (stable for the session's lifetime).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A prediction emitted by some shard's engine, tagged with its fabric
+/// session and shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricPrediction {
+    /// Fabric-wide session handle the prediction belongs to.
+    pub session: SessionKey,
+    /// Shard index that served it.
+    pub shard: usize,
+    /// The engine's prediction (its `session` field is the *engine
+    /// local* slot id, only unique within one shard).
+    pub prediction: ServePrediction,
+}
+
+/// Fabric sizing knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricConfig {
+    /// Number of engine shards (worker threads).
+    pub shards: usize,
+    /// Consistent-hash ring points per shard.
+    pub vnodes: usize,
+    /// Bound on each shard's ingress command queue; data pushed at a
+    /// full queue is shed at the fabric edge.
+    pub ingress_capacity: usize,
+    /// Per-shard engine configuration. `serve.max_sessions` doubles as
+    /// the router's per-shard session capacity.
+    pub serve: ServeConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            shards: 4,
+            vnodes: 64,
+            ingress_capacity: 256,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// End-of-life statistics for one shard, returned by
+/// [`ServeFabric::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions opened on this shard.
+    pub opened: u64,
+    /// Sessions closed on this shard.
+    pub closed: u64,
+    /// Predictions its engine emitted.
+    pub predictions: u64,
+    /// Predictions its engine suppressed (stale / non-finite /
+    /// low-confidence).
+    pub suppressed: u64,
+    /// Events shed from per-session engine queues (oldest-first
+    /// backpressure inside the engine).
+    pub engine_shed: u64,
+    /// Data events the worker drained from its ingress queue.
+    pub ingress_drained: u64,
+    /// Engine-side sheds per session key (non-zero entries only,
+    /// harvested when sessions close and at shutdown).
+    pub session_engine_shed: Vec<(u64, u64)>,
+}
+
+/// Whole-fabric statistics returned by [`ServeFabric::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Data events shed at shard ingresses (fabric edge).
+    pub ingress_shed: u64,
+    /// Sessions admitted by spilling past a full preferred shard.
+    pub spills: u64,
+    /// Admissions refused with every shard full.
+    pub rejections: u64,
+}
+
+/// Control-plane state guarded by one mutex: the routing table plus
+/// the per-session shed counters shared with the data plane.
+struct ControlState {
+    table: RoutingTable,
+    entries: HashMap<u64, SessionEntry>,
+    next_key: u64,
+}
+
+struct SessionEntry {
+    shard: usize,
+    ingress_shed: Arc<AtomicU64>,
+}
+
+/// Ground-truth fabric counters (independent of the obs registry so
+/// tests can cross-check the two).
+#[derive(Default)]
+struct GroundCounters {
+    ingress_shed: AtomicU64,
+    spills: AtomicU64,
+    rejections: AtomicU64,
+}
+
+/// N engine shards on dedicated worker threads behind consistent-hash
+/// session routing. See the crate docs.
+pub struct ServeFabric {
+    control: Mutex<ControlState>,
+    senders: Vec<SyncSender<ShardCmd>>,
+    outputs: Mutex<Receiver<Vec<FabricPrediction>>>,
+    workers: Vec<JoinHandle<ShardStats>>,
+    throttles: Vec<Arc<AtomicU8>>,
+    throttle_acks: Vec<Arc<AtomicU8>>,
+    closing: Arc<AtomicBool>,
+    instruments: Vec<ShardInstruments>,
+    glob: &'static FabricInstruments,
+    ground: GroundCounters,
+}
+
+impl std::fmt::Debug for ServeFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeFabric")
+            .field("shards", &self.senders.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeFabric {
+    /// Spins up the fabric: builds the routing table, clones the model
+    /// and frame builder into every shard, and starts one worker
+    /// thread per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards`, `cfg.vnodes` or `cfg.ingress_capacity`
+    /// is zero (the engine's own config asserts cover `cfg.serve`), or
+    /// if a worker thread cannot be spawned.
+    pub fn new(model: SequenceClassifier, builder: FrameBuilder, cfg: FabricConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.vnodes > 0, "need at least one virtual node");
+        assert!(cfg.ingress_capacity > 0, "ingress must hold an event");
+        let table = RoutingTable::new(cfg.shards, cfg.vnodes, cfg.serve.max_sessions);
+        let (out_tx, out_rx) = channel();
+        let closing = Arc::new(AtomicBool::new(false));
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        let mut throttles = Vec::with_capacity(cfg.shards);
+        let mut throttle_acks = Vec::with_capacity(cfg.shards);
+        let mut instruments = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = sync_channel(cfg.ingress_capacity);
+            let throttle = Arc::new(AtomicU8::new(ShardThrottle::Run as u8));
+            let ack = Arc::new(AtomicU8::new(ShardThrottle::Run as u8));
+            let ins = shard_instruments(shard);
+            let worker = Worker {
+                shard,
+                engine: ServeEngine::new(model.clone(), builder.clone(), cfg.serve.clone()),
+                rx,
+                out: out_tx.clone(),
+                throttle: Arc::clone(&throttle),
+                ack: Arc::clone(&ack),
+                closing: Arc::clone(&closing),
+                ins: ins.clone(),
+                ids: HashMap::new(),
+                keys: HashMap::new(),
+                stats: ShardStats {
+                    shard,
+                    ..ShardStats::default()
+                },
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("m2ai-shard-{shard}"))
+                .spawn(move || worker.run())
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+            throttles.push(throttle);
+            throttle_acks.push(ack);
+            instruments.push(ins);
+        }
+        ServeFabric {
+            control: Mutex::new(ControlState {
+                table,
+                entries: HashMap::new(),
+                next_key: 0,
+            }),
+            senders,
+            outputs: Mutex::new(out_rx),
+            workers,
+            throttles,
+            throttle_acks,
+            closing,
+            instruments,
+            glob: fabric_instruments(),
+            ground: GroundCounters::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Open sessions across the whole fabric.
+    pub fn sessions(&self) -> usize {
+        self.lock_control().entries.len()
+    }
+
+    /// The shard hosting `key`.
+    pub fn shard_of(&self, key: SessionKey) -> Result<usize, FabricError> {
+        self.lock_control()
+            .entries
+            .get(&key.0)
+            .map(|e| e.shard)
+            .ok_or(FabricError::UnknownSession)
+    }
+
+    /// Data events shed at the fabric edge for one session (ingress
+    /// backpressure; engine-side sheds are reported per shard in
+    /// [`ShardStats`]).
+    pub fn session_shed(&self, key: SessionKey) -> Result<u64, FabricError> {
+        self.lock_control()
+            .entries
+            .get(&key.0)
+            .map(|e| e.ingress_shed.load(Ordering::Relaxed))
+            .ok_or(FabricError::UnknownSession)
+    }
+
+    /// Total ingress-shed events across the fabric (ground truth,
+    /// mirrored by the `m2ai_fabric_ingress_shed_total` family).
+    pub fn ingress_shed(&self) -> u64 {
+        self.ground.ingress_shed.load(Ordering::Relaxed)
+    }
+
+    /// Sessions spilled past their preferred shard so far.
+    pub fn spills(&self) -> u64 {
+        self.ground.spills.load(Ordering::Relaxed)
+    }
+
+    /// Admissions refused with every shard full so far.
+    pub fn rejections(&self) -> u64 {
+        self.ground.rejections.load(Ordering::Relaxed)
+    }
+
+    fn lock_control(&self) -> std::sync::MutexGuard<'_, ControlState> {
+        // Control mutations are small and never panic mid-update;
+        // tolerate poison so one failed caller can't wedge the fabric.
+        self.control.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens a session: consistent-hash placement with capacity
+    /// spill, then a synchronous slot open on the owning shard (so a
+    /// returned key is immediately pushable and admission can never
+    /// race ahead of the engine's slot table).
+    pub fn open_session(&self) -> Result<SessionKey, FabricError> {
+        let (key, shard, spilled) = {
+            let mut c = self.lock_control();
+            let key = c.next_key;
+            let placement = match c.table.assign(key) {
+                Ok(p) => p,
+                Err(RouteError::Full) | Err(RouteError::NoAliveShard) => {
+                    self.ground.rejections.fetch_add(1, Ordering::Relaxed);
+                    self.glob.rejections.inc();
+                    return Err(FabricError::FabricFull);
+                }
+                Err(RouteError::DuplicateKey) => unreachable!("next_key is never reused"),
+            };
+            c.next_key += 1;
+            c.entries.insert(
+                key,
+                SessionEntry {
+                    shard: placement.shard,
+                    ingress_shed: Arc::new(AtomicU64::new(0)),
+                },
+            );
+            (key, placement.shard, placement.spilled)
+        };
+        if spilled {
+            self.ground.spills.fetch_add(1, Ordering::Relaxed);
+            self.glob.spills.inc();
+        }
+        self.instruments[shard].sessions.add(1);
+        let (ack_tx, ack_rx) = sync_channel(1);
+        let sent = self.senders[shard]
+            .send(ShardCmd::Open { key, reply: ack_tx })
+            .is_ok();
+        if !sent || ack_rx.recv().is_err() {
+            let mut c = self.lock_control();
+            c.table.release(key);
+            c.entries.remove(&key);
+            drop(c);
+            self.instruments[shard].sessions.add(-1);
+            return Err(FabricError::ShardDown);
+        }
+        Ok(SessionKey(key))
+    }
+
+    /// Closes a session. The close is queued in session order on its
+    /// shard; the routing-table slot frees immediately, so a
+    /// subsequent open can reuse the capacity (the shard's FIFO
+    /// ingress guarantees the engine processes the close first).
+    pub fn close_session(&self, key: SessionKey) -> Result<(), FabricError> {
+        let shard = {
+            let mut c = self.lock_control();
+            let entry = c
+                .entries
+                .remove(&key.0)
+                .ok_or(FabricError::UnknownSession)?;
+            c.table.release(key.0);
+            entry.shard
+        };
+        self.instruments[shard].sessions.add(-1);
+        self.senders[shard]
+            .send(ShardCmd::Close { key: key.0 })
+            .map_err(|_| FabricError::ShardDown)
+    }
+
+    /// Feeds one pre-extracted frame to a session. Returns
+    /// [`PushOutcome::Shed`] (never blocks) when the shard's ingress
+    /// is full.
+    pub fn push_frame(
+        &self,
+        key: SessionKey,
+        time_s: f64,
+        frame: Vec<f32>,
+        health: HealthState,
+    ) -> Result<PushOutcome, FabricError> {
+        self.push_data(key, |key| ShardCmd::Frame {
+            key,
+            time_s,
+            frame,
+            health,
+        })
+    }
+
+    /// Feeds raw tag readings to a session (the shard runs frame
+    /// extraction inside its worker). The whole batch is one ingress
+    /// event: it is enqueued or shed atomically.
+    pub fn push(
+        &self,
+        key: SessionKey,
+        readings: Vec<TagReading>,
+    ) -> Result<PushOutcome, FabricError> {
+        self.push_data(key, |key| ShardCmd::Readings { key, readings })
+    }
+
+    fn push_data(
+        &self,
+        key: SessionKey,
+        make: impl FnOnce(u64) -> ShardCmd,
+    ) -> Result<PushOutcome, FabricError> {
+        let (shard, shed) = {
+            let c = self.lock_control();
+            let entry = c.entries.get(&key.0).ok_or(FabricError::UnknownSession)?;
+            (entry.shard, Arc::clone(&entry.ingress_shed))
+        };
+        match self.senders[shard].try_send(make(key.0)) {
+            Ok(()) => {
+                self.instruments[shard].ingress_depth.add(1);
+                Ok(PushOutcome::Enqueued)
+            }
+            Err(TrySendError::Full(_)) => {
+                shed.fetch_add(1, Ordering::Relaxed);
+                self.ground.ingress_shed.fetch_add(1, Ordering::Relaxed);
+                self.instruments[shard].ingress_shed.inc();
+                Ok(PushOutcome::Shed)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(FabricError::ShardDown),
+        }
+    }
+
+    /// Drains every prediction the shards have emitted so far, in
+    /// arrival order at the collector. Per-session order is the
+    /// session's push order; cross-session (and cross-shard) order is
+    /// unspecified — see the crate docs' determinism boundary.
+    pub fn poll(&self) -> Vec<FabricPrediction> {
+        let rx = self.outputs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        while let Ok(batch) = rx.try_recv() {
+            out.extend(batch);
+        }
+        out
+    }
+
+    /// Barrier: waits until every shard has drained its ingress queue
+    /// *and* every engine's pending queues are empty, then returns all
+    /// predictions emitted up to that point. Overrides
+    /// [`ShardThrottle::HoldTicks`]; do not call while a shard is
+    /// [`ShardThrottle::Freeze`]-d (the barrier would wait forever for
+    /// a worker that is not consuming).
+    pub fn flush(&self) -> Vec<FabricPrediction> {
+        let replies: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .filter_map(|s| {
+                let (tx, rx) = sync_channel(1);
+                s.send(ShardCmd::Flush { reply: tx }).ok().map(|()| rx)
+            })
+            .collect();
+        for r in replies {
+            let _ = r.recv();
+        }
+        self.poll()
+    }
+
+    /// Sets a shard's throttle and waits until its worker acknowledges
+    /// the new state (so e.g. after `Freeze` returns, the worker is
+    /// guaranteed not to consume another ingress event until resumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn set_throttle(&self, shard: usize, throttle: ShardThrottle) {
+        self.throttles[shard].store(throttle as u8, Ordering::SeqCst);
+        // The worker re-reads the flag at the top of every loop
+        // iteration (at most one 1 ms idle wait away); spin gently.
+        while ShardThrottle::from_u8(self.throttle_acks[shard].load(Ordering::SeqCst)) != throttle {
+            if self.closing.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Stops every worker and collects final statistics. Pending
+    /// ingress events and per-session queues are discarded; call
+    /// [`ServeFabric::flush`] first for a graceful drain.
+    pub fn shutdown(mut self) -> FabricStats {
+        self.closing.store(true, Ordering::SeqCst);
+        for s in self.senders.drain(..) {
+            let _ = s.send(ShardCmd::Shutdown);
+        }
+        let mut shards: Vec<ShardStats> = self
+            .workers
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        shards.sort_by_key(|s| s.shard);
+        FabricStats {
+            shards,
+            ingress_shed: self.ground.ingress_shed.load(Ordering::Relaxed),
+            spills: self.ground.spills.load(Ordering::Relaxed),
+            rejections: self.ground.rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ServeFabric {
+    fn drop(&mut self) {
+        // Without an explicit shutdown the senders disconnect as the
+        // fabric drops; `closing` releases any frozen worker so every
+        // thread observes the disconnect and exits.
+        self.closing.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Commands drained per worker loop iteration before a tick gets a
+/// chance to run — bounds ingress-vs-tick starvation both ways.
+const CMD_BUDGET: usize = 64;
+
+/// One shard's worker: owns the engine, its ingress receiver and the
+/// key↔slot maps.
+struct Worker {
+    shard: usize,
+    engine: ServeEngine,
+    rx: Receiver<ShardCmd>,
+    out: Sender<Vec<FabricPrediction>>,
+    throttle: Arc<AtomicU8>,
+    ack: Arc<AtomicU8>,
+    closing: Arc<AtomicBool>,
+    ins: ShardInstruments,
+    ids: HashMap<u64, SessionId>,
+    keys: HashMap<SessionId, u64>,
+    stats: ShardStats,
+}
+
+impl Worker {
+    fn effective_throttle(&self) -> ShardThrottle {
+        if self.closing.load(Ordering::SeqCst) {
+            // Shutdown overrides any throttle so frozen shards can
+            // still observe their Shutdown command / disconnect.
+            return ShardThrottle::Run;
+        }
+        ShardThrottle::from_u8(self.throttle.load(Ordering::SeqCst))
+    }
+
+    fn run(mut self) -> ShardStats {
+        loop {
+            let throttle = self.effective_throttle();
+            self.ack.store(throttle as u8, Ordering::SeqCst);
+            if throttle == ShardThrottle::Freeze {
+                std::thread::sleep(Duration::from_micros(100));
+                continue;
+            }
+            let mut worked = false;
+            for _ in 0..CMD_BUDGET {
+                match self.rx.try_recv() {
+                    Ok(cmd) => {
+                        worked = true;
+                        if self.apply(cmd) {
+                            return self.finish();
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return self.finish(),
+                }
+            }
+            if throttle != ShardThrottle::HoldTicks && self.engine.pending() > 0 {
+                self.tick_once();
+                worked = true;
+            }
+            if !worked {
+                // Idle: block briefly so an idle shard costs ~nothing
+                // but still re-reads its throttle regularly.
+                match self.rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(cmd) => {
+                        if self.apply(cmd) {
+                            return self.finish();
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return self.finish(),
+                }
+            }
+        }
+    }
+
+    /// Applies one command; returns `true` on shutdown.
+    fn apply(&mut self, cmd: ShardCmd) -> bool {
+        match cmd {
+            ShardCmd::Open { key, reply } => {
+                let id = self
+                    .engine
+                    .open_session()
+                    .expect("fabric admission reserves engine capacity");
+                self.ids.insert(key, id);
+                self.keys.insert(id, key);
+                self.stats.opened += 1;
+                let _ = reply.send(());
+            }
+            ShardCmd::Close { key } => {
+                if let Some(id) = self.ids.remove(&key) {
+                    self.harvest_engine_shed(key, id);
+                    self.keys.remove(&id);
+                    let _ = self.engine.close_session(id);
+                    self.stats.closed += 1;
+                }
+            }
+            ShardCmd::Frame {
+                key,
+                time_s,
+                frame,
+                health,
+            } => {
+                self.ins.ingress_depth.add(-1);
+                self.stats.ingress_drained += 1;
+                if let Some(&id) = self.ids.get(&key) {
+                    if let Ok(report) = self.engine.push_frame(id, time_s, frame, health) {
+                        self.stats.engine_shed += report.shed as u64;
+                    }
+                }
+            }
+            ShardCmd::Readings { key, readings } => {
+                self.ins.ingress_depth.add(-1);
+                self.stats.ingress_drained += 1;
+                if let Some(&id) = self.ids.get(&key) {
+                    if let Ok(report) = self.engine.push(id, &readings) {
+                        self.stats.engine_shed += report.shed as u64;
+                    }
+                }
+            }
+            ShardCmd::Flush { reply } => {
+                while self.engine.pending() > 0 {
+                    self.tick_once();
+                }
+                let _ = reply.send(());
+            }
+            ShardCmd::Shutdown => return true,
+        }
+        false
+    }
+
+    fn tick_once(&mut self) {
+        let span = self.ins.tick_seconds.time();
+        let preds = self.engine.tick();
+        span.end();
+        if preds.is_empty() {
+            return;
+        }
+        self.stats.predictions += preds.len() as u64;
+        self.ins.predictions.add(preds.len() as u64);
+        let batch: Vec<FabricPrediction> = preds
+            .into_iter()
+            .map(|p| FabricPrediction {
+                session: SessionKey(self.keys[&p.session]),
+                shard: self.shard,
+                prediction: p,
+            })
+            .collect();
+        // The collector may already be gone during teardown; the
+        // predictions are simply dropped then.
+        let _ = self.out.send(batch);
+    }
+
+    /// Records a closing session's engine-side shed count into the
+    /// shard stats (the engine forgets the count when the slot frees).
+    fn harvest_engine_shed(&mut self, key: u64, id: SessionId) {
+        if let Ok(shed) = self.engine.session_shed(id) {
+            if shed > 0 {
+                self.stats.session_engine_shed.push((key, shed as u64));
+            }
+        }
+    }
+
+    fn finish(mut self) -> ShardStats {
+        let open: Vec<(u64, SessionId)> = self.ids.drain().collect();
+        for (key, id) in open {
+            self.harvest_engine_shed(key, id);
+        }
+        self.stats.suppressed = self.engine.suppressed() as u64;
+        self.stats.engine_shed = self.engine.shed() as u64;
+        self.stats
+    }
+}

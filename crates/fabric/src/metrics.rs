@@ -1,0 +1,102 @@
+//! Per-shard and fabric-wide instrument families.
+//!
+//! The fabric extends the serving metric surface with *per-shard
+//! labels*: every shard gets its own `{shard="<i>"}` series of the
+//! ingress queue-depth, shed and tick-latency families, so a scrape
+//! shows load imbalance and per-shard saturation directly, while the
+//! engine-level families (`m2ai_serve_*`, registered without labels)
+//! keep aggregating across all shards.
+//!
+//! `m2ai-obs` requires `'static` label sets; shard labels are interned
+//! once per shard index in a process-wide cache, so every fabric (and
+//! every test in a process) shares the same registry entries.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Interned `[("shard", "<i>")]` label set for a shard index.
+fn shard_labels(shard: usize) -> m2ai_obs::LabelSet {
+    static CACHE: OnceLock<Mutex<Vec<m2ai_obs::LabelSet>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    while cache.len() <= shard {
+        let value: &'static str = Box::leak(cache.len().to_string().into_boxed_str());
+        let set: m2ai_obs::LabelSet = Box::leak(vec![("shard", value)].into_boxed_slice());
+        cache.push(set);
+    }
+    cache[shard]
+}
+
+/// Instrument handles for one shard, cloned into its worker thread.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardInstruments {
+    /// Data events sitting in the shard's bounded ingress queue.
+    pub ingress_depth: m2ai_obs::Gauge,
+    /// Data events dropped at the ingress because the queue was full.
+    pub ingress_shed: m2ai_obs::Counter,
+    /// Sessions currently assigned to the shard.
+    pub sessions: m2ai_obs::Gauge,
+    /// Predictions the shard's engine has emitted.
+    pub predictions: m2ai_obs::Counter,
+    /// Wall time of each engine tick on this shard's worker.
+    pub tick_seconds: m2ai_obs::Histogram,
+}
+
+pub(crate) fn shard_instruments(shard: usize) -> ShardInstruments {
+    let labels = shard_labels(shard);
+    ShardInstruments {
+        ingress_depth: m2ai_obs::gauge(
+            "m2ai_fabric_ingress_depth",
+            "data events queued in a shard's bounded ingress",
+            labels,
+        ),
+        ingress_shed: m2ai_obs::counter(
+            "m2ai_fabric_ingress_shed_total",
+            "data events dropped at a full shard ingress",
+            labels,
+        ),
+        sessions: m2ai_obs::gauge(
+            "m2ai_fabric_sessions",
+            "sessions currently assigned to a shard",
+            labels,
+        ),
+        predictions: m2ai_obs::counter(
+            "m2ai_fabric_predictions_total",
+            "predictions emitted by a shard's engine",
+            labels,
+        ),
+        tick_seconds: m2ai_obs::histogram(
+            "m2ai_fabric_tick_seconds",
+            "engine tick wall time on a shard worker",
+            labels,
+            &m2ai_obs::latency_buckets(),
+        ),
+    }
+}
+
+/// Fabric-wide (unlabelled) instruments.
+#[derive(Debug)]
+pub(crate) struct FabricInstruments {
+    /// Sessions admitted onto a ring successor because the preferred
+    /// shard was at capacity.
+    pub spills: m2ai_obs::Counter,
+    /// Admissions refused because every shard was at capacity.
+    pub rejections: m2ai_obs::Counter,
+}
+
+pub(crate) fn fabric_instruments() -> &'static FabricInstruments {
+    static M: OnceLock<FabricInstruments> = OnceLock::new();
+    M.get_or_init(|| FabricInstruments {
+        spills: m2ai_obs::counter(
+            "m2ai_fabric_spill_total",
+            "sessions spilled past a full preferred shard",
+            &[],
+        ),
+        rejections: m2ai_obs::counter(
+            "m2ai_fabric_rejections_total",
+            "fabric admissions refused with every shard full",
+            &[("reason", "fabric_full")],
+        ),
+    })
+}

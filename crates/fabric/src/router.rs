@@ -1,0 +1,349 @@
+//! Consistent-hash session→shard routing.
+//!
+//! Two layers, deliberately separate:
+//!
+//! * [`HashRing`] — the pure consistent-hash structure: every shard
+//!   owns [`HashRing::vnodes`] pseudo-random points on a `u64` ring,
+//!   and a session key routes to the owner of the first ring point at
+//!   or after the key's hash (wrapping). Adding a shard only *steals*
+//!   keys (a rerouted key can only move to the new shard), so roughly
+//!   `1/N` of sessions move when a shard joins — the classic
+//!   stability property. Retired shards are skipped by walking to the
+//!   next alive successor.
+//! * [`RoutingTable`] — the *explicit* assignment record the fabric
+//!   actually serves from. The ring only expresses a preference; the
+//!   table pins each session to the shard that admitted it, tracks
+//!   per-shard load against a capacity, and **spills** a session to
+//!   the next alive successor shard when its preferred shard is full.
+//!   Admission fails only when every alive shard is at capacity — the
+//!   fabric degrades by spreading load, not by refusing globally.
+//!
+//! Hashing is a fixed-salt splitmix64, so placement is a pure function
+//! of `(key, shard count, vnodes)` — identical across processes and
+//! runs, which is what makes the router property-testable and the
+//! fabric's placement reproducible.
+
+use std::collections::HashMap;
+
+/// Salt mixed into ring-point hashes (arbitrary, fixed forever).
+const RING_SALT: u64 = 0x5143_8D1E_2F96_B0A7;
+/// Salt mixed into session-key hashes (distinct from [`RING_SALT`] so
+/// keys never collide with ring points structurally).
+const KEY_SALT: u64 = 0xA076_1D64_78BD_642F;
+
+/// The finalizer of splitmix64 — a high-quality 64-bit mixer.
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Consistent-hash ring over shard indices with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring point, shard)` pairs, sorted by point (ties broken by
+    /// shard index via the tuple sort — deterministic either way).
+    points: Vec<(u64, usize)>,
+    /// Liveness per shard index; retired shards keep their points but
+    /// are skipped at routing time.
+    alive: Vec<bool>,
+    /// Ring points per shard.
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring of `shards` shards with `vnodes` points each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `vnodes` is zero.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(vnodes > 0, "need at least one virtual node per shard");
+        let mut ring = HashRing {
+            points: Vec::with_capacity(shards * vnodes),
+            alive: Vec::with_capacity(shards),
+            vnodes,
+        };
+        for _ in 0..shards {
+            ring.add_shard();
+        }
+        ring
+    }
+
+    /// Ring points per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Total shards ever added (alive or retired).
+    pub fn n_shards(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether `shard` is alive (routable).
+    pub fn is_alive(&self, shard: usize) -> bool {
+        self.alive.get(shard).copied().unwrap_or(false)
+    }
+
+    /// Number of alive shards.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Adds a shard, returning its index. Existing keys reroute only
+    /// onto the new shard (consistent-hash stability).
+    pub fn add_shard(&mut self) -> usize {
+        let shard = self.alive.len();
+        self.alive.push(true);
+        for replica in 0..self.vnodes {
+            let p = splitmix64(RING_SALT ^ ((shard as u64) << 32) ^ replica as u64);
+            self.points.push((p, shard));
+        }
+        self.points.sort_unstable();
+        shard
+    }
+
+    /// Marks a shard dead; its keys reroute to alive successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn retire_shard(&mut self, shard: usize) {
+        self.alive[shard] = false;
+    }
+
+    /// First ring position at or after the key's hash.
+    fn start_index(&self, key: u64) -> usize {
+        let h = splitmix64(key ^ KEY_SALT);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        if i == self.points.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// The preferred alive shard for `key`, or `None` if every shard
+    /// is retired.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        self.candidates(key).next()
+    }
+
+    /// Distinct alive shards in ring-successor order starting from the
+    /// key's position — the preferred shard first, then the spill
+    /// order the [`RoutingTable`] walks when shards fill up.
+    pub fn candidates(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let start = self.start_index(key);
+        let n = self.points.len();
+        let mut seen = vec![false; self.alive.len()];
+        (0..n).filter_map(move |off| {
+            let (_, shard) = self.points[(start + off) % n];
+            if self.alive[shard] && !seen[shard] {
+                seen[shard] = true;
+                Some(shard)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Why a session could not be assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Every alive shard is at session capacity.
+    Full,
+    /// The key already has an assignment.
+    DuplicateKey,
+    /// Every shard in the ring is retired.
+    NoAliveShard,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Full => write!(f, "every alive shard is at capacity"),
+            RouteError::DuplicateKey => write!(f, "key is already assigned"),
+            RouteError::NoAliveShard => write!(f, "no alive shard in the ring"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Where a session landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The shard hosting the session.
+    pub shard: usize,
+    /// `true` when the preferred shard was full and the session was
+    /// spilled to a ring successor.
+    pub spilled: bool,
+}
+
+/// Explicit session→shard assignments with capacity-aware admission.
+///
+/// See the module docs for how this relates to the [`HashRing`]: the
+/// ring proposes, the table disposes (and records).
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    ring: HashRing,
+    assignments: HashMap<u64, usize>,
+    /// Open sessions per shard index.
+    load: Vec<usize>,
+    /// Per-shard session capacity.
+    capacity: usize,
+}
+
+impl RoutingTable {
+    /// Builds a table over a fresh ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards`, `vnodes` or `capacity_per_shard` is zero.
+    pub fn new(shards: usize, vnodes: usize, capacity_per_shard: usize) -> Self {
+        assert!(capacity_per_shard > 0, "shards must hold sessions");
+        RoutingTable {
+            ring: HashRing::new(shards, vnodes),
+            assignments: HashMap::new(),
+            load: vec![0; shards],
+            capacity: capacity_per_shard,
+        }
+    }
+
+    /// The underlying ring (read-only; mutate via
+    /// [`RoutingTable::add_shard`] / [`RoutingTable::retire_shard`] so
+    /// load tracking stays in sync).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Per-shard session capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Open sessions currently assigned to `shard`.
+    pub fn load(&self, shard: usize) -> usize {
+        self.load.get(shard).copied().unwrap_or(0)
+    }
+
+    /// Total assigned sessions.
+    pub fn assigned(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The shard hosting `key`, if assigned.
+    pub fn shard_of(&self, key: u64) -> Option<usize> {
+        self.assignments.get(&key).copied()
+    }
+
+    /// Adds a shard to the ring (returns its index).
+    pub fn add_shard(&mut self) -> usize {
+        self.load.push(0);
+        self.ring.add_shard()
+    }
+
+    /// Retires a shard: no *new* sessions route to it. Existing
+    /// assignments are pinned by this table and unaffected — draining
+    /// them is the fabric's job, not the router's.
+    pub fn retire_shard(&mut self, shard: usize) {
+        self.ring.retire_shard(shard);
+    }
+
+    /// Assigns `key` to its preferred shard, spilling along the ring
+    /// when shards are at capacity. Fails only when every alive shard
+    /// is full.
+    pub fn assign(&mut self, key: u64) -> Result<Placement, RouteError> {
+        if self.assignments.contains_key(&key) {
+            return Err(RouteError::DuplicateKey);
+        }
+        let mut any_alive = false;
+        let mut placed = None;
+        for (rank, shard) in self.ring.candidates(key).enumerate() {
+            any_alive = true;
+            if self.load[shard] < self.capacity {
+                placed = Some(Placement {
+                    shard,
+                    spilled: rank > 0,
+                });
+                break;
+            }
+        }
+        match placed {
+            Some(p) => {
+                self.assignments.insert(key, p.shard);
+                self.load[p.shard] += 1;
+                Ok(p)
+            }
+            None if any_alive => Err(RouteError::Full),
+            None => Err(RouteError::NoAliveShard),
+        }
+    }
+
+    /// Releases `key`'s assignment, returning the shard it was on.
+    pub fn release(&mut self, key: u64) -> Option<usize> {
+        let shard = self.assignments.remove(&key)?;
+        self.load[shard] -= 1;
+        Some(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_deterministic_and_alive() {
+        let ring = HashRing::new(4, 32);
+        for key in 0..200u64 {
+            let a = ring.route(key).expect("alive shards exist");
+            let b = ring.route(key).expect("alive shards exist");
+            assert_eq!(a, b);
+            assert!(ring.is_alive(a));
+        }
+    }
+
+    #[test]
+    fn retiring_all_shards_routes_nowhere() {
+        let mut ring = HashRing::new(2, 8);
+        ring.retire_shard(0);
+        ring.retire_shard(1);
+        assert_eq!(ring.route(7), None);
+        assert_eq!(ring.alive_count(), 0);
+    }
+
+    #[test]
+    fn candidates_cover_all_alive_shards_once() {
+        let mut ring = HashRing::new(5, 16);
+        ring.retire_shard(2);
+        let c: Vec<usize> = ring.candidates(42).collect();
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), c.len(), "no duplicates");
+        assert_eq!(c.len(), 4, "every alive shard appears");
+        assert!(!c.contains(&2), "retired shard is excluded");
+    }
+
+    #[test]
+    fn table_spills_then_fills() {
+        let mut table = RoutingTable::new(2, 16, 1);
+        let a = table.assign(0).expect("room");
+        let b = table.assign(1).expect("second shard has room");
+        assert_ne!(a.shard, b.shard, "capacity 1 forces distinct shards");
+        assert_eq!(table.assign(2), Err(RouteError::Full));
+        assert_eq!(table.release(0), Some(a.shard));
+        let c = table.assign(2).expect("released capacity is reusable");
+        assert_eq!(c.shard, a.shard);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let mut table = RoutingTable::new(2, 16, 4);
+        table.assign(9).expect("room");
+        assert_eq!(table.assign(9), Err(RouteError::DuplicateKey));
+    }
+}

@@ -46,6 +46,7 @@ pub use m2ai_motion as motion;
 pub use m2ai_nn as nn;
 pub use m2ai_obs as obs;
 pub use m2ai_rfsim as rfsim;
+pub use m2ai_serve_fabric as fabric;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -64,4 +65,5 @@ pub mod prelude {
     pub use m2ai_rfsim::reading::{TagId, TagReading};
     pub use m2ai_rfsim::room::Room;
     pub use m2ai_rfsim::scene::SceneSnapshot;
+    pub use m2ai_serve_fabric::{FabricConfig, FabricPrediction, ServeFabric, SessionKey};
 }

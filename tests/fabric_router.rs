@@ -1,0 +1,177 @@
+//! Consistent-hash router property suite (serve-fabric PR).
+//!
+//! The fabric's placement layer is pure and deterministic, which makes
+//! it the one concurrency-adjacent component we can property-test
+//! exhaustively instead of stress-test: balance, consistent-hash
+//! stability under shard addition, dead-shard exclusion, and the
+//! routing table's spill-until-full admission contract.
+
+use m2ai::fabric::router::{HashRing, Placement, RouteError, RoutingTable};
+use proptest::prelude::*;
+
+/// Keys routed in the statistical properties.
+const KEYS: usize = 4000;
+
+/// Ring points per shard for the balance property. Imbalance shrinks
+/// roughly as `1/sqrt(vnodes)`; 128 points keeps the worst shard
+/// within the asserted envelope with margin.
+const BALANCE_VNODES: usize = 128;
+
+#[test]
+fn balance_under_many_vnodes_is_bounded() {
+    for shards in [2usize, 3, 4, 8] {
+        let ring = HashRing::new(shards, BALANCE_VNODES);
+        let mut counts = vec![0usize; shards];
+        for key in 0..KEYS as u64 {
+            counts[ring.route(key).expect("alive")] += 1;
+        }
+        let fair = KEYS as f64 / shards as f64;
+        for (shard, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / fair;
+            assert!(
+                (0.45..=1.8).contains(&ratio),
+                "{shards} shards: shard {shard} got {c} of {KEYS} keys \
+                 ({ratio:.2}x fair share) — ring is badly imbalanced"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Consistent-hash stability: adding a shard may only move a key
+    /// *to the new shard* — never shuffle it between old shards.
+    #[test]
+    fn adding_a_shard_only_steals_keys(
+        shards in 1usize..8,
+        vnodes in 8usize..64,
+        key_seed in any::<u64>(),
+    ) {
+        let mut ring = HashRing::new(shards, vnodes);
+        let keys: Vec<u64> = (0..256u64).map(|i| key_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))).collect();
+        let before: Vec<usize> =
+            keys.iter().map(|&k| ring.route(k).expect("alive")).collect();
+        let new_shard = ring.add_shard();
+        for (&k, &old) in keys.iter().zip(&before) {
+            let now = ring.route(k).expect("alive");
+            prop_assert!(
+                now == old || now == new_shard,
+                "key {k} moved {old} -> {now}, but only moves onto the \
+                 new shard {new_shard} are allowed"
+            );
+        }
+    }
+
+    /// About (and only about) `1/N` of keys should move when the N-th
+    /// shard joins — the property that makes consistent hashing worth
+    /// its complexity over `key % N`.
+    #[test]
+    fn about_one_nth_of_keys_move_on_add(
+        shards in 2usize..6,
+        key_seed in any::<u64>(),
+    ) {
+        let mut ring = HashRing::new(shards, BALANCE_VNODES);
+        let keys: Vec<u64> = (0..KEYS as u64)
+            .map(|i| key_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let before: Vec<usize> =
+            keys.iter().map(|&k| ring.route(k).expect("alive")).collect();
+        ring.add_shard();
+        let moved = keys
+            .iter()
+            .zip(&before)
+            .filter(|&(&k, &old)| ring.route(k).expect("alive") != old)
+            .count();
+        let expected = KEYS as f64 / (shards + 1) as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * expected && (moved as f64) > 0.4 * expected,
+            "{moved} of {KEYS} keys moved joining shard {}; expected ~{expected:.0}",
+            shards + 1
+        );
+    }
+
+    /// Dead shards never receive traffic, from `route` or from the
+    /// spill-order `candidates` walk.
+    #[test]
+    fn dead_shards_are_never_routed_to(
+        shards in 2usize..8,
+        vnodes in 8usize..64,
+        dead_mask in any::<u8>(),
+        key_seed in any::<u64>(),
+    ) {
+        let mut ring = HashRing::new(shards, vnodes);
+        let mut dead = Vec::new();
+        for shard in 0..shards {
+            // Keep at least one shard alive.
+            if dead_mask & (1 << shard) != 0 && ring.alive_count() > 1 {
+                ring.retire_shard(shard);
+                dead.push(shard);
+            }
+        }
+        for i in 0..128u64 {
+            let key = key_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let routed = ring.route(key).expect("an alive shard remains");
+            prop_assert!(ring.is_alive(routed), "routed to dead shard {routed}");
+            prop_assert!(!dead.contains(&routed));
+            let candidates: Vec<usize> = ring.candidates(key).collect();
+            prop_assert!(candidates.len() == ring.alive_count(),
+                "candidates must cover every alive shard exactly once");
+            for c in candidates {
+                prop_assert!(ring.is_alive(c), "candidate {c} is dead");
+            }
+        }
+    }
+
+    /// The routing table admits exactly `shards * capacity` sessions
+    /// (spilling along the ring as shards fill), refuses the next with
+    /// `Full`, and reuses capacity released by a close.
+    #[test]
+    fn table_spills_until_every_shard_is_full(
+        shards in 1usize..5,
+        capacity in 1usize..4,
+        vnodes in 8usize..64,
+    ) {
+        let mut table = RoutingTable::new(shards, vnodes, capacity);
+        let total = shards * capacity;
+        let mut placements: Vec<Placement> = Vec::new();
+        for key in 0..total as u64 {
+            placements.push(table.assign(key).expect("capacity remains"));
+        }
+        for shard in 0..shards {
+            prop_assert!(table.load(shard) == capacity,
+                "spill must fill every shard before Full");
+        }
+        prop_assert_eq!(table.assign(total as u64), Err(RouteError::Full));
+        // Pinning: placements recorded by the table match shard_of.
+        for (key, p) in placements.iter().enumerate() {
+            prop_assert_eq!(table.shard_of(key as u64), Some(p.shard));
+        }
+        // Release one and the slot is reusable — on the same shard,
+        // since only that shard has room.
+        let freed = table.release(0).expect("assigned above");
+        let re = table.assign(total as u64).expect("released capacity");
+        prop_assert_eq!(re.shard, freed);
+    }
+
+    /// Existing table assignments are pinned across shard addition:
+    /// the ring may re-prefer sessions, the table must not move them.
+    #[test]
+    fn table_pins_assignments_across_shard_add(
+        shards in 1usize..5,
+        vnodes in 8usize..64,
+        n_keys in 1usize..40,
+    ) {
+        let mut table = RoutingTable::new(shards, vnodes, 64);
+        for key in 0..n_keys as u64 {
+            table.assign(key).expect("capacity");
+        }
+        let before: Vec<Option<usize>> =
+            (0..n_keys as u64).map(|k| table.shard_of(k)).collect();
+        table.add_shard();
+        for (k, old) in before.iter().enumerate() {
+            prop_assert!(table.shard_of(k as u64) == *old,
+                "assignment for key {} moved on shard add", k);
+        }
+    }
+}
