@@ -88,6 +88,15 @@ fn main() {
                     m2ai_bench::shard::run_and_write("BENCH_shard.json");
                 }
             }
+            "chaos" => {
+                if args.iter().any(|a| a == "--check") {
+                    if !m2ai_bench::chaos::check("BENCH_chaos.json") {
+                        std::process::exit(1);
+                    }
+                } else {
+                    m2ai_bench::chaos::run_and_write("BENCH_chaos.json");
+                }
+            }
             "obs" => {
                 if !m2ai_bench::obs::check() {
                     if let Some(path) = &metrics_out {
@@ -99,7 +108,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve shard obs; flags --fast --check --metrics-out <path>"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve shard chaos obs; flags --fast --check --metrics-out <path>"
                 );
                 std::process::exit(2);
             }

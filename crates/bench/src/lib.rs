@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod obs;
 pub mod robustness;
 pub mod serve;

@@ -56,6 +56,12 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "m2ai_fabric_tick_seconds",
     "m2ai_fabric_spill_total",
     "m2ai_fabric_rejections_total",
+    "m2ai_fabric_heartbeats_total",
+    "m2ai_fabric_restarts_total",
+    "m2ai_fabric_checkpoints_total",
+    "m2ai_fabric_checkpoint_seconds",
+    "m2ai_fabric_quarantined_total",
+    "m2ai_fabric_recovery_seconds",
 ];
 
 /// Counter families that must be *non-zero* after the smoke workload
@@ -70,6 +76,9 @@ const NONZERO_COUNTERS: &[&str] = &[
     "m2ai_core_health_transitions_total",
     "m2ai_serve_predictions_total",
     "m2ai_fabric_predictions_total",
+    "m2ai_fabric_heartbeats_total",
+    "m2ai_fabric_restarts_total",
+    "m2ai_fabric_checkpoints_total",
 ];
 
 /// Histogram families that must have observations after the smoke
@@ -82,6 +91,8 @@ const NONZERO_HISTOGRAMS: &[&str] = &[
     "m2ai_serve_tick_seconds",
     "m2ai_serve_prediction_seconds",
     "m2ai_fabric_tick_seconds",
+    "m2ai_fabric_checkpoint_seconds",
+    "m2ai_fabric_recovery_seconds",
 ];
 
 /// Drives a miniature end-to-end workload that touches every
@@ -149,6 +160,7 @@ pub fn smoke_workload() {
                 history_len: 2,
                 ..ServeConfig::default()
             },
+            supervision: Default::default(),
         },
     );
     let dim = layout.frame_dim();
@@ -167,6 +179,22 @@ pub fn smoke_workload() {
                 )
                 .expect("session open");
         }
+    }
+    fabric.flush();
+    // Supervision families: an explicit checkpoint (checkpoint counter
+    // + latency histogram), then a kill + supervised restart (restart
+    // counter + recovery histogram; heartbeats tick throughout).
+    fabric
+        .checkpoint_now()
+        .expect("live shards must checkpoint");
+    fabric.kill_shard(0).expect("shard 0 is alive");
+    let t0 = std::time::Instant::now();
+    while !(fabric.restarts() >= 1 && fabric.shard_alive(0)) {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "smoke workload: supervisor never restarted the killed shard"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
     }
     fabric.flush();
     fabric.shutdown();

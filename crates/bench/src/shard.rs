@@ -257,6 +257,7 @@ fn fabric_config(shards: usize, ingress: usize, queue: usize) -> FabricConfig {
             history_len: HISTORY,
             ..ServeConfig::default()
         },
+        supervision: Default::default(),
     }
 }
 

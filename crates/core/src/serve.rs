@@ -168,6 +168,9 @@ pub enum ServeError {
     SessionsFull,
     /// The [`SessionId`] does not name an open session.
     UnknownSession,
+    /// A [`SessionCheckpoint`] was minted by an incompatible engine
+    /// (different model geometry, class count or window length).
+    CheckpointMismatch,
 }
 
 impl fmt::Display for ServeError {
@@ -175,6 +178,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::SessionsFull => write!(f, "admission refused: max_sessions reached"),
             ServeError::UnknownSession => write!(f, "no such session"),
+            ServeError::CheckpointMismatch => {
+                write!(f, "checkpoint incompatible with this engine")
+            }
         }
     }
 }
@@ -218,6 +224,41 @@ struct Slot {
     pending: VecDeque<WindowEvent>,
     /// Pending events shed from this session's queue by backpressure.
     shed: usize,
+}
+
+/// A self-contained snapshot of one session: its windowing machinery,
+/// stream state (LSTM carry + softmax ring) and still-pending events.
+///
+/// Minted by [`ServeEngine::export_session`] and adopted by
+/// [`ServeEngine::restore_session`] on any engine built around the
+/// same model and configuration — the restored session continues
+/// bit-identically to the original (the snapshot is a deep copy; no
+/// state is shared with the source engine). The supervision layer in
+/// `m2ai-serve-fabric` ships these across shard restarts.
+#[derive(Debug, Clone)]
+pub struct SessionCheckpoint {
+    window: SessionWindow,
+    state: StreamState,
+    pending: VecDeque<WindowEvent>,
+    shed: usize,
+}
+
+impl SessionCheckpoint {
+    /// Events that were still queued (un-ticked) at snapshot time.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Frames absorbed into the snapshot's probability ring.
+    pub fn frames_seen(&self) -> usize {
+        self.state.frames_seen()
+    }
+
+    /// The snapshotted stream state (e.g. for byte-level persistence
+    /// via [`StreamState::to_bytes`]).
+    pub fn state(&self) -> &StreamState {
+        &self.state
+    }
 }
 
 /// Multi-session serving engine over one shared model.
@@ -319,6 +360,71 @@ impl ServeEngine {
             state: self.model.stream_state(self.cfg.history_len),
             pending: VecDeque::new(),
             shed: 0,
+        });
+        Ok(id)
+    }
+
+    /// Deep-copies one session into a [`SessionCheckpoint`] — the
+    /// session keeps running; the snapshot is independent.
+    pub fn export_session(&self, id: SessionId) -> Result<SessionCheckpoint, ServeError> {
+        let idx = self.find(id)?;
+        let slot = self.slots[idx].as_ref().expect("found above");
+        Ok(SessionCheckpoint {
+            window: slot.window.clone(),
+            state: slot.state.clone(),
+            pending: slot.pending.clone(),
+            shed: slot.shed,
+        })
+    }
+
+    /// Snapshots every open session, in slot order.
+    pub fn export_sessions(&self) -> Vec<(SessionId, SessionCheckpoint)> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|slot| {
+                (
+                    slot.id,
+                    SessionCheckpoint {
+                        window: slot.window.clone(),
+                        state: slot.state.clone(),
+                        pending: slot.pending.clone(),
+                        shed: slot.shed,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Adopts a snapshot as a *new* session (fresh [`SessionId`]; the
+    /// original's id belongs to the engine that minted it). Subject to
+    /// the same admission control as [`ServeEngine::open_session`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionsFull`] when no slot is free;
+    /// [`ServeError::CheckpointMismatch`] when the snapshot's stream
+    /// state does not match this engine's model geometry, class count
+    /// or configured window length (the engine is left untouched).
+    pub fn restore_session(&mut self, ckpt: SessionCheckpoint) -> Result<SessionId, ServeError> {
+        let Some(free) = self.slots.iter().position(|s| s.is_none()) else {
+            serve_metrics().sessions_full.inc();
+            return Err(ServeError::SessionsFull);
+        };
+        let template = self.model.stream_state(self.cfg.history_len);
+        if !ckpt.state.shape_matches(&template) || !ckpt.state.class_dim_is(self.model.n_classes())
+        {
+            return Err(ServeError::CheckpointMismatch);
+        }
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        serve_metrics().queue_depth.add(ckpt.pending.len() as i64);
+        self.slots[free] = Some(Slot {
+            id,
+            window: ckpt.window,
+            state: ckpt.state,
+            pending: ckpt.pending,
+            shed: ckpt.shed,
         });
         Ok(id)
     }
@@ -440,6 +546,23 @@ impl ServeEngine {
         report
     }
 
+    /// The session the next tick would pop an event from first, or
+    /// `None` when nothing is pending. Computed from the same
+    /// round-robin scan [`ServeEngine::tick`] runs, *without*
+    /// advancing anything — so a caller running `tick_limited(1)` can
+    /// attribute a panic inside the tick to exactly this session (the
+    /// serve fabric's poison-frame probation relies on that).
+    pub fn next_ready(&self) -> Option<SessionId> {
+        let n = self.slots.len();
+        (0..n).find_map(|off| {
+            let idx = (self.cursor + off) % n;
+            self.slots[idx]
+                .as_ref()
+                .filter(|slot| !slot.pending.is_empty())
+                .map(|slot| slot.id)
+        })
+    }
+
     /// Advances up to [`ServeConfig::max_batch`] ready sessions by one
     /// pending event each, running all their frame steps as one
     /// micro-batched model step. Returns the predictions emitted by
@@ -452,6 +575,17 @@ impl ServeEngine {
     /// observable only in output ordering — row independence makes the
     /// numbers identical under any order.
     pub fn tick(&mut self) -> Vec<ServePrediction> {
+        self.tick_limited(self.cfg.max_batch)
+    }
+
+    /// [`ServeEngine::tick`] with a tighter batch cap for this call
+    /// only (`max_batch = 1` steps exactly one session — the fabric's
+    /// post-restart probation mode). The effective cap is the smaller
+    /// of `max_batch` and [`ServeConfig::max_batch`]; numerics are
+    /// batching-invariant, so the cap changes scheduling, never
+    /// values.
+    pub fn tick_limited(&mut self, max_batch: usize) -> Vec<ServePrediction> {
+        let cap = max_batch.min(self.cfg.max_batch);
         let m = serve_metrics();
         let _tick_span = m.tick_seconds.time();
         let n = self.slots.len();
@@ -462,7 +596,7 @@ impl ServeEngine {
         let mut picked = 0usize;
         let start = self.cursor;
         for off in 0..n {
-            if picked == self.cfg.max_batch {
+            if picked == cap {
                 break;
             }
             let idx = (start + off) % n;
@@ -721,6 +855,158 @@ mod tests {
         assert!(eng.suppressed() > suppressed_before, "gap must suppress");
         assert!(!p2.is_empty(), "stream resumption must recover");
         assert!(p2[0].time_s > p1.last().unwrap().time_s);
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bitwise() {
+        // Run one session to the midpoint, snapshot it, restore the
+        // snapshot on a *fresh* engine, and feed both the same tail:
+        // the prediction streams must be bit-identical.
+        let cfg = ServeConfig {
+            history_len: 2,
+            ..ServeConfig::default()
+        };
+        let mut a = engine(cfg.clone());
+        let id_a = a.open_session().unwrap();
+        let dim = layout().frame_dim();
+        let frame = |t: usize| -> Vec<f32> {
+            (0..dim)
+                .map(|j| ((t * dim + j) as f32 * 0.23).sin())
+                .collect()
+        };
+        for t in 0..4 {
+            a.push_frame(id_a, t as f64, frame(t), HealthState::Healthy)
+                .unwrap();
+        }
+        let head = a.drain();
+        let ckpt = a.export_session(id_a).unwrap();
+        assert_eq!(ckpt.pending_len(), 0);
+        assert_eq!(ckpt.frames_seen(), 2);
+
+        let mut b = engine(cfg);
+        let id_b = b.restore_session(ckpt).unwrap();
+        for t in 4..8 {
+            a.push_frame(id_a, t as f64, frame(t), HealthState::Healthy)
+                .unwrap();
+            b.push_frame(id_b, t as f64, frame(t), HealthState::Healthy)
+                .unwrap();
+        }
+        let tail_a = a.drain();
+        let tail_b = b.drain();
+        assert_eq!(tail_a.len(), tail_b.len());
+        assert_eq!(head.len() + tail_a.len(), 4 + 4 - 2 + 1);
+        for (pa, pb) in tail_a.iter().zip(&tail_b) {
+            assert_eq!(pa.time_s, pb.time_s);
+            assert_eq!(pa.probabilities, pb.probabilities, "restored diverged");
+        }
+    }
+
+    #[test]
+    fn restore_preserves_pending_events() {
+        let mut a = engine(ServeConfig {
+            history_len: 2,
+            ..ServeConfig::default()
+        });
+        let id = a.open_session().unwrap();
+        let dim = layout().frame_dim();
+        for t in 0..3 {
+            a.push_frame(id, t as f64, vec![0.2; dim], HealthState::Healthy)
+                .unwrap();
+        }
+        let ckpt = a.export_session(id).unwrap();
+        assert_eq!(ckpt.pending_len(), 3);
+        let mut b = engine(ServeConfig {
+            history_len: 2,
+            ..ServeConfig::default()
+        });
+        b.restore_session(ckpt).unwrap();
+        assert_eq!(b.pending(), 3);
+        assert_eq!(b.drain().len(), a.drain().len());
+    }
+
+    #[test]
+    fn restore_rejects_incompatible_checkpoints() {
+        let mut a = engine(ServeConfig {
+            history_len: 2,
+            ..ServeConfig::default()
+        });
+        let id = a.open_session().unwrap();
+        // Absorb a frame so the softmax ring is non-empty (an empty
+        // ring carries no class-count evidence).
+        let dim = layout().frame_dim();
+        a.push_frame(id, 0.0, vec![0.1; dim], HealthState::Healthy)
+            .unwrap();
+        a.drain();
+        let ckpt = a.export_session(id).unwrap();
+        // Same model, different window length → mismatch.
+        let mut other_window = engine(ServeConfig {
+            history_len: 5,
+            ..ServeConfig::default()
+        });
+        assert_eq!(
+            other_window.restore_session(ckpt.clone()).err(),
+            Some(ServeError::CheckpointMismatch)
+        );
+        // Different class count → the buffered rows betray it.
+        let layout = layout();
+        let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5);
+        let wider = build_model(&layout, 48, Architecture::CnnLstm, 1);
+        let mut other_model = ServeEngine::new(
+            wider,
+            builder,
+            ServeConfig {
+                history_len: 2,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(
+            other_model.restore_session(ckpt.clone()).err(),
+            Some(ServeError::CheckpointMismatch)
+        );
+        // Full engine → SessionsFull, not a silent drop.
+        let mut full = engine(ServeConfig {
+            max_sessions: 1,
+            history_len: 2,
+            ..ServeConfig::default()
+        });
+        full.open_session().unwrap();
+        assert_eq!(
+            full.restore_session(ckpt).err(),
+            Some(ServeError::SessionsFull)
+        );
+        assert_eq!(
+            a.export_session(SessionId(77)).err(),
+            Some(ServeError::UnknownSession)
+        );
+    }
+
+    #[test]
+    fn next_ready_predicts_tick_order() {
+        let mut eng = engine(ServeConfig {
+            history_len: 2,
+            ..ServeConfig::default()
+        });
+        assert_eq!(eng.next_ready(), None);
+        let a = eng.open_session().unwrap();
+        let b = eng.open_session().unwrap();
+        let dim = layout().frame_dim();
+        for t in 0..2 {
+            for &id in &[a, b] {
+                eng.push_frame(id, t as f64, vec![0.1; dim], HealthState::Healthy)
+                    .unwrap();
+            }
+        }
+        // tick_limited(1) must consume exactly the session next_ready
+        // named, every time, until the queues run dry.
+        let mut served = Vec::new();
+        while let Some(next) = eng.next_ready() {
+            let before: usize = eng.queue_len(next).unwrap();
+            eng.tick_limited(1);
+            assert_eq!(eng.queue_len(next).unwrap(), before - 1, "wrong session");
+            served.push(next);
+        }
+        assert_eq!(served.len(), 4);
+        assert_eq!(eng.pending(), 0);
     }
 
     #[test]

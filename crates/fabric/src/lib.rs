@@ -72,13 +72,45 @@
 //! [`ServeFabric::poll`] output is **not** deterministic; consumers
 //! needing a global order must sort on `(time_s, session)` themselves.
 //!
+//! ## Self-healing (supervision)
+//!
+//! Worker failure is a first-class input ([`supervisor`] module): every
+//! engine call runs under `catch_unwind`, workers heartbeat once per
+//! loop, and a dedicated supervisor thread
+//!
+//! * **restarts** a crashed worker (panic or [`ServeFabric::kill_shard`])
+//!   with exponential backoff under a per-shard restart budget — the
+//!   replacement inherits the un-drained ingress queue and resurrects
+//!   every resident session from its last checkpoint;
+//! * **abandons** a stalled worker whose heartbeat misses
+//!   [`SupervisionConfig::stall_deadline`]: its queue is swapped out
+//!   (in-flight events counted as lost), its late output fenced off by
+//!   an epoch floor, and a replacement scheduled;
+//! * **migrates** sessions off a shard that exhausts its budget: the
+//!   routing table retires the shard and each session re-assigns to a
+//!   ring successor, restored from checkpoint;
+//! * **checkpoints** sessions periodically
+//!   ([`SupervisionConfig::checkpoint_interval`], or on demand via
+//!   [`ServeFabric::checkpoint_now`]) so restarts resume streams
+//!   instead of losing context;
+//! * **quarantines** poison inputs: a session whose data panics the
+//!   engine [`SupervisionConfig::poison_threshold`] times (attributed
+//!   exactly during single-event post-restart probation) is ejected and
+//!   its key refuses further data with [`FabricError::Quarantined`].
+//!
+//! Supervision preserves the determinism contract: heartbeats,
+//! checkpoints (clones) and probation (a batch-size cap) change
+//! scheduling, never values.
+//!
 //! ## Test hooks
 //!
 //! [`ServeFabric::set_throttle`] can hold a shard's ticks
-//! ([`ShardThrottle::HoldTicks`]) or freeze its ingress consumption
-//! entirely ([`ShardThrottle::Freeze`]), making both shed points
-//! deterministic for the concurrency test battery — and doubling as
-//! an operational drain/brownout control.
+//! ([`ShardThrottle::HoldTicks`]), freeze its ingress consumption
+//! entirely ([`ShardThrottle::Freeze`]), or simulate a wedged worker
+//! ([`ShardThrottle::Stall`]); [`ServeFabric::kill_shard`] simulates a
+//! crash. Together they make shed points, stall detection and the
+//! restart path deterministic for the concurrency test battery — and
+//! the throttles double as operational drain/brownout controls.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,8 +118,11 @@
 mod fabric;
 mod metrics;
 pub mod router;
+mod supervisor;
+mod worker;
 
 pub use fabric::{
     FabricConfig, FabricError, FabricPrediction, FabricStats, PushOutcome, ServeFabric, SessionKey,
     ShardStats, ShardThrottle,
 };
+pub use supervisor::SupervisionConfig;

@@ -41,6 +41,11 @@ pub(crate) struct ShardInstruments {
     pub predictions: m2ai_obs::Counter,
     /// Wall time of each engine tick on this shard's worker.
     pub tick_seconds: m2ai_obs::Histogram,
+    /// Worker loop heartbeats (the liveness signal the supervisor
+    /// watches; a flat-lining series is a stalled shard).
+    pub heartbeats: m2ai_obs::Counter,
+    /// Times the supervisor restarted this shard's worker.
+    pub restarts: m2ai_obs::Counter,
 }
 
 pub(crate) fn shard_instruments(shard: usize) -> ShardInstruments {
@@ -72,6 +77,16 @@ pub(crate) fn shard_instruments(shard: usize) -> ShardInstruments {
             labels,
             &m2ai_obs::latency_buckets(),
         ),
+        heartbeats: m2ai_obs::counter(
+            "m2ai_fabric_heartbeats_total",
+            "shard worker loop heartbeats observed by the supervisor",
+            labels,
+        ),
+        restarts: m2ai_obs::counter(
+            "m2ai_fabric_restarts_total",
+            "shard worker restarts performed by the supervisor",
+            labels,
+        ),
     }
 }
 
@@ -83,6 +98,15 @@ pub(crate) struct FabricInstruments {
     pub spills: m2ai_obs::Counter,
     /// Admissions refused because every shard was at capacity.
     pub rejections: m2ai_obs::Counter,
+    /// Session snapshots written into the checkpoint store.
+    pub checkpoints: m2ai_obs::Counter,
+    /// Wall time of one fabric-wide checkpoint sweep.
+    pub checkpoint_seconds: m2ai_obs::Histogram,
+    /// Sessions quarantined after repeatedly panicking the engine.
+    pub quarantined: m2ai_obs::Counter,
+    /// Shard death-to-serving recovery wall time (spawn through
+    /// checkpoint restore of every resident session).
+    pub recovery_seconds: m2ai_obs::Histogram,
 }
 
 pub(crate) fn fabric_instruments() -> &'static FabricInstruments {
@@ -97,6 +121,28 @@ pub(crate) fn fabric_instruments() -> &'static FabricInstruments {
             "m2ai_fabric_rejections_total",
             "fabric admissions refused with every shard full",
             &[("reason", "fabric_full")],
+        ),
+        checkpoints: m2ai_obs::counter(
+            "m2ai_fabric_checkpoints_total",
+            "session snapshots captured into the checkpoint store",
+            &[],
+        ),
+        checkpoint_seconds: m2ai_obs::histogram(
+            "m2ai_fabric_checkpoint_seconds",
+            "wall time of a fabric-wide checkpoint sweep",
+            &[],
+            &m2ai_obs::latency_buckets(),
+        ),
+        quarantined: m2ai_obs::counter(
+            "m2ai_fabric_quarantined_total",
+            "sessions quarantined after repeated engine panics",
+            &[],
+        ),
+        recovery_seconds: m2ai_obs::histogram(
+            "m2ai_fabric_recovery_seconds",
+            "shard death-to-serving recovery wall time",
+            &[],
+            &m2ai_obs::latency_buckets(),
         ),
     })
 }

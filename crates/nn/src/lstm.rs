@@ -446,6 +446,23 @@ impl LstmStackState {
         }
     }
 
+    /// Number of stacked layers this state carries.
+    pub fn n_layers(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Rebuilds a state from per-layer hidden and cell vectors (the
+    /// deserialisation path of a stream checkpoint). Returns `None`
+    /// when the layer counts differ or any layer's hidden and cell
+    /// lengths disagree — a state that could not have come from
+    /// [`LstmStack::zero_state`].
+    pub fn from_parts(h: Vec<Vec<f32>>, c: Vec<Vec<f32>>) -> Option<LstmStackState> {
+        if h.len() != c.len() || h.iter().zip(&c).any(|(a, b)| a.len() != b.len()) {
+            return None;
+        }
+        Some(LstmStackState { h, c })
+    }
+
     /// Hidden state of layer `l`.
     pub fn hidden(&self, l: usize) -> &[f32] {
         &self.h[l]

@@ -16,6 +16,7 @@ use crate::error::Error;
 use crate::layers::{Dense, SeqCache, Sequential, TwoBranchCache, TwoBranchEncoder};
 use crate::loss::{softmax, softmax_cross_entropy};
 use crate::lstm::{LstmStack, LstmStackState};
+use crate::serialize::CheckpointError;
 use crate::Parameterized;
 use m2ai_kernels::{self as kernels, KernelScratch};
 use std::collections::VecDeque;
@@ -48,6 +49,13 @@ fn forward_latency(path: &'static str) -> m2ai_obs::Histogram {
         _ => step.clone(),
     }
 }
+
+/// Magic bytes of a serialised [`StreamState`] (distinct from the
+/// `b"M2AI"` parameter-checkpoint magic so the two formats cannot be
+/// confused).
+const STREAM_MAGIC: &[u8; 4] = b"M2SS";
+/// Version of the [`StreamState`] wire format.
+const STREAM_VERSION: u32 = 1;
 
 /// Per-frame encoder: a plain layer chain or the two-branch merge.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,6 +220,160 @@ impl StreamState {
             l.reset();
         }
         self.probs.clear();
+    }
+
+    /// True when `other` carries the same LSTM layer geometry and
+    /// window length as `self` — i.e. it could have been produced by
+    /// the same model and serving configuration. The cheap structural
+    /// gate a restore path runs before adopting a foreign state.
+    pub fn shape_matches(&self, other: &StreamState) -> bool {
+        if self.history != other.history {
+            return false;
+        }
+        match (&self.lstm, &other.lstm) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.n_layers() == b.n_layers()
+                    && (0..a.n_layers()).all(|l| {
+                        a.hidden(l).len() == b.hidden(l).len() && a.cell(l).len() == b.cell(l).len()
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    /// True when every buffered softmax row has exactly `n` classes.
+    pub fn class_dim_is(&self, n: usize) -> bool {
+        self.probs.iter().all(|p| p.len() == n)
+    }
+
+    /// Serialises the full stream state — LSTM hidden/cell per layer
+    /// plus the softmax window ring — into a self-describing byte
+    /// vector (all little-endian):
+    ///
+    /// ```text
+    /// magic   b"M2SS"    4 bytes
+    /// version u32        currently 1
+    /// history u32        window length
+    /// lstm    u8         0 = CNN-only, 1 = LSTM state follows
+    /// if lstm: layers u32, then per layer: len u32, len × f32 hidden,
+    ///          len × f32 cell
+    /// rows    u32        buffered softmax rows, oldest first
+    /// per row: len u32, then len × f32
+    /// ```
+    ///
+    /// Values round-trip bit-exactly ([`StreamState::from_bytes`]
+    /// restores f32 bit patterns verbatim), so a restored stream
+    /// continues bit-identically to an uninterrupted one.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STREAM_MAGIC);
+        out.extend_from_slice(&STREAM_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.history as u32).to_le_bytes());
+        match &self.lstm {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&(s.n_layers() as u32).to_le_bytes());
+                for l in 0..s.n_layers() {
+                    out.extend_from_slice(&(s.hidden(l).len() as u32).to_le_bytes());
+                    for v in s.hidden(l).iter().chain(s.cell(l)) {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&(self.probs.len() as u32).to_le_bytes());
+        for row in &self.probs {
+            out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+            for v in row {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restores a state saved by [`StreamState::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the bytes are malformed
+    /// (wrong magic/version, truncation, trailing bytes, a zero
+    /// window, or more buffered rows than the window holds). Model
+    /// compatibility is *not* checked here — run
+    /// [`StreamState::shape_matches`] against a freshly minted state
+    /// before stepping the restored one.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StreamState, CheckpointError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+            if *pos + n > bytes.len() {
+                return Err(CheckpointError::Truncated);
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let read_u32 = |pos: &mut usize| -> Result<u32, CheckpointError> {
+            Ok(u32::from_le_bytes(
+                take(pos, 4)?.try_into().expect("4 bytes"),
+            ))
+        };
+        let read_f32s = |pos: &mut usize, n: usize| -> Result<Vec<f32>, CheckpointError> {
+            Ok(take(pos, n * 4)?
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect())
+        };
+        if take(&mut pos, 4)? != STREAM_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = read_u32(&mut pos)?;
+        if version != STREAM_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let history = read_u32(&mut pos)? as usize;
+        if history == 0 {
+            return Err(CheckpointError::ShapeMismatch {
+                index: 0,
+                expected: 1,
+                got: 0,
+            });
+        }
+        let lstm = match take(&mut pos, 1)?[0] {
+            0 => None,
+            _ => {
+                let layers = read_u32(&mut pos)? as usize;
+                let mut h = Vec::with_capacity(layers);
+                let mut c = Vec::with_capacity(layers);
+                for _ in 0..layers {
+                    let len = read_u32(&mut pos)? as usize;
+                    h.push(read_f32s(&mut pos, len)?);
+                    c.push(read_f32s(&mut pos, len)?);
+                }
+                Some(LstmStackState::from_parts(h, c).expect("lengths read pairwise"))
+            }
+        };
+        let rows = read_u32(&mut pos)? as usize;
+        if rows > history {
+            return Err(CheckpointError::ShapeMismatch {
+                index: 0,
+                expected: history,
+                got: rows,
+            });
+        }
+        let mut probs = VecDeque::with_capacity(history);
+        for _ in 0..rows {
+            let len = read_u32(&mut pos)? as usize;
+            probs.push_back(read_f32s(&mut pos, len)?);
+        }
+        if pos != bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(StreamState {
+            lstm,
+            probs,
+            history,
+        })
     }
 
     /// Pushes one frame's softmax output and returns the running mean
@@ -929,5 +1091,77 @@ mod tests {
     #[should_panic(expected = "history")]
     fn zero_history_stream_panics() {
         tiny_model(0).stream_state(0);
+    }
+
+    #[test]
+    fn stream_state_bytes_roundtrip_bitwise() {
+        // Mid-stream snapshot → bytes → restore must continue
+        // bit-identically to the uninterrupted stream, for every
+        // architecture variant (including the LSTM-less one).
+        let frames = toy_frames(7);
+        for (name, m) in variants(21) {
+            let mut live = m.stream_state(3);
+            for f in &frames[..4] {
+                m.step(f, &mut live);
+            }
+            let bytes = live.to_bytes();
+            let mut restored = StreamState::from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(restored, live, "{name}: restored state differs");
+            assert!(restored.shape_matches(&m.stream_state(3)), "{name}");
+            assert!(restored.class_dim_is(m.n_classes()), "{name}");
+            for f in &frames[4..] {
+                let a = m.step(f, &mut live);
+                let b = m.step(f, &mut restored);
+                assert_eq!(a, b, "{name}: restored stream diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_state_bytes_reject_malformed() {
+        let m = tiny_model(22);
+        let mut state = m.stream_state(2);
+        m.step(&[0.1, 0.2, 0.3, 0.4], &mut state);
+        let bytes = state.to_bytes();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            StreamState::from_bytes(&bad),
+            Err(CheckpointError::BadMagic)
+        );
+        let mut vers = bytes.clone();
+        vers[4] = 9;
+        assert!(matches!(
+            StreamState::from_bytes(&vers),
+            Err(CheckpointError::BadVersion(9))
+        ));
+        assert_eq!(
+            StreamState::from_bytes(&bytes[..bytes.len() - 2]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            StreamState::from_bytes(&trailing),
+            Err(CheckpointError::Truncated)
+        );
+    }
+
+    #[test]
+    fn stream_state_shape_gate_rejects_other_models() {
+        // A state minted by a structurally different model must fail
+        // the shape gate (that is the restore path's only guard).
+        let a = tiny_model(23).stream_state(3);
+        let wider = SequenceClassifier::new(
+            Sequential::new(vec![Layer::dense(4, 6, 1), Layer::relu()]),
+            LstmStack::new(6, &[9], 1),
+            3,
+            1,
+        );
+        assert!(!a.shape_matches(&wider.stream_state(3)));
+        assert!(!a.shape_matches(&tiny_model(23).stream_state(4)));
+        let cnn_only =
+            SequenceClassifier::without_lstm(Sequential::new(vec![Layer::dense(4, 6, 1)]), 6, 3, 1);
+        assert!(!a.shape_matches(&cnn_only.stream_state(3)));
     }
 }

@@ -77,6 +77,9 @@ fn single_shard_config() -> FabricConfig {
         vnodes: 16,
         ingress_capacity: 4096,
         serve: serve_config(),
+        // Supervision stays ON here: the equivalence suite pins that
+        // heartbeats and periodic checkpoints never perturb numerics.
+        supervision: Default::default(),
     }
 }
 

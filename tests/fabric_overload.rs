@@ -99,6 +99,7 @@ fn frozen_ingress_sheds_exactly_past_capacity_and_obs_agrees() {
                 queue_capacity: 64,
                 ..ServeConfig::default()
             },
+            supervision: Default::default(),
         },
     );
     // Open first (a sync round-trip with the worker), then freeze the
@@ -182,6 +183,7 @@ fn held_engine_queue_sheds_oldest_and_reports_per_session() {
                 queue_capacity: QUEUE,
                 ..ServeConfig::default()
             },
+            supervision: Default::default(),
         },
     );
     let key = fabric.open_session().expect("capacity");
@@ -242,6 +244,7 @@ fn admission_spills_before_refusing_and_obs_agrees() {
                 queue_capacity: 8,
                 ..ServeConfig::default()
             },
+            supervision: Default::default(),
         },
     );
     // Graceful degradation: both opens succeed even though one of them

@@ -121,6 +121,7 @@ fn soak() -> SoakOutcome {
                 queue_capacity: 256,
                 ..ServeConfig::default()
             },
+            supervision: Default::default(),
         },
     );
     let chunks = faulty_chunks();
