@@ -70,6 +70,15 @@ fn main() {
                     m2ai_bench::throughput::run_and_write("BENCH_throughput.json");
                 }
             }
+            "quant" => {
+                if args.iter().any(|a| a == "--check") {
+                    if !m2ai_bench::quant::check(budget, "BENCH_quant.json") {
+                        std::process::exit(1);
+                    }
+                } else {
+                    m2ai_bench::quant::run_and_write(budget, "BENCH_quant.json");
+                }
+            }
             "serve" => {
                 if args.iter().any(|a| a == "--check") {
                     if !m2ai_bench::serve::check("BENCH_serve.json") {
@@ -108,7 +117,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput serve shard chaos obs; flags --fast --check --metrics-out <path>"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput quant serve shard chaos obs; flags --fast --check --metrics-out <path>"
                 );
                 std::process::exit(2);
             }

@@ -10,6 +10,7 @@
 
 pub mod chaos;
 pub mod obs;
+pub mod quant;
 pub mod robustness;
 pub mod serve;
 pub mod shard;

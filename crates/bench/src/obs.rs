@@ -35,6 +35,9 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "m2ai_par_tasks_total",
     "m2ai_motion_catalog_builds_total",
     "m2ai_kernels_backend_active",
+    "m2ai_kernels_gemm_seconds",
+    "m2ai_kernels_tile_tasks_total",
+    "m2ai_kernels_quant_calib_absmax",
     "m2ai_nn_fit_epochs_total",
     "m2ai_nn_batches_skipped_total",
     "m2ai_nn_rollbacks_total",
@@ -72,6 +75,7 @@ const NONZERO_COUNTERS: &[&str] = &[
     "m2ai_dsp_steering_cache_total",
     "m2ai_par_tasks_total",
     "m2ai_motion_catalog_builds_total",
+    "m2ai_kernels_tile_tasks_total",
     "m2ai_nn_fit_epochs_total",
     "m2ai_core_health_transitions_total",
     "m2ai_serve_predictions_total",
@@ -85,6 +89,8 @@ const NONZERO_COUNTERS: &[&str] = &[
 /// workload.
 const NONZERO_HISTOGRAMS: &[&str] = &[
     "m2ai_extract_stage_seconds",
+    "m2ai_kernels_gemm_seconds",
+    "m2ai_kernels_quant_calib_absmax",
     "m2ai_nn_forward_seconds",
     "m2ai_core_frame_coverage_ratio",
     "m2ai_serve_batch_size",
@@ -217,6 +223,16 @@ pub fn smoke_workload() {
     );
     let mut scratch = m2ai_kernels::KernelScratch::new();
     let _ = model.predict_proba_with(&samples[0].0, &mut scratch);
+
+    // One tile-parallel GEMM past the worthwhile floor (tile-task
+    // counter) and one calibration pass (quant range histograms).
+    let (m, n, k) = (160, 128, 64);
+    let a = vec![0.01f32; m * k];
+    let b = vec![0.02f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    m2ai_kernels::tiled::gemm_nn_with_threads(m, n, k, &a, &b, &mut c, 2);
+    let mut qmodel = model.clone();
+    qmodel.prepare_quantized(samples.iter().map(|(frames, _)| frames.as_slice()));
 }
 
 /// Checks the live registry against the golden metric list. Returns

@@ -12,11 +12,21 @@
 //! the same machine's reference-kernel training rate, so an absolute
 //! slowdown of the runner cancels out) or if the fast-over-reference
 //! training speedup drops below the 2× floor the PR promises.
+//!
+//! The tiled-GEMM PR adds a **parallel training gate**: a batched
+//! dense training step (a 256-row forward + backward, the canonical
+//! GEMM triple of batched training) measured under the single-thread
+//! fast backend and again under [`Backend::FastParallel`]. On a
+//! machine with ≥ 4 cores the parallel path must be ≥ 1.3× faster;
+//! with fewer cores the tiled path cannot win and the gate logs a
+//! skip. The report also carries a `cores` field (like BENCH_shard /
+//! BENCH_chaos) so relative checks only compare like with like.
 
 use m2ai_core::calibration::PhaseCalibrator;
 use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
 use m2ai_core::network::{build_model, Architecture};
 use m2ai_kernels::{self as kernels, Backend};
+use m2ai_nn::layers::Dense;
 use m2ai_nn::model::SequenceClassifier;
 use m2ai_nn::Parameterized;
 use m2ai_rfsim::geometry::Point2;
@@ -37,6 +47,22 @@ const MAX_REGRESSION: f64 = 0.15;
 /// Minimum fast-over-reference training speedup.
 const MIN_TRAIN_SPEEDUP: f64 = 2.0;
 
+/// Minimum parallel-over-single-thread batched-train speedup on a
+/// machine with at least [`PARALLEL_GATE_CORES`] cores.
+const MIN_PARALLEL_SPEEDUP: f64 = 1.3;
+
+/// Core count below which the parallel gate is skipped with a log
+/// line instead of enforced.
+const PARALLEL_GATE_CORES: f64 = 4.0;
+
+/// Rows per batched dense training step: large enough that every GEMM
+/// in the triple (`Y = X·Wᵀ`, `∂W = ∂Yᵀ·X`, `∂X = ∂Y·W`) crosses the
+/// tiled path's worthwhile threshold.
+const BATCH_ROWS: usize = 256;
+
+/// Width of the batched dense training layer (square: in = out).
+const BATCH_DIM: usize = 256;
+
 /// One throughput measurement (all rates in events per second).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputReport {
@@ -51,6 +77,14 @@ pub struct ThroughputReport {
     pub predictions_per_sec_online: f64,
     /// `samples_per_sec_train_fast / samples_per_sec_train_reference`.
     pub train_speedup: f64,
+    /// Logical cores on the measuring machine.
+    pub cores: f64,
+    /// Batched dense training rows/sec, single-thread fast kernels.
+    pub rows_per_sec_batch_train_fast: f64,
+    /// Batched dense training rows/sec, tiled parallel kernels.
+    pub rows_per_sec_batch_train_parallel: f64,
+    /// `rows_per_sec_batch_train_parallel / rows_per_sec_batch_train_fast`.
+    pub parallel_train_speedup: f64,
 }
 
 impl ThroughputReport {
@@ -58,7 +92,7 @@ impl ThroughputReport {
     /// the workspace carries no serde). Key order is fixed.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"m2ai-throughput-v1\",\n");
+        out.push_str("  \"schema\": \"m2ai-throughput-v2\",\n");
         out.push_str(&format!(
             "  \"frames_per_sec_extract\": {},\n",
             json_f64(self.frames_per_sec_extract)
@@ -76,8 +110,21 @@ impl ThroughputReport {
             json_f64(self.predictions_per_sec_online)
         ));
         out.push_str(&format!(
-            "  \"train_speedup\": {}\n",
+            "  \"train_speedup\": {},\n",
             json_f64(self.train_speedup)
+        ));
+        out.push_str(&format!("  \"cores\": {},\n", json_f64(self.cores)));
+        out.push_str(&format!(
+            "  \"rows_per_sec_batch_train_fast\": {},\n",
+            json_f64(self.rows_per_sec_batch_train_fast)
+        ));
+        out.push_str(&format!(
+            "  \"rows_per_sec_batch_train_parallel\": {},\n",
+            json_f64(self.rows_per_sec_batch_train_parallel)
+        ));
+        out.push_str(&format!(
+            "  \"parallel_train_speedup\": {}\n",
+            json_f64(self.parallel_train_speedup)
         ));
         out.push('}');
         out.push('\n');
@@ -94,6 +141,13 @@ impl ThroughputReport {
             samples_per_sec_train_reference: parse_metric(json, "samples_per_sec_train_reference")?,
             predictions_per_sec_online: parse_metric(json, "predictions_per_sec_online")?,
             train_speedup: parse_metric(json, "train_speedup")?,
+            cores: parse_metric(json, "cores")?,
+            rows_per_sec_batch_train_fast: parse_metric(json, "rows_per_sec_batch_train_fast")?,
+            rows_per_sec_batch_train_parallel: parse_metric(
+                json,
+                "rows_per_sec_batch_train_parallel",
+            )?,
+            parallel_train_speedup: parse_metric(json, "parallel_train_speedup")?,
         })
     }
 }
@@ -176,6 +230,29 @@ fn rate(iters: usize, events_per_iter: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+fn available_cores() -> f64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as f64)
+        .unwrap_or(1.0)
+}
+
+/// Rows/sec through one batched dense training step (forward +
+/// backward over [`BATCH_ROWS`] rows) under the currently active
+/// kernel backend. Every GEMM in the step is large enough to cross
+/// the tiled path's worthwhile threshold, so this is the workload the
+/// parallel gate compares across backends.
+fn batch_train_rate(iters: usize) -> f64 {
+    let mut layer = Dense::new(BATCH_DIM, BATCH_DIM, 17);
+    let xs: Vec<f32> = (0..BATCH_ROWS * BATCH_DIM)
+        .map(|i| ((i.wrapping_mul(2654435761)) & 0xffff) as f32 / 65536.0 - 0.5)
+        .collect();
+    rate(iters, BATCH_ROWS, || {
+        let ys = layer.forward_batch(&xs, BATCH_ROWS);
+        std::hint::black_box(layer.backward_batch(&xs, &ys, BATCH_ROWS));
+        layer.visit_params(&mut |_, g| g.fill(0.0));
+    })
+}
+
 /// Measures the report on the current machine. Restores the fast
 /// backend before returning regardless of entry state.
 pub fn run() -> ThroughputReport {
@@ -203,6 +280,10 @@ pub fn run() -> ThroughputReport {
     kernels::set_backend(Backend::Reference);
     let samples_per_sec_train_reference = train(8);
     kernels::set_backend(Backend::Fast);
+    let rows_per_sec_batch_train_fast = batch_train_rate(8);
+    kernels::set_backend(Backend::FastParallel);
+    let rows_per_sec_batch_train_parallel = batch_train_rate(8);
+    kernels::set_backend(Backend::Fast);
 
     let report = ThroughputReport {
         frames_per_sec_extract,
@@ -210,6 +291,10 @@ pub fn run() -> ThroughputReport {
         samples_per_sec_train_reference,
         predictions_per_sec_online,
         train_speedup: samples_per_sec_train_fast / samples_per_sec_train_reference,
+        cores: available_cores(),
+        rows_per_sec_batch_train_fast,
+        rows_per_sec_batch_train_parallel,
+        parallel_train_speedup: rows_per_sec_batch_train_parallel / rows_per_sec_batch_train_fast,
     };
     println!(
         "extraction    {:>10.1} frames/sec",
@@ -231,6 +316,19 @@ pub fn run() -> ThroughputReport {
         "train speedup {:>10.2}x fast over reference",
         report.train_speedup
     );
+    println!("cores         {:>10.0}", report.cores);
+    println!(
+        "batch (fast)  {:>10.1} rows/sec",
+        report.rows_per_sec_batch_train_fast
+    );
+    println!(
+        "batch (par)   {:>10.1} rows/sec",
+        report.rows_per_sec_batch_train_parallel
+    );
+    println!(
+        "par speedup   {:>10.2}x parallel over single-thread",
+        report.parallel_train_speedup
+    );
     report
 }
 
@@ -250,10 +348,39 @@ pub fn regressions(fresh: &ThroughputReport, baseline: &ThroughputReport) -> Vec
             fresh.train_speedup
         ));
     }
+    // Parallel gate: absolute, core-aware. Below the core floor the
+    // tiled path cannot win (it falls back to single-thread), so the
+    // gate is skipped with a log line rather than enforced.
+    if fresh.cores >= PARALLEL_GATE_CORES {
+        // NaN-safe: NaN must fail, not pass.
+        if !fresh.parallel_train_speedup.ge(&MIN_PARALLEL_SPEEDUP) {
+            failures.push(format!(
+                "parallel_train_speedup {:.2}x is below the {MIN_PARALLEL_SPEEDUP}x floor \
+                 on {:.0} cores",
+                fresh.parallel_train_speedup, fresh.cores
+            ));
+        }
+    } else {
+        println!(
+            "throughput gate: {:.0} core(s) < {PARALLEL_GATE_CORES:.0}; \
+             skipping the parallel train speedup gate",
+            fresh.cores
+        );
+    }
     let norm_fresh = fresh.samples_per_sec_train_reference;
     let norm_base = baseline.samples_per_sec_train_reference;
     if norm_fresh <= 0.0 || norm_base <= 0.0 {
         failures.push("reference training rate is non-positive; cannot normalise".to_string());
+        return failures;
+    }
+    // Relative checks only compare like with like: a 1-core baseline
+    // says nothing about a multi-core runner's rates (and vice versa).
+    if fresh.cores != baseline.cores {
+        println!(
+            "throughput gate: baseline cores {:.0} != fresh cores {:.0}; \
+             skipping relative checks",
+            baseline.cores, fresh.cores
+        );
         return failures;
     }
     for (name, f, b) in [
@@ -271,6 +398,11 @@ pub fn regressions(fresh: &ThroughputReport, baseline: &ThroughputReport) -> Vec
             "predictions_per_sec_online",
             fresh.predictions_per_sec_online,
             baseline.predictions_per_sec_online,
+        ),
+        (
+            "rows_per_sec_batch_train_fast",
+            fresh.rows_per_sec_batch_train_fast,
+            baseline.rows_per_sec_batch_train_fast,
         ),
     ] {
         let r_fresh = f / norm_fresh;
@@ -338,6 +470,10 @@ mod tests {
             samples_per_sec_train_reference: reference,
             predictions_per_sec_online: predict,
             train_speedup: fast / reference,
+            cores: 1.0,
+            rows_per_sec_batch_train_fast: fast * 10.0,
+            rows_per_sec_batch_train_parallel: fast * 10.0,
+            parallel_train_speedup: 1.0,
         }
     }
 
@@ -393,6 +529,56 @@ mod tests {
         assert!(failures
             .iter()
             .any(|f| f.contains("samples_per_sec_train_fast")));
+    }
+
+    #[test]
+    fn parallel_gate_skips_below_core_floor() {
+        let mut r = report(100.0, 50.0, 20.0, 200.0);
+        r.cores = 1.0;
+        r.parallel_train_speedup = 0.9; // would fail on 4 cores
+        assert!(regressions(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn parallel_gate_enforced_at_four_cores() {
+        let mut base = report(100.0, 50.0, 20.0, 200.0);
+        base.cores = 4.0;
+        base.parallel_train_speedup = 2.0;
+        let mut bad = base.clone();
+        bad.parallel_train_speedup = 1.1;
+        let failures = regressions(&bad, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("parallel_train_speedup"));
+        // NaN must fail the floor, not sneak past it.
+        bad.parallel_train_speedup = f64::NAN;
+        assert!(!regressions(&bad, &base).is_empty());
+        assert!(regressions(&base, &base).is_empty());
+    }
+
+    #[test]
+    fn cores_mismatch_skips_relative_checks_only() {
+        let base = report(120.0, 60.0, 20.0, 240.0);
+        // Same machine-relative slowdown that trips the gate when the
+        // core counts match...
+        let mut bad = report(84.0, 60.0, 20.0, 240.0);
+        assert!(!regressions(&bad, &base).is_empty());
+        // ...is ignored when the baseline came from different iron.
+        bad.cores = 8.0;
+        bad.parallel_train_speedup = 2.0;
+        assert!(regressions(&bad, &base).is_empty());
+        // But absolute floors still apply across core counts.
+        bad.train_speedup = 1.0;
+        assert!(regressions(&bad, &base).iter().any(|f| f.contains("floor")));
+    }
+
+    #[test]
+    fn batch_train_rate_regression_is_normalised() {
+        let base = report(120.0, 60.0, 20.0, 240.0);
+        let mut bad = base.clone();
+        bad.rows_per_sec_batch_train_fast *= 0.5;
+        let failures = regressions(&bad, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("rows_per_sec_batch_train_fast"));
     }
 
     #[test]

@@ -147,6 +147,14 @@ pub struct ServeConfig {
     pub history_len: usize,
     /// Health thresholds applied per session.
     pub health: HealthConfig,
+    /// Kernel backend to activate when the engine is constructed.
+    ///
+    /// `None` (the default) inherits whatever process-wide backend is
+    /// already active, so existing callers are unaffected. `Some(b)`
+    /// switches the process backend on construction — for
+    /// [`m2ai_kernels::Backend::QuantI8`] the model must already have
+    /// been prepared via `SequenceClassifier::prepare_quantized`.
+    pub backend: Option<m2ai_kernels::Backend>,
 }
 
 impl Default for ServeConfig {
@@ -157,6 +165,7 @@ impl Default for ServeConfig {
             queue_capacity: 32,
             history_len: 12,
             health: HealthConfig::default(),
+            backend: None,
         }
     }
 }
@@ -298,6 +307,9 @@ impl ServeEngine {
         assert!(cfg.max_sessions > 0, "need at least one session slot");
         assert!(cfg.max_batch > 0, "micro-batch window must be positive");
         assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        if let Some(b) = cfg.backend {
+            m2ai_kernels::set_backend(b);
+        }
         let slots = (0..cfg.max_sessions).map(|_| None).collect();
         ServeEngine {
             model,

@@ -49,7 +49,9 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod fast;
 pub mod im2col;
+pub mod quant;
 pub mod reference;
+pub mod tiled;
 
 /// Which kernel implementation the top-level dispatchers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +60,16 @@ pub enum Backend {
     Reference,
     /// Register-blocked `mul_add` microkernels (the default).
     Fast,
+    /// The [`fast`] microkernels wrapped in cache-blocked macro-tiling
+    /// with a thread-budgeted parallel M-tile loop ([`tiled`]).
+    /// Bit-identical to [`Backend::Fast`] for every shape and thread
+    /// count; small shapes fall through to `fast` untouched.
+    FastParallel,
+    /// Int8 quantized inference: layers with prepared [`quant`] state
+    /// run i8×i8→i32 matmuls with an f32 dequant epilogue. All
+    /// remaining f32 dispatches (training, unprepared layers, gate
+    /// math) behave exactly like [`Backend::Fast`].
+    QuantI8,
 }
 
 static BACKEND: AtomicU8 = AtomicU8::new(1);
@@ -66,6 +78,8 @@ static BACKEND: AtomicU8 = AtomicU8::new(1);
 pub fn backend() -> Backend {
     match BACKEND.load(Ordering::Relaxed) {
         0 => Backend::Reference,
+        2 => Backend::FastParallel,
+        3 => Backend::QuantI8,
         _ => Backend::Fast,
     }
 }
@@ -79,35 +93,92 @@ pub fn set_backend(b: Backend) {
     let v = match b {
         Backend::Reference => 0,
         Backend::Fast => 1,
+        Backend::FastParallel => 2,
+        Backend::QuantI8 => 3,
     };
     BACKEND.store(v, Ordering::Relaxed);
     obs_metrics::record_backend(b);
 }
 
-/// Backend-selection metrics (which kernel implementation is live).
+/// Backend-selection and GEMM-timing metrics.
 mod obs_metrics {
     use super::Backend;
     use std::sync::OnceLock;
+    use std::time::Instant;
 
-    fn gauges() -> &'static (m2ai_obs::Gauge, m2ai_obs::Gauge) {
-        static G: OnceLock<(m2ai_obs::Gauge, m2ai_obs::Gauge)> = OnceLock::new();
+    fn gauges() -> &'static [m2ai_obs::Gauge; 4] {
+        static G: OnceLock<[m2ai_obs::Gauge; 4]> = OnceLock::new();
         G.get_or_init(|| {
             let help = "1 when this kernel backend is the active dispatcher target";
-            (
+            [
                 m2ai_obs::gauge(
                     "m2ai_kernels_backend_active",
                     help,
                     &[("backend", "reference")],
                 ),
                 m2ai_obs::gauge("m2ai_kernels_backend_active", help, &[("backend", "fast")]),
-            )
+                m2ai_obs::gauge(
+                    "m2ai_kernels_backend_active",
+                    help,
+                    &[("backend", "fast_parallel")],
+                ),
+                m2ai_obs::gauge(
+                    "m2ai_kernels_backend_active",
+                    help,
+                    &[("backend", "quant_i8")],
+                ),
+            ]
         })
     }
 
     pub(super) fn record_backend(b: Backend) {
-        let (reference, fast) = gauges();
+        let [reference, fast, fast_parallel, quant] = gauges();
         reference.set((b == Backend::Reference) as i64);
         fast.set((b == Backend::Fast) as i64);
+        fast_parallel.set((b == Backend::FastParallel) as i64);
+        quant.set((b == Backend::QuantI8) as i64);
+    }
+
+    fn gemm_seconds() -> &'static [m2ai_obs::Histogram; 3] {
+        static H: OnceLock<[m2ai_obs::Histogram; 3]> = OnceLock::new();
+        H.get_or_init(|| {
+            let help = "wall seconds per dispatched GEMM, by multiply-add count \
+                        (small < 2^16, medium < 2^20, large >= 2^20)";
+            let mk = |labels| {
+                m2ai_obs::histogram(
+                    "m2ai_kernels_gemm_seconds",
+                    help,
+                    labels,
+                    &m2ai_obs::latency_buckets(),
+                )
+            };
+            [
+                mk(&[("shape_class", "small")]),
+                mk(&[("shape_class", "medium")]),
+                mk(&[("shape_class", "large")]),
+            ]
+        })
+    }
+
+    /// Times one dispatched GEMM; the histogram is keyed by a coarse
+    /// flop class so tile-level wins are visible per shape regime.
+    pub(super) fn time_gemm<R>(m: usize, n: usize, k: usize, f: impl FnOnce() -> R) -> R {
+        if !m2ai_obs::enabled() {
+            return f();
+        }
+        let [small, medium, large] = gemm_seconds();
+        let flops = m.saturating_mul(n).saturating_mul(k);
+        let h = if flops < 1 << 16 {
+            small
+        } else if flops < 1 << 20 {
+            medium
+        } else {
+            large
+        };
+        let t0 = Instant::now();
+        let out = f();
+        h.observe(t0.elapsed().as_secs_f64());
+        out
     }
 }
 
@@ -123,10 +194,11 @@ pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
         // C[0,j] += Σ_p a[p]·b[p·n+j] is exactly y += Bᵀ·a.
         return gemv_t(k, n, b, a, c);
     }
-    match backend() {
-        Backend::Fast => fast::gemm_nn(m, n, k, a, b, c),
+    obs_metrics::time_gemm(m, n, k, || match backend() {
+        Backend::Fast | Backend::QuantI8 => fast::gemm_nn(m, n, k, a, b, c),
+        Backend::FastParallel => tiled::gemm_nn(m, n, k, a, b, c),
         Backend::Reference => reference::gemm_nn(m, n, k, a, b, c),
-    }
+    })
 }
 
 /// C\[m×n\] += A\[m×k\] · Bᵀ where B is \[n×k\] row-major.
@@ -140,33 +212,35 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
         // C[0,j] += Σ_p a[p]·b[j·k+p] is exactly y += B·a.
         return gemv(n, k, b, a, c);
     }
-    match backend() {
-        Backend::Fast => fast::gemm_nt(m, n, k, a, b, c),
+    obs_metrics::time_gemm(m, n, k, || match backend() {
+        Backend::Fast | Backend::QuantI8 => fast::gemm_nt(m, n, k, a, b, c),
+        Backend::FastParallel => tiled::gemm_nt(m, n, k, a, b, c),
         Backend::Reference => reference::gemm_nt(m, n, k, a, b, c),
-    }
+    })
 }
 
 /// C\[m×n\] += Aᵀ · B where A is \[k×m\] and B is \[k×n\], row-major.
 pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    match backend() {
-        Backend::Fast => fast::gemm_tn(m, n, k, a, b, c),
+    obs_metrics::time_gemm(m, n, k, || match backend() {
+        Backend::Fast | Backend::QuantI8 => fast::gemm_tn(m, n, k, a, b, c),
+        Backend::FastParallel => tiled::gemm_tn(m, n, k, a, b, c),
         Backend::Reference => reference::gemm_tn(m, n, k, a, b, c),
-    }
+    })
 }
 
 /// y\[m\] += A\[m×k\] · x\[k\] (row-major A).
 pub fn gemv(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
     match backend() {
-        Backend::Fast => fast::gemv(m, k, a, x, y),
         Backend::Reference => reference::gemv(m, k, a, x, y),
+        _ => fast::gemv(m, k, a, x, y),
     }
 }
 
 /// y\[n\] += Aᵀ · x, i.e. `y[j] += Σ_r x[r] * a[r*n + j]` for A \[r×n\].
 pub fn gemv_t(r: usize, n: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
     match backend() {
-        Backend::Fast => fast::gemv_t(r, n, a, x, y),
         Backend::Reference => reference::gemv_t(r, n, a, x, y),
+        _ => fast::gemv_t(r, n, a, x, y),
     }
 }
 

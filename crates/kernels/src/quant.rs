@@ -1,0 +1,342 @@
+//! Int8 symmetric quantization primitives for the inference path.
+//!
+//! Scheme (the standard post-training recipe):
+//!
+//! * **Weights** are quantized *per output channel* (per row of the
+//!   `out × in` weight matrix): `scale[o] = max|w[o,:]| / 127`,
+//!   `q[o,i] = round(w[o,i] / scale[o])`. Per-channel scales cost one
+//!   f32 per output and remove the accuracy cliff that a single
+//!   per-tensor scale hits when channel magnitudes differ.
+//! * **Activations** are quantized *per tensor* with a scale frozen by
+//!   a calibration pass over the golden set (`scale = max|x| / 127`
+//!   over every activation the site ever saw). Values outside the
+//!   calibrated range saturate at ±127.
+//! * **Accumulation** is exact: i8×i8 products summed in i32 (no
+//!   overflow until `k > 2^17`, far beyond any layer here), then a
+//!   single f32 dequant epilogue `y = acc · scale_x · scale_w[o] + b`.
+//!
+//! Integer accumulation is associative, so these kernels have no
+//! ordering contract to preserve — only the f32 epilogue rounds, once
+//! per output.
+
+/// A per-row (per-output-channel) symmetric int8 weight matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    /// Quantized values, `rows × cols` row-major.
+    pub q: Vec<i8>,
+    /// Dequantization scale per row: `w[r,c] ≈ q[r,c] · scales[r]`.
+    pub scales: Vec<f32>,
+    /// Number of rows (output channels).
+    pub rows: usize,
+    /// Number of columns (reduction dimension).
+    pub cols: usize,
+}
+
+/// Quantizes `w` (`rows × cols` row-major) with one symmetric scale
+/// per row.
+pub fn quantize_rows(w: &[f32], rows: usize, cols: usize) -> QuantizedMatrix {
+    assert_eq!(w.len(), rows * cols, "quantize_rows: shape mismatch");
+    let mut q = Vec::with_capacity(rows * cols);
+    let mut scales = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let scale = activation_scale(max_abs(row));
+        scales.push(scale);
+        let inv = 1.0 / scale;
+        q.extend(row.iter().map(|&v| quantize_one(v, inv)));
+    }
+    QuantizedMatrix {
+        q,
+        scales,
+        rows,
+        cols,
+    }
+}
+
+/// Largest absolute value in `xs` (0 for an empty slice; NaN-free
+/// inputs assumed, as everywhere in this workspace).
+pub fn max_abs(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Symmetric scale mapping `[-max_abs, max_abs]` onto `[-127, 127]`.
+/// A degenerate (all-zero) range gets scale 1 so dequant stays finite.
+pub fn activation_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+#[inline]
+fn quantize_one(v: f32, inv_scale: f32) -> i8 {
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantizes `x` with a fixed per-tensor scale into `out`
+/// (cleared first; saturates outside the calibrated range).
+pub fn quantize_into(x: &[f32], scale: f32, out: &mut Vec<i8>) {
+    let inv = 1.0 / scale;
+    out.clear();
+    out.extend(x.iter().map(|&v| quantize_one(v, inv)));
+}
+
+/// C\[m×n\] (i32) += A\[m×k\] · Bᵀ where B is \[n×k\] row-major, both i8.
+///
+/// The dot-product layout used by `Dense` and the LSTM gate matmuls
+/// (weights stored `out × in`). Four independent i32 chains per block
+/// keep the integer pipeline busy; order is irrelevant (exact).
+pub fn gemm_i8_nt(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "gemm_i8_nt: A shape mismatch");
+    assert_eq!(b.len(), n * k, "gemm_i8_nt: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_i8_nt: C shape mismatch");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut acc = [0i32; 4];
+            for (p, &av) in arow.iter().enumerate() {
+                let av = av as i32;
+                acc[0] += av * b0[p] as i32;
+                acc[1] += av * b1[p] as i32;
+                acc[2] += av * b2[p] as i32;
+                acc[3] += av * b3[p] as i32;
+            }
+            for x in 0..4 {
+                crow[j + x] += acc[x];
+            }
+            j += 4;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = 0i32;
+            for (p, &av) in arow.iter().enumerate() {
+                s += av as i32 * brow[p] as i32;
+            }
+            crow[j] += s;
+            j += 1;
+        }
+    }
+}
+
+/// C\[m×n\] (i32) += A\[m×k\] · B\[k×n\], both i8 row-major.
+///
+/// The row-broadcast layout used by the im2col convolution
+/// (`W[c_out × r] · cols[r × len_out]`).
+pub fn gemm_i8_nn(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "gemm_i8_nn: A shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm_i8_nn: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_i8_nn: C shape mismatch");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let av = av as i32;
+            if av == 0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (slot, &bv) in crow.iter_mut().zip(brow) {
+                *slot += av * bv as i32;
+            }
+        }
+    }
+}
+
+/// Dequantizes an `nt`-layout accumulator (`m` activations × `n`
+/// output channels): `out[i,j] = acc[i,j] · x_scale · w_scales[j]`,
+/// plus `bias[j]` when given. `out` is overwritten.
+pub fn dequant_nt(
+    m: usize,
+    n: usize,
+    acc: &[i32],
+    x_scale: f32,
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(acc.len(), m * n, "dequant_nt: acc shape mismatch");
+    assert_eq!(out.len(), m * n, "dequant_nt: out shape mismatch");
+    assert_eq!(w_scales.len(), n, "dequant_nt: scales mismatch");
+    for i in 0..m {
+        let arow = &acc[i * n..(i + 1) * n];
+        let orow = &mut out[i * n..(i + 1) * n];
+        match bias {
+            Some(b) => {
+                for j in 0..n {
+                    orow[j] = arow[j] as f32 * (x_scale * w_scales[j]) + b[j];
+                }
+            }
+            None => {
+                for j in 0..n {
+                    orow[j] = arow[j] as f32 * (x_scale * w_scales[j]);
+                }
+            }
+        }
+    }
+}
+
+/// Dequantizes an `nn`-layout accumulator (`m` output channels × `n`
+/// positions): `out[i,j] = acc[i,j] · x_scale · w_scales[i]`, plus
+/// `bias[i]` when given. `out` is overwritten.
+pub fn dequant_nn(
+    m: usize,
+    n: usize,
+    acc: &[i32],
+    x_scale: f32,
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(acc.len(), m * n, "dequant_nn: acc shape mismatch");
+    assert_eq!(out.len(), m * n, "dequant_nn: out shape mismatch");
+    assert_eq!(w_scales.len(), m, "dequant_nn: scales mismatch");
+    for i in 0..m {
+        let s = x_scale * w_scales[i];
+        let b = bias.map_or(0.0, |b| b[i]);
+        let arow = &acc[i * n..(i + 1) * n];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for j in 0..n {
+            orow[j] = arow[j] as f32 * s + b;
+        }
+    }
+}
+
+/// Records one calibration observation (the max-abs activation a
+/// quantization site saw) into the
+/// `m2ai_kernels_quant_calib_absmax` histogram family.
+pub fn record_calibration(site: &'static str, max_abs: f32) {
+    use std::sync::{Mutex, OnceLock};
+    // The label slice must be 'static; map the known sites onto
+    // promoted literals (anything new lands in "other").
+    let labels: &'static [(&'static str, &'static str)] = match site {
+        "dense" => &[("site", "dense")],
+        "conv" => &[("site", "conv")],
+        "lstm_x" => &[("site", "lstm_x")],
+        "lstm_h" => &[("site", "lstm_h")],
+        _ => &[("site", "other")],
+    };
+    static H: OnceLock<Mutex<Vec<(&'static str, m2ai_obs::Histogram)>>> = OnceLock::new();
+    let table = H.get_or_init(|| Mutex::new(Vec::new()));
+    let mut table = table.lock().unwrap_or_else(|e| e.into_inner());
+    let h = match table.iter().find(|(s, _)| *s == labels[0].1) {
+        Some((_, h)) => h.clone(),
+        None => {
+            let h = m2ai_obs::histogram(
+                "m2ai_kernels_quant_calib_absmax",
+                "max-abs activation observed per calibration site (frozen int8 range = ±this)",
+                labels,
+                &[0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0],
+            );
+            table.push((labels[0].1, h.clone()));
+            h
+        }
+    };
+    drop(table);
+    h.observe(max_abs as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64, n: usize) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let w = lcg(1, 7 * 23);
+        let qm = quantize_rows(&w, 7, 23);
+        for r in 0..7 {
+            let scale = qm.scales[r];
+            for c in 0..23 {
+                let deq = qm.q[r * 23 + c] as f32 * scale;
+                assert!(
+                    (deq - w[r * 23 + c]).abs() <= scale * 0.5 + 1e-7,
+                    "row {r} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_row_scales_track_row_magnitude() {
+        // Row 0 is 100x larger than row 1; per-channel scales must
+        // keep row 1's resolution 100x finer.
+        let w = [100.0, -50.0, 1.0, -0.5];
+        let qm = quantize_rows(&w, 2, 2);
+        assert!((qm.scales[0] / qm.scales[1] - 100.0).abs() < 1e-3);
+        assert_eq!(qm.q[0], 127);
+        assert_eq!(qm.q[2], 127);
+    }
+
+    #[test]
+    fn quantize_saturates_outside_calibrated_range() {
+        let mut out = Vec::new();
+        quantize_into(&[10.0, -10.0, 0.5], 1.0 / 127.0 * 1.0, &mut out);
+        assert_eq!(out[0], 127);
+        assert_eq!(out[1], -127);
+    }
+
+    #[test]
+    fn i8_gemms_match_naive_i32() {
+        let m = 5;
+        let n = 11;
+        let k = 17;
+        let a: Vec<i8> = (0..m * k)
+            .map(|i| ((i * 37 % 255) as i32 - 127) as i8)
+            .collect();
+        let bt: Vec<i8> = (0..n * k)
+            .map(|i| ((i * 53 % 255) as i32 - 127) as i8)
+            .collect();
+        let mut c = vec![1i32; m * n];
+        gemm_i8_nt(m, n, k, &a, &bt, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let want: i32 = (0..k)
+                    .map(|p| a[i * k + p] as i32 * bt[j * k + p] as i32)
+                    .sum();
+                assert_eq!(c[i * n + j], want + 1, "nt ({i},{j})");
+            }
+        }
+        let bn: Vec<i8> = (0..k * n)
+            .map(|i| ((i * 29 % 255) as i32 - 127) as i8)
+            .collect();
+        let mut c = vec![-2i32; m * n];
+        gemm_i8_nn(m, n, k, &a, &bn, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let want: i32 = (0..k)
+                    .map(|p| a[i * k + p] as i32 * bn[p * n + j] as i32)
+                    .sum();
+                assert_eq!(c[i * n + j], want - 2, "nn ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dequant_applies_per_channel_scale_and_bias() {
+        let acc = [127i32, 0, -127, 254];
+        let mut out = vec![0.0; 4];
+        dequant_nt(2, 2, &acc, 0.5, &[2.0, 4.0], Some(&[1.0, -1.0]), &mut out);
+        assert_eq!(out, [128.0, -1.0, -126.0, 507.0]);
+        let mut out = vec![0.0; 4];
+        dequant_nn(2, 2, &acc, 0.5, &[2.0, 4.0], None, &mut out);
+        assert_eq!(out, [127.0, 0.0, -254.0, 508.0]);
+    }
+}

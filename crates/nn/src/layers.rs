@@ -21,7 +21,23 @@
 use crate::init::he_uniform;
 use crate::Parameterized;
 use m2ai_kernels::im2col::{col2im_accumulate, im2col};
-use m2ai_kernels::{self as kernels, Backend, KernelScratch};
+use m2ai_kernels::{self as kernels, quant, Backend, KernelScratch};
+
+/// Frozen int8 inference state of a linear layer: per-output-channel
+/// quantized weights plus the calibrated per-tensor input scale.
+///
+/// Built by the layer's `freeze_quant` after a calibration pass;
+/// consulted by the forward paths only under [`Backend::QuantI8`].
+/// Training never reads or updates it — after any weight update the
+/// owner must re-run calibration/freeze for the state to be
+/// meaningful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantState {
+    /// Per-row symmetric int8 weights.
+    pub qw: quant::QuantizedMatrix,
+    /// Per-tensor activation scale frozen from calibration.
+    pub x_scale: f32,
+}
 
 /// A fully-connected layer `y = Wx + b`.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +49,10 @@ pub struct Dense {
     b: Vec<f32>,
     gw: Vec<f32>,
     gb: Vec<f32>,
+    /// Max-abs input seen by the calibration pass.
+    calib_in: f32,
+    /// Frozen int8 state; `None` until `freeze_quant`.
+    quant: Option<QuantState>,
 }
 
 impl Dense {
@@ -45,7 +65,56 @@ impl Dense {
             b: vec![0.0; out_dim],
             gw: vec![0.0; in_dim * out_dim],
             gb: vec![0.0; out_dim],
+            calib_in: 0.0,
+            quant: None,
         }
+    }
+
+    /// Calibration: absorbs the max-abs of one input (or a whole
+    /// row-major batch of inputs) this layer would see at inference.
+    pub fn observe(&mut self, xs: &[f32]) {
+        self.calib_in = self.calib_in.max(quant::max_abs(xs));
+    }
+
+    /// Freezes int8 inference state from the current weights and the
+    /// calibrated input range.
+    pub fn freeze_quant(&mut self) {
+        quant::record_calibration("dense", self.calib_in);
+        self.quant = Some(QuantState {
+            qw: quant::quantize_rows(&self.w, self.out_dim, self.in_dim),
+            x_scale: quant::activation_scale(self.calib_in),
+        });
+    }
+
+    /// Drops quantized state and calibration statistics.
+    pub fn clear_quant(&mut self) {
+        self.calib_in = 0.0;
+        self.quant = None;
+    }
+
+    /// True once `freeze_quant` has produced int8 state.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// The int8 path for a `rows × in_dim` batch: quantize activations
+    /// with the frozen per-tensor scale, accumulate i8×i8 in i32, and
+    /// dequantize once per output with the per-channel weight scale
+    /// and the f32 bias.
+    fn forward_quant(&self, q: &QuantState, xs: &[f32], rows: usize, out: &mut [f32]) {
+        let mut xi8 = Vec::new();
+        quant::quantize_into(xs, q.x_scale, &mut xi8);
+        let mut acc = vec![0i32; rows * self.out_dim];
+        quant::gemm_i8_nt(rows, self.out_dim, self.in_dim, &xi8, &q.qw.q, &mut acc);
+        quant::dequant_nt(
+            rows,
+            self.out_dim,
+            &acc,
+            q.x_scale,
+            &q.qw.scales,
+            Some(&self.b),
+            out,
+        );
     }
 
     /// Input dimension.
@@ -71,6 +140,12 @@ impl Dense {
     pub fn forward_with(&self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
         assert_eq!(x.len(), self.in_dim, "Dense input size mismatch");
         let mut y = scratch.take(self.out_dim);
+        if kernels::backend() == Backend::QuantI8 {
+            if let Some(q) = &self.quant {
+                self.forward_quant(q, x, 1, &mut y);
+                return y;
+            }
+        }
         kernels::gemv(self.out_dim, self.in_dim, &self.w, x, &mut y);
         for (yo, bo) in y.iter_mut().zip(&self.b) {
             *yo += bo;
@@ -105,6 +180,12 @@ impl Dense {
             "Dense batch input size mismatch"
         );
         let mut ys = scratch.take(rows * self.out_dim);
+        if kernels::backend() == Backend::QuantI8 {
+            if let Some(q) = &self.quant {
+                self.forward_quant(q, xs, rows, &mut ys);
+                return ys;
+            }
+        }
         kernels::gemm_nt(rows, self.out_dim, self.in_dim, xs, &self.w, &mut ys);
         for row in ys.chunks_exact_mut(self.out_dim) {
             for (yo, bo) in row.iter_mut().zip(&self.b) {
@@ -177,6 +258,10 @@ pub struct Conv1d {
     b: Vec<f32>,
     gw: Vec<f32>,
     gb: Vec<f32>,
+    /// Max-abs input seen by the calibration pass.
+    calib_in: f32,
+    /// Frozen int8 state; `None` until `freeze_quant`.
+    quant: Option<QuantState>,
 }
 
 impl Conv1d {
@@ -207,7 +292,37 @@ impl Conv1d {
             b: vec![0.0; c_out],
             gw: vec![0.0; c_out * c_in * kernel],
             gb: vec![0.0; c_out],
+            calib_in: 0.0,
+            quant: None,
         }
+    }
+
+    /// Calibration: absorbs the max-abs of one input frame.
+    pub fn observe(&mut self, x: &[f32]) {
+        self.calib_in = self.calib_in.max(quant::max_abs(x));
+    }
+
+    /// Freezes int8 inference state from the current weights and the
+    /// calibrated input range. Weight rows are the `c_out` filters
+    /// over the `c_in·kernel` im2col reduction axis, so per-row
+    /// quantization is per-output-channel.
+    pub fn freeze_quant(&mut self) {
+        quant::record_calibration("conv", self.calib_in);
+        self.quant = Some(QuantState {
+            qw: quant::quantize_rows(&self.w, self.c_out, self.c_in * self.kernel),
+            x_scale: quant::activation_scale(self.calib_in),
+        });
+    }
+
+    /// Drops quantized state and calibration statistics.
+    pub fn clear_quant(&mut self) {
+        self.calib_in = 0.0;
+        self.quant = None;
+    }
+
+    /// True once `freeze_quant` has produced int8 state.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Output length along the convolved axis.
@@ -263,10 +378,31 @@ impl Conv1d {
             &mut cols,
         );
         let mut y = scratch.take(self.c_out * len_out);
+        if kernels::backend() == Backend::QuantI8 {
+            if let Some(q) = &self.quant {
+                // Quantize the im2col activations once; the filters are
+                // already int8. Integer accumulation, one f32 epilogue.
+                let mut ci8 = Vec::new();
+                quant::quantize_into(&cols, q.x_scale, &mut ci8);
+                let mut acc = vec![0i32; self.c_out * len_out];
+                quant::gemm_i8_nn(self.c_out, len_out, r, &q.qw.q, &ci8, &mut acc);
+                quant::dequant_nn(
+                    self.c_out,
+                    len_out,
+                    &acc,
+                    q.x_scale,
+                    &q.qw.scales,
+                    Some(&self.b),
+                    &mut y,
+                );
+                scratch.recycle(cols);
+                return y;
+            }
+        }
         for (o, row) in y.chunks_exact_mut(len_out).enumerate() {
             row.fill(self.b[o]);
         }
-        kernels::fast::gemm_nn(self.c_out, len_out, r, &self.w, &cols, &mut y);
+        kernels::gemm_nn(self.c_out, len_out, r, &self.w, &cols, &mut y);
         scratch.recycle(cols);
         y
     }
@@ -335,9 +471,9 @@ impl Conv1d {
             }
             self.gb[o] = s;
         }
-        kernels::fast::gemm_nt(self.c_out, r, len_out, grad_out, &cols, &mut self.gw);
+        kernels::gemm_nt(self.c_out, r, len_out, grad_out, &cols, &mut self.gw);
         let mut gcols = scratch.take(r * len_out);
-        kernels::fast::gemm_tn(r, len_out, self.c_out, &self.w, grad_out, &mut gcols);
+        kernels::gemm_tn(r, len_out, self.c_out, &self.w, grad_out, &mut gcols);
         let mut gx = vec![0.0; self.in_dim()];
         col2im_accumulate(
             &gcols,
@@ -434,6 +570,35 @@ impl Layer {
     #[cfg(test)]
     fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
         kernels::with_thread_scratch(|s| self.backward_with(x, grad_out, s))
+    }
+
+    /// Forward pass that also feeds this layer's calibration
+    /// statistics (max-abs input range) for int8 quantization.
+    fn calibrate_forward_with(&mut self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
+        match self {
+            Layer::Dense(d) => d.observe(x),
+            Layer::Conv1d(c) => c.observe(x),
+            Layer::Relu => {}
+        }
+        self.forward_with(x, scratch)
+    }
+
+    /// Freezes int8 state on every parameterized layer.
+    fn freeze_quant(&mut self) {
+        match self {
+            Layer::Dense(d) => d.freeze_quant(),
+            Layer::Conv1d(c) => c.freeze_quant(),
+            Layer::Relu => {}
+        }
+    }
+
+    /// Drops int8 state and calibration statistics.
+    fn clear_quant(&mut self) {
+        match self {
+            Layer::Dense(d) => d.clear_quant(),
+            Layer::Conv1d(c) => c.clear_quant(),
+            Layer::Relu => {}
+        }
     }
 
     fn backward_with(
@@ -557,6 +722,34 @@ impl Sequential {
         grad
     }
 
+    /// Forward pass that feeds each layer's int8 calibration
+    /// statistics as the activations flow through. Must run under an
+    /// f32 backend (quant state is absent until `freeze_quant`, so the
+    /// arithmetic is the plain forward either way).
+    pub fn calibrate_forward_with(&mut self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
+        let mut cur = scratch.take(x.len());
+        cur.copy_from_slice(x);
+        for l in &mut self.layers {
+            let next = l.calibrate_forward_with(&cur, scratch);
+            scratch.recycle(std::mem::replace(&mut cur, next));
+        }
+        cur
+    }
+
+    /// Freezes int8 state on every parameterized layer.
+    pub fn freeze_quant(&mut self) {
+        for l in &mut self.layers {
+            l.freeze_quant();
+        }
+    }
+
+    /// Drops int8 state and calibration statistics on every layer.
+    pub fn clear_quant(&mut self) {
+        for l in &mut self.layers {
+            l.clear_quant();
+        }
+    }
+
     /// Number of layers.
     pub fn len(&self) -> usize {
         self.layers.len()
@@ -631,6 +824,34 @@ impl TwoBranchEncoder {
         let out = self.merge.forward_with(&merged, scratch);
         scratch.recycle(merged);
         out
+    }
+
+    /// Forward pass that feeds both branches' int8 calibration
+    /// statistics; see [`Sequential::calibrate_forward_with`].
+    pub fn calibrate_forward_with(&mut self, x: &[f32], scratch: &mut KernelScratch) -> Vec<f32> {
+        assert!(x.len() >= self.split, "input shorter than split point");
+        let feat = self
+            .branch
+            .calibrate_forward_with(&x[..self.split], scratch);
+        let mut merged = scratch.take(feat.len() + x.len() - self.split);
+        merged[..feat.len()].copy_from_slice(&feat);
+        merged[feat.len()..].copy_from_slice(&x[self.split..]);
+        scratch.recycle(feat);
+        let out = self.merge.calibrate_forward_with(&merged, scratch);
+        scratch.recycle(merged);
+        out
+    }
+
+    /// Freezes int8 state on both branches.
+    pub fn freeze_quant(&mut self) {
+        self.branch.freeze_quant();
+        self.merge.freeze_quant();
+    }
+
+    /// Drops int8 state and calibration statistics on both branches.
+    pub fn clear_quant(&mut self) {
+        self.branch.clear_quant();
+        self.merge.clear_quant();
     }
 
     /// Caching forward pass.

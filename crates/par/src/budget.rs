@@ -1,0 +1,173 @@
+//! Process-wide thread budget shared by every parallel site.
+//!
+//! Two layers of this workspace spawn threads for throughput: the serve
+//! fabric (one long-lived worker per shard) and the tile-parallel GEMM
+//! in `m2ai-kernels` (short scoped bursts per large matmul). Each is
+//! individually sized to the machine, so enabling both naively
+//! multiplies: `shards × tile-threads` runnable threads on
+//! `total` cores. This module is the single arbiter that prevents that.
+//!
+//! The model is deliberately minimal:
+//!
+//! * [`total_threads`] — the process budget. Defaults to the machine's
+//!   available parallelism; overridable (for tests and containers whose
+//!   cgroup quota differs from the core count) via
+//!   [`set_total_threads`].
+//! * [`reserve_workers`] — long-lived consumers (fabric shards, trainer
+//!   gradient shards) register how many concurrent worker threads they
+//!   hold. The returned guard releases the reservation on drop.
+//! * [`gemm_threads`] — how many threads a *single* tile-parallel GEMM
+//!   may use right now: `total / max(1, reserved)`, floored at 1. With
+//!   `S` reserved workers each independently running a GEMM, at most
+//!   `S · ⌊total/S⌋ ≤ total` tile threads are runnable — never
+//!   oversubscribed, even with `shards = cores`.
+//!
+//! The budget only shapes *parallelism*, never *results*: every
+//! parallel site in the workspace is bit-identical across thread
+//! counts, so concurrent reservations racing (e.g. under `cargo test`)
+//! can alter speed but not output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` = "ask the OS"; anything else is an explicit override.
+static TOTAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker threads currently reserved by long-lived consumers.
+static RESERVED: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide thread budget: the override if one is set,
+/// otherwise the machine's available parallelism (at least 1).
+pub fn total_threads() -> usize {
+    let o = TOTAL_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Overrides the process thread budget (`0` restores hardware
+/// detection). Intended for tests and quota-limited containers.
+pub fn set_total_threads(n: usize) {
+    TOTAL_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Worker threads currently reserved via [`reserve_workers`].
+pub fn reserved_workers() -> usize {
+    RESERVED.load(Ordering::Relaxed)
+}
+
+/// RAII guard for a block of reserved worker threads; releases the
+/// reservation when dropped.
+#[must_use = "dropping the reservation immediately releases it"]
+#[derive(Debug)]
+pub struct WorkerReservation {
+    n: usize,
+}
+
+impl WorkerReservation {
+    /// Number of worker threads this reservation holds.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for WorkerReservation {
+    fn drop(&mut self) {
+        RESERVED.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+/// Registers `n` long-lived concurrent worker threads (fabric shards,
+/// trainer gradient shards) against the process budget.
+pub fn reserve_workers(n: usize) -> WorkerReservation {
+    RESERVED.fetch_add(n, Ordering::Relaxed);
+    WorkerReservation { n }
+}
+
+/// Thread count a single tile-parallel GEMM may use right now.
+///
+/// `total / max(1, reserved)`, floored at 1: with no reservations a
+/// GEMM may use the whole machine; with `S` reserved workers each
+/// worker's GEMM gets an equal share so the product stays within
+/// budget. `shards = cores` therefore degrades tile parallelism to 1
+/// rather than oversubscribing.
+pub fn gemm_threads() -> usize {
+    let total = total_threads().max(1);
+    let workers = reserved_workers().max(1);
+    (total / workers).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The budget is process-global; serialize tests that mutate it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static L: OnceLock<Mutex<()>> = OnceLock::new();
+        L.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn default_budget_is_hardware() {
+        let _g = lock();
+        set_total_threads(0);
+        assert!(total_threads() >= 1);
+    }
+
+    #[test]
+    fn reservation_divides_gemm_share() {
+        let _g = lock();
+        set_total_threads(8);
+        assert_eq!(gemm_threads(), 8);
+        let shards = reserve_workers(4);
+        assert_eq!(reserved_workers(), 4);
+        assert_eq!(gemm_threads(), 2);
+        assert_eq!(shards.count() * gemm_threads(), 8);
+        drop(shards);
+        assert_eq!(reserved_workers(), 0);
+        assert_eq!(gemm_threads(), 8);
+        set_total_threads(0);
+    }
+
+    #[test]
+    fn shards_equal_cores_never_oversubscribes() {
+        let _g = lock();
+        for cores in [1usize, 2, 3, 4, 7, 16] {
+            set_total_threads(cores);
+            let r = reserve_workers(cores);
+            assert_eq!(gemm_threads(), 1, "cores={cores}");
+            assert!(r.count() * gemm_threads() <= cores);
+            drop(r);
+        }
+        set_total_threads(0);
+    }
+
+    #[test]
+    fn more_workers_than_budget_floors_at_one() {
+        let _g = lock();
+        set_total_threads(2);
+        let r = reserve_workers(5);
+        assert_eq!(gemm_threads(), 1);
+        drop(r);
+        set_total_threads(0);
+    }
+
+    #[test]
+    fn stacked_reservations_accumulate() {
+        let _g = lock();
+        set_total_threads(12);
+        let a = reserve_workers(2);
+        let b = reserve_workers(4);
+        assert_eq!(reserved_workers(), 6);
+        assert_eq!(gemm_threads(), 2);
+        drop(a);
+        assert_eq!(gemm_threads(), 3);
+        drop(b);
+        set_total_threads(0);
+    }
+}

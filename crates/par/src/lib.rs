@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tasks-dispatched counter, resolved once per process.

@@ -45,6 +45,7 @@ pub use m2ai_kernels as kernels;
 pub use m2ai_motion as motion;
 pub use m2ai_nn as nn;
 pub use m2ai_obs as obs;
+pub use m2ai_par as par;
 pub use m2ai_rfsim as rfsim;
 pub use m2ai_serve_fabric as fabric;
 

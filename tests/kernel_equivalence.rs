@@ -10,7 +10,7 @@
 //! Tests that flip the process-global backend serialise behind
 //! [`BACKEND_LOCK`] and restore the default (`Fast`) even on panic.
 
-use m2ai::kernels::{self, fast, reference, Backend};
+use m2ai::kernels::{self, fast, quant, reference, tiled, Backend};
 use m2ai::nn::layers::{Conv1d, Dense, Layer};
 use m2ai::nn::lstm::Lstm;
 use m2ai::nn::Parameterized;
@@ -132,6 +132,140 @@ proptest! {
         reference::gemv_t(m, k, &a, &xt, &mut z_ref);
         prop_assert!(max_abs_diff(&z_fast, &z_ref) <= TOL);
     }
+
+    /// Per-row symmetric int8 quantization round-trips within half a
+    /// scale step per element, and the i8×i8→i32 GEMM is exact
+    /// integer arithmetic (checked against a naive i32 loop).
+    #[test]
+    fn int8_quantization_round_trips(
+        rows in 1usize..6,
+        cols in 1usize..40,
+        scale_mag in 0.01f32..10.0,
+        seed in any::<u64>(),
+    ) {
+        let w: Vec<f32> = lcg_values(seed, rows * cols)
+            .into_iter()
+            .map(|v| v * scale_mag)
+            .collect();
+        let qm = quant::quantize_rows(&w, rows, cols);
+        prop_assert_eq!(qm.rows, rows);
+        prop_assert_eq!(qm.cols, cols);
+        for r in 0..rows {
+            let s = qm.scales[r];
+            prop_assert!(s > 0.0, "scale must be positive");
+            for c in 0..cols {
+                let back = qm.q[r * cols + c] as f32 * s;
+                prop_assert!(
+                    (w[r * cols + c] - back).abs() <= 0.5 * s + 1e-6,
+                    "row {} col {}: {} vs {} (scale {})",
+                    r, c, w[r * cols + c], back, s
+                );
+            }
+        }
+
+        // Activation quantization: same half-step bound inside the
+        // calibrated range, saturation outside it.
+        let xs: Vec<f32> = lcg_values(seed ^ 0x0dd5, cols)
+            .into_iter()
+            .map(|v| v * scale_mag)
+            .collect();
+        let s = quant::activation_scale(quant::max_abs(&xs));
+        let mut qx = Vec::new();
+        quant::quantize_into(&xs, s, &mut qx);
+        for (x, &q) in xs.iter().zip(&qx) {
+            prop_assert!((x - q as f32 * s).abs() <= 0.5 * s + 1e-6);
+            prop_assert!((-127..=127).contains(&(q as i32)));
+        }
+
+        // The integer GEMM accumulates exactly.
+        let mut acc = vec![0i32; rows];
+        quant::gemm_i8_nt(1, rows, cols, &qx, &qm.q, &mut acc);
+        for (r, &got) in acc.iter().enumerate() {
+            let want: i32 = (0..cols)
+                .map(|c| qx[c] as i32 * qm.q[r * cols + c] as i32)
+                .sum();
+            // Integer dot products must be exact.
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+// Large-shape tiled properties get their own (smaller) case budget:
+// each case multiplies several-hundred-dimension matrices in debug
+// builds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The cache-blocked parallel tiling agrees with `reference` at
+    /// shapes large enough to actually cross the tiled path's
+    /// worthwhile threshold (several-hundred dimensions, multiple M
+    /// tiles and K panels), in all three storage layouts. Tolerance is
+    /// banded by the accumulation length `k`.
+    #[test]
+    fn tiled_matches_reference_at_large_shapes(
+        m in 130usize..280,
+        n in 96usize..170,
+        k in 96usize..170,
+        threads in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        // FMA-rounding slack grows with the accumulation chain.
+        let tol = 1e-4 + k as f32 * 2e-5;
+        let a = lcg_values(seed, m * k);
+        let b = lcg_values(seed ^ 0x9e37, k * n);
+        let c0 = lcg_values(seed ^ 0x79b9, m * n);
+
+        let mut c_tiled = c0.clone();
+        let mut c_ref = c0.clone();
+        tiled::gemm_nn_with_threads(m, n, k, &a, &b, &mut c_tiled, threads);
+        reference::gemm_nn(m, n, k, &a, &b, &mut c_ref);
+        prop_assert!(max_abs_diff(&c_tiled, &c_ref) <= tol);
+
+        let bt = lcg_values(seed ^ 0x7f4a, n * k);
+        let mut c_tiled = c0.clone();
+        let mut c_ref = c0.clone();
+        tiled::gemm_nt_with_threads(m, n, k, &a, &bt, &mut c_tiled, threads);
+        reference::gemm_nt(m, n, k, &a, &bt, &mut c_ref);
+        prop_assert!(max_abs_diff(&c_tiled, &c_ref) <= tol);
+
+        let at = lcg_values(seed ^ 0x7c15, k * m);
+        let mut c_tiled = c0.clone();
+        let mut c_ref = c0;
+        tiled::gemm_tn_with_threads(m, n, k, &at, &b, &mut c_tiled, threads);
+        reference::gemm_tn(m, n, k, &at, &b, &mut c_ref);
+        prop_assert!(max_abs_diff(&c_tiled, &c_ref) <= tol);
+    }
+
+    /// Determinism is *exact*, not banded: the tiled path returns the
+    /// same bits as the single-thread fast kernel for every thread
+    /// count, because M-tile tasks own disjoint C rows and K panels
+    /// accumulate in a fixed order.
+    #[test]
+    fn tiled_is_bit_exact_across_thread_counts(
+        m in 130usize..260,
+        n in 96usize..150,
+        k in 96usize..150,
+        seed in any::<u64>(),
+    ) {
+        let a = lcg_values(seed, m * k);
+        let b = lcg_values(seed ^ 0x9e37, k * n);
+        let c0 = lcg_values(seed ^ 0x79b9, m * n);
+        let mut want = c0.clone();
+        fast::gemm_nn(m, n, k, &a, &b, &mut want);
+        for threads in [1, 2, 3, 8] {
+            let mut c = c0.clone();
+            tiled::gemm_nn_with_threads(m, n, k, &a, &b, &mut c, threads);
+            prop_assert!(
+                c.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads} changed bits"
+            );
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// `Dense` forward/backward agree between backends, and the batched
     /// entry points match the per-row ones under the fast backend.

@@ -1,0 +1,208 @@
+//! End-to-end quantized serving and thread-budget clamping.
+//!
+//! Two process-global knobs ship with the quantized-inference PR and
+//! both are exercised here against the real fabric:
+//!
+//! * `ServeConfig::backend` — `Some(Backend::QuantI8)` must switch the
+//!   process backend when the engine (or a fabric worker's engine) is
+//!   constructed, and a prepared model must then serve int8 end to
+//!   end: sessions open, frames flow, predictions come out finite.
+//! * the `m2ai-par` worker budget — a fabric with `shards == cores`
+//!   must clamp tile-parallel GEMM down to one thread per worker so
+//!   shard workers plus GEMM tiles never oversubscribe the machine,
+//!   and the reservation must be released on shutdown.
+
+use m2ai::core::calibration::PhaseCalibrator;
+use m2ai::core::frames::{FeatureMode, FrameBuilder, FrameLayout};
+use m2ai::core::network::{build_model, Architecture};
+use m2ai::core::online::HealthState;
+use m2ai::core::serve::{ServeConfig, ServeEngine};
+use m2ai::fabric::{FabricConfig, PushOutcome, ServeFabric};
+use m2ai::kernels::{self, Backend};
+use m2ai::nn::model::SequenceClassifier;
+use m2ai::par::budget;
+use std::sync::Mutex;
+
+/// Sliding window length (the serving `T`).
+const HISTORY: usize = 3;
+
+/// Serialises tests: both the kernel backend and the thread budget
+/// are process globals.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores both globals when a test body exits (even on panic).
+struct RestoreGlobals;
+impl Drop for RestoreGlobals {
+    fn drop(&mut self) {
+        kernels::set_backend(Backend::Fast);
+        budget::set_total_threads(0);
+    }
+}
+
+fn layout() -> FrameLayout {
+    FrameLayout::new(1, 4, FeatureMode::Joint)
+}
+
+fn builder() -> FrameBuilder {
+    FrameBuilder::new(layout(), PhaseCalibrator::disabled(1, 4), 0.5)
+}
+
+fn model() -> SequenceClassifier {
+    build_model(&layout(), 12, Architecture::CnnLstm, 7)
+}
+
+/// Deterministic pseudo-random frame payload in `(-1, 1)`.
+fn synth_frame(seed: u64, step: usize) -> Vec<f32> {
+    let dim = layout().frame_dim();
+    let mut state = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(step as u64)
+        | 1;
+    (0..dim)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// A small calibration corpus shaped like the serving traffic.
+fn calib_sequences() -> Vec<Vec<Vec<f32>>> {
+    (0..4u64)
+        .map(|s| (0..HISTORY).map(|t| synth_frame(s, t)).collect())
+        .collect()
+}
+
+fn quantized_model() -> SequenceClassifier {
+    let mut m = model();
+    let calib = calib_sequences();
+    m.prepare_quantized(calib.iter().map(|s| s.as_slice()));
+    assert!(m.is_quantized(), "calibration must freeze quant state");
+    m
+}
+
+#[test]
+fn serve_engine_applies_configured_backend() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = RestoreGlobals;
+    kernels::set_backend(Backend::Fast);
+    let cfg = ServeConfig {
+        history_len: HISTORY,
+        backend: Some(Backend::QuantI8),
+        ..ServeConfig::default()
+    };
+    let _eng = ServeEngine::new(quantized_model(), builder(), cfg);
+    assert_eq!(
+        kernels::backend(),
+        Backend::QuantI8,
+        "ServeEngine::new must activate the configured backend"
+    );
+
+    // `None` inherits: constructing another engine must not stomp it.
+    let _eng2 = ServeEngine::new(model(), builder(), ServeConfig::default());
+    assert_eq!(kernels::backend(), Backend::QuantI8);
+}
+
+#[test]
+fn fabric_serves_quantized_end_to_end() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = RestoreGlobals;
+    kernels::set_backend(Backend::Fast);
+    let cfg = FabricConfig {
+        shards: 2,
+        vnodes: 16,
+        ingress_capacity: 4096,
+        serve: ServeConfig {
+            history_len: HISTORY,
+            queue_capacity: 1024,
+            backend: Some(Backend::QuantI8),
+            ..ServeConfig::default()
+        },
+        supervision: Default::default(),
+    };
+    let fabric = ServeFabric::new(quantized_model(), builder(), cfg);
+    let keys: Vec<_> = (0..4)
+        .map(|_| fabric.open_session().expect("capacity"))
+        .collect();
+    for t in 0..6 {
+        for (s, &key) in keys.iter().enumerate() {
+            loop {
+                match fabric
+                    .push_frame(
+                        key,
+                        t as f64,
+                        synth_frame(s as u64, t),
+                        HealthState::Healthy,
+                    )
+                    .expect("session open")
+                {
+                    PushOutcome::Enqueued => break,
+                    PushOutcome::Shed => std::thread::yield_now(),
+                }
+            }
+        }
+    }
+    let out = fabric.flush();
+    fabric.shutdown();
+    assert_eq!(
+        kernels::backend(),
+        Backend::QuantI8,
+        "worker engines must have activated the configured backend"
+    );
+    assert!(
+        !out.is_empty(),
+        "quantized fabric must emit predictions once windows fill"
+    );
+    for p in &out {
+        assert!(
+            p.prediction.probabilities.iter().all(|v| v.is_finite()),
+            "int8 serving must produce finite probabilities"
+        );
+    }
+    for &key in &keys {
+        assert!(
+            out.iter().any(|p| p.session == key),
+            "every stream must have produced at least one prediction"
+        );
+    }
+}
+
+#[test]
+fn fabric_with_shards_eq_cores_clamps_gemm_to_one_thread() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = RestoreGlobals;
+    // Pretend the machine has 4 cores so the test is deterministic on
+    // any host.
+    budget::set_total_threads(4);
+    let reserved_before = budget::reserved_workers();
+
+    let cfg = FabricConfig {
+        shards: 4,
+        vnodes: 16,
+        ingress_capacity: 64,
+        serve: ServeConfig {
+            history_len: HISTORY,
+            ..ServeConfig::default()
+        },
+        supervision: Default::default(),
+    };
+    let fabric = ServeFabric::new(model(), builder(), cfg);
+    assert_eq!(
+        budget::reserved_workers(),
+        reserved_before + 4,
+        "the fabric must reserve one budget slot per shard"
+    );
+    assert_eq!(
+        budget::gemm_threads(),
+        1,
+        "shards == cores must leave GEMM single-threaded (no oversubscription)"
+    );
+    fabric.shutdown();
+    assert_eq!(
+        budget::reserved_workers(),
+        reserved_before,
+        "shutdown must release the reservation"
+    );
+}
