@@ -7,6 +7,7 @@ use m2ai_core::calibration::PhaseCalibrator;
 use m2ai_core::dataset::{learn_calibration, ExperimentConfig};
 use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
 use m2ai_core::network::{build_model, Architecture};
+use m2ai_core::stream_extract::{StreamExtractor, StreamingExtract};
 use m2ai_dsp::eigen::hermitian_eigen;
 use m2ai_dsp::fft::fft;
 use m2ai_dsp::music::{
@@ -146,6 +147,39 @@ fn bench_extraction(c: &mut Criterion) {
             b.iter(|| builder.build_sample(black_box(&readings), 0.0, 12))
         });
     }
+
+    // Overlapping window advance (hop = one round, frame = four): the
+    // batch path rebuilds each window from the sorted buffer; the
+    // streaming path ingests the stream once and slides with rank-1
+    // covariance updates + the GEMM pseudospectrum scan.
+    let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(6, 4), 0.4);
+    let mut sorted = readings.clone();
+    sorted.sort_by(|a, b| {
+        (a.time_s, a.tag.0, a.antenna, a.channel)
+            .partial_cmp(&(b.time_s, b.tag.0, b.antenna, b.channel))
+            .expect("reader times are finite")
+    });
+    sorted.dedup_by_key(|r| (r.time_s, r.tag.0, r.antenna, r.channel));
+    let starts: Vec<f64> = (0..20).map(|k| k as f64 * 0.1).collect();
+    g.bench_function("window_advance_batch_20hops", |b| {
+        b.iter(|| {
+            for &t0 in &starts {
+                black_box(builder.build_frame_with_quality(black_box(&sorted), t0));
+            }
+        })
+    });
+    g.bench_function("window_advance_stream_20hops", |b| {
+        b.iter(|| {
+            let mut ex = StreamExtractor::try_new(&builder, StreamingExtract { refresh_every: 8 })
+                .expect("joint layout at an aligned frame length supports streaming");
+            for r in &sorted {
+                ex.ingest(r);
+            }
+            for &t0 in &starts {
+                black_box(ex.extract(t0));
+            }
+        })
+    });
 
     // Steering-vector table hit vs recomputing the 180-angle grid
     // directly — the saving the cache buys on every pseudospectrum.

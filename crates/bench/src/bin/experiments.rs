@@ -70,6 +70,15 @@ fn main() {
                     m2ai_bench::throughput::run_and_write("BENCH_throughput.json");
                 }
             }
+            "extract" => {
+                if args.iter().any(|a| a == "--check") {
+                    if !m2ai_bench::extract::check("BENCH_extract.json") {
+                        std::process::exit(1);
+                    }
+                } else {
+                    m2ai_bench::extract::run_and_write("BENCH_extract.json");
+                }
+            }
             "quant" => {
                 if args.iter().any(|a| a == "--check") {
                     if !m2ai_bench::quant::check(budget, "BENCH_quant.json") {
@@ -117,7 +126,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput quant serve shard chaos obs; flags --fast --check --metrics-out <path>"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput extract quant serve shard chaos obs; flags --fast --check --metrics-out <path>"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,416 @@
+//! Streaming-extraction benchmark and regression gate (streaming PR).
+//!
+//! Measures feature extraction over *overlapping* windows — the
+//! raw-ingest serve shape, where a new window opens every round but
+//! each window spans several rounds — two ways:
+//!
+//! - **batch**: rebuild every window from scratch with
+//!   `FrameBuilder::build_frame_with_quality` over the full sorted
+//!   stream, exactly what `SessionWindow` did before the streaming PR;
+//! - **stream**: one `StreamExtractor` ingests the stream once and
+//!   advances window by window with rank-1 covariance updates and the
+//!   GEMM-lowered pseudospectrum scan.
+//!
+//! With hop = 1 round and frame = 4 rounds, ~3/4 of every batch
+//! rebuild is recomputation the streaming path skips, so streaming
+//! must be **≥ [`MIN_STREAM_SPEEDUP`]× faster** — that ratio is
+//! measured on one machine within one run, so the gate is absolute and
+//! holds across machines. The run also cross-checks accuracy: the
+//! worst absolute element difference between streaming and batch
+//! frames must stay inside [`MAX_ABS_DIFF`] (refresh windows are
+//! bitwise-equal by construction; the band covers the incremental
+//! windows in between). Relative-rate checks against the checked-in
+//! `BENCH_extract.json` baseline only compare like with like — they
+//! are skipped when the core counts differ, mirroring
+//! `BENCH_throughput.json`.
+
+use m2ai_core::calibration::PhaseCalibrator;
+use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
+use m2ai_core::stream_extract::{StreamExtractor, StreamingExtract};
+use m2ai_rfsim::geometry::Point2;
+use m2ai_rfsim::reader::{Reader, ReaderConfig};
+use m2ai_rfsim::reading::TagReading;
+use m2ai_rfsim::room::Room;
+use m2ai_rfsim::scene::SceneSnapshot;
+use std::time::Instant;
+
+use crate::header;
+use crate::throughput::{json_f64, parse_metric};
+
+/// Minimum streaming-over-batch frames/sec speedup (absolute: both
+/// rates come from the same machine in the same run).
+const MIN_STREAM_SPEEDUP: f64 = 3.0;
+
+/// Maximum tolerated |streaming − batch| frame element difference.
+const MAX_ABS_DIFF: f64 = 1e-3;
+
+/// Maximum tolerated drop of the machine-internal speedup vs baseline
+/// when core counts match.
+const MAX_REGRESSION: f64 = 0.15;
+
+/// Window length in seconds (4 rounds of 0.1 s — paper default).
+const FRAME_S: f64 = 0.4;
+
+/// Hop between overlapping window starts: one inventory round.
+const HOP_S: f64 = 0.1;
+
+/// Length of the recorded session in seconds. Serve sessions run tens
+/// of seconds, and the batch path re-buckets the *entire* buffer for
+/// every window, so a too-short recording would understate the very
+/// cost streaming removes.
+const SESSION_S: f64 = 25.0;
+
+/// Overlapping windows advanced per measured iteration (hopping
+/// [`HOP_S`] from t=0; the last window still ends well inside the
+/// recording).
+const N_WINDOWS: usize = 220;
+
+/// Exact-recompute cadence under test (the serve-path default).
+const REFRESH_EVERY: u32 = 8;
+
+/// The streaming-vs-batch report persisted as `BENCH_extract.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractReport {
+    /// Windows/sec rebuilding each window from the full buffer.
+    pub frames_per_sec_batch: f64,
+    /// Windows/sec advancing one `StreamExtractor` (including the
+    /// one-time ingest of the stream).
+    pub frames_per_sec_stream: f64,
+    /// `frames_per_sec_stream / frames_per_sec_batch`.
+    pub stream_speedup: f64,
+    /// Worst |streaming − batch| element over all windows.
+    pub max_abs_diff: f64,
+    /// Logical cores on the measuring machine.
+    pub cores: f64,
+}
+
+impl ExtractReport {
+    /// Serialises to the flat JSON document stored as the baseline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"m2ai-extract-v1\",\n");
+        out.push_str(&format!(
+            "  \"frames_per_sec_batch\": {},\n",
+            json_f64(self.frames_per_sec_batch)
+        ));
+        out.push_str(&format!(
+            "  \"frames_per_sec_stream\": {},\n",
+            json_f64(self.frames_per_sec_stream)
+        ));
+        out.push_str(&format!(
+            "  \"stream_speedup\": {},\n",
+            json_f64(self.stream_speedup)
+        ));
+        out.push_str(&format!(
+            "  \"max_abs_diff\": {},\n",
+            json_f64(self.max_abs_diff)
+        ));
+        out.push_str(&format!("  \"cores\": {}\n", json_f64(self.cores)));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Option<Self> {
+        Some(ExtractReport {
+            frames_per_sec_batch: parse_metric(json, "frames_per_sec_batch")?,
+            frames_per_sec_stream: parse_metric(json, "frames_per_sec_stream")?,
+            stream_speedup: parse_metric(json, "stream_speedup")?,
+            max_abs_diff: parse_metric(json, "max_abs_diff")?,
+            cores: parse_metric(json, "cores")?,
+        })
+    }
+}
+
+/// The fixed workload: a [`SESSION_S`]-second six-tag laboratory
+/// recording (seed 11, same scene as the throughput bench),
+/// paper-default joint layout, and
+/// [`N_WINDOWS`] windows of [`FRAME_S`] hopping by [`HOP_S`] — every
+/// consecutive pair of windows shares 3 of its 4 rounds.
+struct Workload {
+    builder: FrameBuilder,
+    /// Sorted + deduplicated exactly like `SessionWindow::insert_sorted`
+    /// does on push, so batch and stream see identical readings.
+    readings: Vec<TagReading>,
+    starts: Vec<f64>,
+}
+
+fn workload() -> Workload {
+    let mut reader = Reader::new(
+        Room::laboratory(),
+        ReaderConfig {
+            n_antennas: 4,
+            seed: 11,
+            ..ReaderConfig::default()
+        },
+        6,
+    );
+    let scene = SceneSnapshot::with_tags(vec![
+        Point2::new(5.5, 4.0),
+        Point2::new(5.7, 4.2),
+        Point2::new(5.9, 4.1),
+        Point2::new(8.0, 4.3),
+        Point2::new(8.2, 4.5),
+        Point2::new(8.4, 4.2),
+    ]);
+    let mut readings = reader.run(|_| scene.clone(), SESSION_S);
+    readings.sort_by(|a, b| {
+        (a.time_s, a.tag.0, a.antenna, a.channel)
+            .partial_cmp(&(b.time_s, b.tag.0, b.antenna, b.channel))
+            .expect("reader times are finite")
+    });
+    readings.dedup_by_key(|r| (r.time_s, r.tag.0, r.antenna, r.channel));
+    let layout = FrameLayout::new(6, 4, FeatureMode::Joint);
+    let builder = FrameBuilder::new(layout, PhaseCalibrator::disabled(6, 4), FRAME_S);
+    let starts: Vec<f64> = (0..N_WINDOWS).map(|k| k as f64 * HOP_S).collect();
+    Workload {
+        builder,
+        readings,
+        starts,
+    }
+}
+
+/// Best-of-three rate in events/sec, mirroring the throughput bench.
+fn rate(iters: usize, events_per_iter: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((iters * events_per_iter) as f64 / secs);
+    }
+    best
+}
+
+fn available_cores() -> f64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as f64)
+        .unwrap_or(1.0)
+}
+
+fn streaming_cfg() -> StreamingExtract {
+    StreamingExtract {
+        refresh_every: REFRESH_EVERY,
+    }
+}
+
+/// One full streaming pass: ingest the stream once, then advance all
+/// windows. Returns the emitted frames for the accuracy cross-check.
+fn stream_pass(w: &Workload) -> Vec<Vec<f32>> {
+    let mut ex = StreamExtractor::try_new(&w.builder, streaming_cfg())
+        .expect("joint layout at an aligned frame length supports streaming");
+    for r in &w.readings {
+        ex.ingest(r);
+    }
+    w.starts
+        .iter()
+        .map(|&t0| std::hint::black_box(ex.extract(t0)).0)
+        .collect()
+}
+
+/// Measures the report on the current machine.
+pub fn run() -> ExtractReport {
+    header(
+        "Extract",
+        "streaming vs batch extraction over overlapping windows",
+    );
+    let w = workload();
+
+    let frames_per_sec_batch = rate(2, N_WINDOWS, || {
+        for &t0 in &w.starts {
+            std::hint::black_box(w.builder.build_frame_with_quality(&w.readings, t0));
+        }
+    });
+    let frames_per_sec_stream = rate(6, N_WINDOWS, || {
+        std::hint::black_box(stream_pass(&w));
+    });
+
+    let streamed = stream_pass(&w);
+    let mut max_abs_diff = 0.0f64;
+    for (frame, &t0) in streamed.iter().zip(&w.starts) {
+        let (batch, _) = w.builder.build_frame_with_quality(&w.readings, t0);
+        for (s, b) in frame.iter().zip(&batch) {
+            max_abs_diff = max_abs_diff.max((f64::from(*s) - f64::from(*b)).abs());
+        }
+    }
+
+    let report = ExtractReport {
+        frames_per_sec_batch,
+        frames_per_sec_stream,
+        stream_speedup: frames_per_sec_stream / frames_per_sec_batch,
+        max_abs_diff,
+        cores: available_cores(),
+    };
+    println!(
+        "batch         {:>10.1} windows/sec",
+        report.frames_per_sec_batch
+    );
+    println!(
+        "stream        {:>10.1} windows/sec",
+        report.frames_per_sec_stream
+    );
+    println!("speedup       {:>10.2}x", report.stream_speedup);
+    println!("max |Δ|       {:>10.2e}", report.max_abs_diff);
+    println!("cores         {:>10.0}", report.cores);
+    report
+}
+
+/// Gate checks. All floors are NaN-safe (`!ge` fails on NaN); the
+/// speedup and accuracy gates are absolute, only the raw-rate
+/// comparison against the baseline requires matching core counts.
+fn regressions(fresh: &ExtractReport, baseline: &ExtractReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !fresh.stream_speedup.ge(&MIN_STREAM_SPEEDUP) {
+        failures.push(format!(
+            "stream_speedup {:.2}x is below the {MIN_STREAM_SPEEDUP}x floor",
+            fresh.stream_speedup
+        ));
+    }
+    if !MAX_ABS_DIFF.ge(&fresh.max_abs_diff) {
+        failures.push(format!(
+            "max_abs_diff {:.2e} exceeds the {MAX_ABS_DIFF:.0e} accuracy band",
+            fresh.max_abs_diff
+        ));
+    }
+    if fresh.cores != baseline.cores {
+        println!(
+            "extract gate: baseline cores {:.0} != fresh cores {:.0}; \
+             skipping the relative speedup check (absolute gates still applied)",
+            baseline.cores, fresh.cores
+        );
+        return failures;
+    }
+    let floor = (1.0 - MAX_REGRESSION) * baseline.stream_speedup;
+    if !fresh.stream_speedup.ge(&floor) {
+        failures.push(format!(
+            "stream_speedup {:.2}x regressed more than {:.0}% from the baseline {:.2}x",
+            fresh.stream_speedup,
+            100.0 * MAX_REGRESSION,
+            baseline.stream_speedup
+        ));
+    }
+    failures
+}
+
+/// Measures and writes the JSON baseline to `path`.
+///
+/// # Panics
+///
+/// Panics if `path` cannot be written.
+pub fn run_and_write(path: &str) -> ExtractReport {
+    let report = run();
+    std::fs::write(path, report.to_json()).expect("write extract report");
+    println!("wrote {path}");
+    report
+}
+
+/// Re-measures and gates against the baseline at `path`.
+///
+/// Returns `true` when every gate passes; prints one line per failure
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `path` is missing or unparseable — the baseline is
+/// checked in, so that is a repo defect, not a perf regression.
+pub fn check(path: &str) -> bool {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read extract baseline {path}: {e}"));
+    let baseline =
+        ExtractReport::from_json(&json).unwrap_or_else(|| panic!("parse extract baseline {path}"));
+    let fresh = run();
+    let failures = regressions(&fresh, &baseline);
+    if failures.is_empty() {
+        println!("extract gate: PASS");
+        true
+    } else {
+        for f in &failures {
+            eprintln!("extract gate FAIL: {f}");
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(speedup: f64, diff: f64) -> ExtractReport {
+        ExtractReport {
+            frames_per_sec_batch: 100.0,
+            frames_per_sec_stream: 100.0 * speedup,
+            stream_speedup: speedup,
+            max_abs_diff: diff,
+            cores: 1.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = report(4.25, 3.5e-4);
+        let back = ExtractReport::from_json(&r.to_json()).expect("roundtrip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn healthy_report_passes() {
+        let r = report(4.0, 1e-4);
+        assert!(regressions(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn speedup_floor_is_absolute_across_core_counts() {
+        let base = report(4.0, 1e-4);
+        let mut bad = report(2.0, 1e-4);
+        bad.cores = 8.0; // relative check skipped, floor still fires
+        let failures = regressions(&bad, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("floor"));
+        // NaN must fail, not sneak past.
+        bad.stream_speedup = f64::NAN;
+        assert!(!regressions(&bad, &base).is_empty());
+    }
+
+    #[test]
+    fn accuracy_band_is_enforced() {
+        let base = report(4.0, 1e-4);
+        let drifted = report(4.0, 5e-3);
+        let failures = regressions(&drifted, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("max_abs_diff"));
+        let nan = report(4.0, f64::NAN);
+        assert!(!regressions(&nan, &base).is_empty());
+    }
+
+    #[test]
+    fn relative_regression_needs_matching_cores() {
+        let base = report(8.0, 1e-4);
+        // 3.2x clears the absolute floor but lost 60% vs baseline.
+        let bad = report(3.2, 1e-4);
+        assert!(!regressions(&bad, &base).is_empty());
+        let mut other_iron = bad.clone();
+        other_iron.cores = 16.0;
+        assert!(regressions(&other_iron, &base).is_empty());
+    }
+
+    #[test]
+    fn measured_streaming_matches_batch_within_band() {
+        // A miniature end-to-end cross-check of the bench's own
+        // accuracy comparison (cheap: one pass, no timing loops).
+        let w = workload();
+        let streamed = stream_pass(&w);
+        assert_eq!(streamed.len(), N_WINDOWS);
+        let mut worst = 0.0f64;
+        for (frame, &t0) in streamed.iter().zip(&w.starts) {
+            let (batch, _) = w.builder.build_frame_with_quality(&w.readings, t0);
+            assert_eq!(frame.len(), batch.len());
+            for (s, b) in frame.iter().zip(&batch) {
+                worst = worst.max((f64::from(*s) - f64::from(*b)).abs());
+            }
+        }
+        assert!(worst <= MAX_ABS_DIFF, "worst |Δ| {worst:.2e} out of band");
+    }
+}

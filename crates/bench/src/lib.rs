@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod extract;
 pub mod obs;
 pub mod quant;
 pub mod robustness;

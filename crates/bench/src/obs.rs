@@ -13,6 +13,7 @@ use m2ai_core::frames::{FeatureMode, FrameBuilder, FrameLayout};
 use m2ai_core::network::{build_model, Architecture};
 use m2ai_core::online::HealthConfig;
 use m2ai_core::serve::{ServeConfig, ServeEngine};
+use m2ai_core::stream_extract::StreamingExtract;
 use m2ai_obs::export::{
     prometheus_text, snapshot_json, validate_prometheus, validate_snapshot_json,
 };
@@ -32,6 +33,9 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "m2ai_reader_faults_total",
     "m2ai_dsp_steering_cache_total",
     "m2ai_extract_stage_seconds",
+    "m2ai_extract_stream_updates_total",
+    "m2ai_extract_stream_refreshes_total",
+    "m2ai_extract_stream_scan_seconds",
     "m2ai_par_tasks_total",
     "m2ai_motion_catalog_builds_total",
     "m2ai_kernels_backend_active",
@@ -73,6 +77,8 @@ const NONZERO_COUNTERS: &[&str] = &[
     "m2ai_reader_reads_total",
     "m2ai_reader_faults_total",
     "m2ai_dsp_steering_cache_total",
+    "m2ai_extract_stream_updates_total",
+    "m2ai_extract_stream_refreshes_total",
     "m2ai_par_tasks_total",
     "m2ai_motion_catalog_builds_total",
     "m2ai_kernels_tile_tasks_total",
@@ -89,6 +95,7 @@ const NONZERO_COUNTERS: &[&str] = &[
 /// workload.
 const NONZERO_HISTOGRAMS: &[&str] = &[
     "m2ai_extract_stage_seconds",
+    "m2ai_extract_stream_scan_seconds",
     "m2ai_kernels_gemm_seconds",
     "m2ai_kernels_quant_calib_absmax",
     "m2ai_nn_forward_seconds",
@@ -125,6 +132,10 @@ pub fn smoke_workload() {
                 stale_timeout_s: 1.0,
                 ..Default::default()
             },
+            // Streaming raw ingest with a short refresh cadence so the
+            // stream add/retire counters, the refresh counter and the
+            // GEMM-scan histogram all fire within the smoke window.
+            streaming: Some(StreamingExtract { refresh_every: 2 }),
             ..ServeConfig::default()
         },
     );

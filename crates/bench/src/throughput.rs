@@ -47,6 +47,13 @@ const MAX_REGRESSION: f64 = 0.15;
 /// Minimum fast-over-reference training speedup.
 const MIN_TRAIN_SPEEDUP: f64 = 2.0;
 
+/// Absolute floor on the machine-normalised extraction rate
+/// (`frames_per_sec_extract / samples_per_sec_train_reference`).
+/// The checked-in baseline sits around 64; 20 is a disaster floor that
+/// holds even when the relative checks are skipped on a core-count
+/// mismatch — previously extraction had no gate at all in that case.
+const MIN_EXTRACT_RATIO: f64 = 20.0;
+
 /// Minimum parallel-over-single-thread batched-train speedup on a
 /// machine with at least [`PARALLEL_GATE_CORES`] cores.
 const MIN_PARALLEL_SPEEDUP: f64 = 1.3;
@@ -373,6 +380,16 @@ pub fn regressions(fresh: &ThroughputReport, baseline: &ThroughputReport) -> Vec
         failures.push("reference training rate is non-positive; cannot normalise".to_string());
         return failures;
     }
+    // Extraction floor: machine-normalised but *absolute*, so it is
+    // enforced even when core counts differ and the relative checks
+    // below are skipped. NaN-safe: `!ge` fails on NaN.
+    let extract_ratio = fresh.frames_per_sec_extract / norm_fresh;
+    if !extract_ratio.ge(&MIN_EXTRACT_RATIO) {
+        failures.push(format!(
+            "frames_per_sec_extract is only {extract_ratio:.1}x the reference training \
+             rate, below the {MIN_EXTRACT_RATIO}x floor"
+        ));
+    }
     // Relative checks only compare like with like: a 1-core baseline
     // says nothing about a multi-core runner's rates (and vice versa).
     if fresh.cores != baseline.cores {
@@ -465,7 +482,9 @@ mod tests {
 
     fn report(extract: f64, fast: f64, reference: f64, predict: f64) -> ThroughputReport {
         ThroughputReport {
-            frames_per_sec_extract: extract,
+            // Scaled so the fixtures sit comfortably above the absolute
+            // extraction floor (real ratios are ≈64x; these are ≈84x+).
+            frames_per_sec_extract: extract * 20.0,
             samples_per_sec_train_fast: fast,
             samples_per_sec_train_reference: reference,
             predictions_per_sec_online: predict,
@@ -569,6 +588,25 @@ mod tests {
         // But absolute floors still apply across core counts.
         bad.train_speedup = 1.0;
         assert!(regressions(&bad, &base).iter().any(|f| f.contains("floor")));
+    }
+
+    #[test]
+    fn extract_floor_holds_across_core_mismatch() {
+        let base = report(120.0, 60.0, 20.0, 240.0);
+        let mut bad = report(120.0, 60.0, 20.0, 240.0);
+        bad.cores = 8.0; // relative checks are skipped on mismatch...
+        bad.parallel_train_speedup = 2.0;
+        assert!(regressions(&bad, &base).is_empty());
+        // ...but a 5x machine-normalised extraction ratio is a disaster
+        // the absolute floor must still catch.
+        bad.frames_per_sec_extract = 100.0;
+        let failures = regressions(&bad, &base);
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("frames_per_sec_extract") && f.contains("floor")));
+        // NaN must trip the floor, not sneak past it.
+        bad.frames_per_sec_extract = f64::NAN;
+        assert!(!regressions(&bad, &base).is_empty());
     }
 
     #[test]

@@ -26,27 +26,85 @@ use m2ai_par::parallel_map;
 use m2ai_rfsim::reading::TagReading;
 
 /// Per-stage extraction latency histograms (calibration snapshot
-/// gathering, MUSIC pseudospectrum, periodogram), resolved once per
-/// process.
-fn stage_seconds(stage: &'static str) -> m2ai_obs::Histogram {
-    static H: std::sync::OnceLock<[m2ai_obs::Histogram; 3]> = std::sync::OnceLock::new();
-    let [calibration, music, periodogram] = H.get_or_init(|| {
-        let help = "feature-extraction stage wall time";
-        let bounds = m2ai_obs::latency_buckets();
-        let mk = |labels: &'static [(&'static str, &'static str)]| {
-            m2ai_obs::histogram("m2ai_extract_stage_seconds", help, labels, &bounds)
-        };
-        [
-            mk(&[("stage", "calibration")]),
-            mk(&[("stage", "music")]),
-            mk(&[("stage", "periodogram")]),
-        ]
-    });
-    match stage {
-        "calibration" => calibration.clone(),
-        "music" => music.clone(),
-        _ => periodogram.clone(),
+/// gathering, MUSIC pseudospectrum, periodogram), registered lazily per
+/// stage label.
+static STAGE_SECONDS: m2ai_obs::HistogramFamily = m2ai_obs::HistogramFamily::new(
+    "m2ai_extract_stage_seconds",
+    "feature-extraction stage wall time",
+    "stage",
+    m2ai_obs::latency_buckets,
+);
+
+pub(crate) fn stage_seconds(stage: &'static str) -> m2ai_obs::Histogram {
+    STAGE_SECONDS.with(stage)
+}
+
+/// Turns a raw (linear-power) MUSIC pseudospectrum into the frame's
+/// spectrum features: peak-normalise, then log-compress into [0, 1]
+/// (30 dB floor), then smooth over ±2° so the conv encoder sees stable,
+/// slightly-translated structure instead of 1-bin spikes (MUSIC peaks
+/// are needle-sharp).
+///
+/// Exactly the arithmetic `tag_features` always applied, factored out so
+/// the streaming extractor produces bit-identical features from the same
+/// spectrum. Writes `min(power.len(), out.len())` values into `out`.
+pub(crate) fn spectrum_feature_into(power: &[f64], out: &mut [f32]) {
+    // MusicSpectrum::normalized, fused: scale so the max is 1.
+    let max = power.iter().cloned().fold(f64::MIN, f64::max);
+    let scale = if max > 0.0 { 1.0 / max } else { 0.0 };
+    let compressed: Vec<f32> = power
+        .iter()
+        .map(|&p| (((p * scale).max(1e-3).log10() / 3.0) + 1.0) as f32)
+        .collect();
+    smooth_spectrum_into(&compressed, out);
+}
+
+/// The ±2° circular smoothing shared by the exact and approximate
+/// log-compression paths (one body, so the two can never drift apart).
+pub(crate) fn smooth_spectrum_into(compressed: &[f32], out: &mut [f32]) {
+    let n = compressed.len();
+    const K: [f32; 9] = [0.03, 0.06, 0.12, 0.18, 0.22, 0.18, 0.12, 0.06, 0.03];
+    if n < 9 {
+        for (i, sp) in out.iter_mut().take(n).enumerate() {
+            let mut acc = 0.0;
+            for (o, w) in K.iter().enumerate() {
+                let idx = (i + o + n - 4) % n;
+                acc += w * compressed[idx];
+            }
+            *sp = acc;
+        }
+        return;
     }
+    // Interior bins never wrap: their taps are the contiguous slice
+    // `compressed[i-4 ..= i+4]`, so index them directly — the modular
+    // form costs an integer division per tap, which dominates the whole
+    // feature compression. Accumulation order matches the modular loop
+    // tap for tap, so the result is bit-identical.
+    for (i, sp) in out.iter_mut().enumerate().take(n - 4).skip(4) {
+        let win = &compressed[i - 4..i + 5];
+        let mut acc = 0.0;
+        for (w, &c) in K.iter().zip(win) {
+            acc += w * c;
+        }
+        *sp = acc;
+    }
+    // The first and last four bins wrap around the circular grid.
+    for i in (0..4).chain(n - 4..n) {
+        let mut acc = 0.0;
+        for (o, w) in K.iter().enumerate() {
+            let idx = (i + o + n - 4) % n;
+            acc += w * compressed[idx];
+        }
+        out[i] = acc;
+    }
+}
+
+/// Maps a mean backscatter power to the frame's direct feature: an
+/// absolute log scale anchored at −80 dB, clamped to [0, 1.5]. Shared
+/// (bit-identically) by the batch and streaming periodogram paths.
+pub(crate) fn periodogram_feature(p: f64) -> f32 {
+    let db = 10.0 * (p + 1e-12).log10();
+    (((db + 80.0) / 60.0).clamp(0.0, 1.5)) as f32
 }
 
 /// Which preprocessing feeds the network (Fig. 16).
@@ -272,26 +330,7 @@ impl FrameBuilder {
         if has_spectrum && snaps.len() >= 2 {
             let _span = stage_seconds("music").time();
             if let Ok(spec) = pseudospectrum(&snaps, music_cfg) {
-                let spec = spec.normalized();
-                // MUSIC peaks are needle-sharp; log-compress into
-                // [0, 1] (30 dB floor) and smooth over ±2° so the
-                // conv encoder sees stable, slightly-translated
-                // structure instead of 1-bin spikes.
-                let compressed: Vec<f32> = spec
-                    .power
-                    .iter()
-                    .map(|&p| ((p.max(1e-3).log10() / 3.0) + 1.0) as f32)
-                    .collect();
-                let n = compressed.len();
-                const K: [f32; 9] = [0.03, 0.06, 0.12, 0.18, 0.22, 0.18, 0.12, 0.06, 0.03];
-                for (i, sp) in spec_part.iter_mut().take(n).enumerate() {
-                    let mut acc = 0.0;
-                    for (o, w) in K.iter().enumerate() {
-                        let idx = (i + o + n - 4) % n;
-                        acc += w * compressed[idx];
-                    }
-                    *sp = acc;
-                }
+                spectrum_feature_into(&spec.power, &mut spec_part);
             }
         }
         // Direct part.
@@ -309,8 +348,7 @@ impl FrameBuilder {
                         continue;
                     }
                     let p = m2ai_dsp::periodogram::mean_power(&series);
-                    let db = 10.0 * (p + 1e-12).log10();
-                    direct_part[a] = (((db + 80.0) / 60.0).clamp(0.0, 1.5)) as f32;
+                    direct_part[a] = periodogram_feature(p);
                 }
             }
             FeatureMode::RssiOnly => {

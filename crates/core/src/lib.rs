@@ -50,6 +50,7 @@ pub mod network;
 pub mod online;
 pub mod pipeline;
 pub mod serve;
+pub mod stream_extract;
 
 pub use dataset::{generate_dataset, DatasetBundle, ExperimentConfig};
 pub use degrade::SpectrumFallback;

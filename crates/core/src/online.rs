@@ -30,6 +30,7 @@
 
 use crate::degrade::SpectrumFallback;
 use crate::frames::FrameBuilder;
+use crate::stream_extract::{StreamExtractor, StreamingExtract};
 use m2ai_kernels::KernelScratch;
 use m2ai_nn::model::SequenceClassifier;
 use m2ai_rfsim::reading::TagReading;
@@ -212,6 +213,10 @@ pub struct SessionWindow {
     /// Recorded health transitions, in order, capped at
     /// [`TRANSITION_LOG_CAP`] entries.
     transitions: Vec<(HealthState, HealthState)>,
+    /// Streaming incremental extraction state; `None` means every
+    /// window is built by the batch `FrameBuilder` (the default, and
+    /// the fallback for configurations streaming cannot cover).
+    extractor: Option<StreamExtractor>,
 }
 
 impl SessionWindow {
@@ -237,7 +242,27 @@ impl SessionWindow {
             last_reading_s: f64::NEG_INFINITY,
             good_streak: 0,
             transitions: Vec::new(),
+            extractor: None,
         }
+    }
+
+    /// Enables streaming incremental extraction (builder style).
+    ///
+    /// Windows are then maintained by a [`StreamExtractor`] — rank-1
+    /// covariance updates plus the GEMM-lowered pseudospectrum scan —
+    /// instead of batch rebuilds, with `cfg.refresh_every` bounding
+    /// drift. Configurations streaming cannot cover (PhaseOnly /
+    /// RssiOnly modes, frames not aligned to antenna rounds) silently
+    /// keep the batch path; check [`SessionWindow::streaming_active`].
+    #[must_use]
+    pub fn with_streaming(mut self, cfg: StreamingExtract) -> Self {
+        self.extractor = StreamExtractor::try_new(&self.builder, cfg);
+        self
+    }
+
+    /// `true` when windows are built by the streaming extractor.
+    pub fn streaming_active(&self) -> bool {
+        self.extractor.is_some()
     }
 
     /// Current stream health.
@@ -330,9 +355,12 @@ impl SessionWindow {
             return;
         }
 
-        let (mut frame, quality) = self
-            .builder
-            .build_frame_with_quality(&self.buffer, window_start);
+        let (mut frame, quality) = match &mut self.extractor {
+            Some(ex) => ex.extract(window_start),
+            None => self
+                .builder
+                .build_frame_with_quality(&self.buffer, window_start),
+        };
         let patched = self.fallback.observe_and_patch(&mut frame, &quality);
         let (coverage_hist, patch_counter) = window_quality();
         coverage_hist.observe(quality.mean_coverage() as f64);
@@ -386,7 +414,13 @@ impl SessionWindow {
             if !r.time_s.is_finite() {
                 continue;
             }
-            self.insert_sorted(r);
+            if self.insert_sorted(r) {
+                // Retained (non-duplicate) readings feed the streaming
+                // extractor so its round slots mirror the buffer.
+                if let Some(ex) = &mut self.extractor {
+                    ex.ingest(r);
+                }
+            }
             if r.time_s > self.last_reading_s {
                 self.last_reading_s = r.time_s;
             }

@@ -155,6 +155,16 @@ pub struct ServeConfig {
     /// [`m2ai_kernels::Backend::QuantI8`] the model must already have
     /// been prepared via `SequenceClassifier::prepare_quantized`.
     pub backend: Option<m2ai_kernels::Backend>,
+    /// Streaming incremental extraction for the raw-readings path.
+    ///
+    /// `None` (the default) keeps the bit-exact batch `FrameBuilder`
+    /// on every window. `Some(cfg)` gives each session a
+    /// [`crate::stream_extract::StreamExtractor`]: rank-1 sliding
+    /// covariance updates plus the GEMM-lowered pseudospectrum scan,
+    /// with `cfg.refresh_every` windows between exact recomputes.
+    /// Configurations streaming cannot cover silently keep the batch
+    /// path per session.
+    pub streaming: Option<crate::stream_extract::StreamingExtract>,
 }
 
 impl Default for ServeConfig {
@@ -166,6 +176,7 @@ impl Default for ServeConfig {
             history_len: 12,
             health: HealthConfig::default(),
             backend: None,
+            streaming: None,
         }
     }
 }
@@ -362,13 +373,17 @@ impl ServeEngine {
         };
         let id = SessionId(self.next_id);
         self.next_id += 1;
+        let mut window = SessionWindow::new(
+            self.builder.clone(),
+            self.cfg.history_len,
+            self.cfg.health.clone(),
+        );
+        if let Some(streaming) = self.cfg.streaming {
+            window = window.with_streaming(streaming);
+        }
         self.slots[free] = Some(Slot {
             id,
-            window: SessionWindow::new(
-                self.builder.clone(),
-                self.cfg.history_len,
-                self.cfg.health.clone(),
-            ),
+            window,
             state: self.model.stream_state(self.cfg.history_len),
             pending: VecDeque::new(),
             shed: 0,

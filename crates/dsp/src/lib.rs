@@ -13,9 +13,15 @@
 //! * the MUSIC pseudospectrum estimator ([`music`], Eq. 12) with
 //!   forward–backward averaging, spatial smoothing and MDL/AIC source
 //!   counting;
-//! * descriptive [`stats`] (means, medians, circular statistics).
+//! * descriptive [`stats`] (means, medians, circular statistics);
+//! * [`stream`]ing sliding-window covariance maintenance (rank-1
+//!   add/retire of forward–backward snapshot outer products) feeding a
+//!   GEMM-lowered pseudospectrum scan
+//!   ([`music::pseudospectrum_from_correlation_gemm`]).
 //!
-//! The crate is dependency-free and uses `f64` throughout.
+//! The crate uses `f64` throughout for the exact batch path and leans
+//! only on workspace crates (`m2ai-kernels` for the packed `f32` scan,
+//! `m2ai-obs` for instrumentation) — no external dependencies.
 //!
 //! # Example
 //!
@@ -47,6 +53,7 @@ pub mod music;
 pub mod periodogram;
 pub mod phase;
 pub mod stats;
+pub mod stream;
 pub mod window;
 
 pub use complex::Complex;

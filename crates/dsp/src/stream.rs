@@ -1,0 +1,292 @@
+//! Sliding-window maintenance of the spatially smoothed correlation.
+//!
+//! The batch estimator ([`crate::music::spatially_smoothed_correlation`])
+//! recomputes, for every window, the average of all subarray outer
+//! products over all snapshots:
+//!
+//! ```text
+//! R = (1/(T·S)) · Σ_{t<T} Σ_{s<S} w_{t,s} · w_{t,s}ᴴ ,
+//! ```
+//!
+//! where `w_{t,s}` is the `l`-element subarray of snapshot `t` starting
+//! at element `s`, and `S = N − l + 1`. `R` is *linear* in the
+//! per-snapshot contributions, so a sliding window can maintain the
+//! unnormalised accumulator `A = Σ Σ w wᴴ` with rank-1 updates — `S`
+//! outer-product additions when a snapshot enters the window,
+//! subtractions when one retires — and renormalise on demand. That turns
+//! the per-window cost from `O(T·S·l²)` rebuilds into `O(ΔT·S·l²)` for
+//! the snapshots that actually changed.
+//!
+//! Forward–backward averaging is *not* folded in here: the downstream
+//! consumer ([`crate::music::pseudospectrum_from_correlation`] and its
+//! GEMM-lowered sibling) applies FB to whatever correlation it is
+//! handed, so the streamed `R` feeds the identical FB → loading → eigen
+//! prefix as the batch path.
+//!
+//! ## Drift
+//!
+//! In exact arithmetic an add/retire sequence reproduces the batch `R`
+//! for the surviving window. In `f64`, retiring a snapshot does not
+//! bitwise-cancel the rounding of its earlier addition, so the
+//! accumulator drifts by `O(ε·Σ‖w‖²)` per update — bounded, but not
+//! zero. Callers that need exactness periodically [`Self::clear`] and
+//! re-add the live window (the streaming extractor's *refresh cadence*),
+//! which resets accumulated drift to the batch value.
+
+use crate::{CMatrix, Complex, DspError};
+
+/// Incrementally maintained, unnormalised smoothed-correlation state for
+/// one sliding window of array snapshots.
+///
+/// `Clone` is cheap-ish (one `l × l` matrix) and deliberate: session
+/// checkpoints carry extractor state by value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingCovariance {
+    snap_len: usize,
+    sub_len: usize,
+    n_sub: usize,
+    /// `Σ_t Σ_s w_{t,s} w_{t,s}ᴴ` over the live window (unnormalised).
+    acc: CMatrix,
+    /// Number of live snapshots `T`.
+    count: usize,
+}
+
+impl SlidingCovariance {
+    /// Creates empty state for length-`snap_len` snapshots, optionally
+    /// spatially smoothed with subarrays of `smoothing_subarray`
+    /// elements (the same parameter as
+    /// [`crate::music::MusicConfig::smoothing_subarray`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::EmptyInput`] if `snap_len` is zero;
+    /// * [`DspError::InvalidParameter`] if the subarray length is
+    ///   outside `2..=snap_len` (matching the batch estimator).
+    pub fn new(snap_len: usize, smoothing_subarray: Option<usize>) -> Result<Self, DspError> {
+        if snap_len == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        if let Some(l) = smoothing_subarray {
+            if l < 2 || l > snap_len {
+                return Err(DspError::InvalidParameter(
+                    "subarray_len must be in 2..=snapshot_len",
+                ));
+            }
+        }
+        let sub_len = smoothing_subarray.unwrap_or(snap_len);
+        Ok(SlidingCovariance {
+            snap_len,
+            sub_len,
+            n_sub: snap_len - sub_len + 1,
+            acc: CMatrix::zeros(sub_len, sub_len),
+            count: 0,
+        })
+    }
+
+    /// Snapshot length this state was built for.
+    pub fn snap_len(&self) -> usize {
+        self.snap_len
+    }
+
+    /// Size of the emitted correlation matrix (`l × l`).
+    pub fn sub_len(&self) -> usize {
+        self.sub_len
+    }
+
+    /// Number of snapshots currently folded into the window.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no snapshots are folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds (`sign = +1`) or subtracts (`sign = -1`) every subarray
+    /// outer product of `snap` into the accumulator.
+    fn rank1(&mut self, snap: &[Complex], sign: f64) {
+        let l = self.sub_len;
+        for start in 0..self.n_sub {
+            let w = &snap[start..start + l];
+            for i in 0..l {
+                for j in 0..l {
+                    self.acc[(i, j)] += (w[i] * w[j].conj()).scale(sign);
+                }
+            }
+        }
+    }
+
+    /// Folds one snapshot into the window.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::DimensionMismatch`] if `snap.len() != snap_len`.
+    pub fn add(&mut self, snap: &[Complex]) -> Result<(), DspError> {
+        if snap.len() != self.snap_len {
+            return Err(DspError::DimensionMismatch(self.snap_len, snap.len()));
+        }
+        self.rank1(snap, 1.0);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Retires a previously [`Self::add`]ed snapshot from the window.
+    ///
+    /// The caller is responsible for passing the same values it added —
+    /// this subtracts the outer products, it does not search.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::DimensionMismatch`] if `snap.len() != snap_len`;
+    /// * [`DspError::EmptyInput`] if the window is already empty.
+    pub fn retire(&mut self, snap: &[Complex]) -> Result<(), DspError> {
+        if snap.len() != self.snap_len {
+            return Err(DspError::DimensionMismatch(self.snap_len, snap.len()));
+        }
+        if self.count == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        self.rank1(snap, -1.0);
+        self.count -= 1;
+        Ok(())
+    }
+
+    /// Empties the window (used before an exact rebuild at a refresh
+    /// point; zeroes accumulated drift).
+    pub fn clear(&mut self) {
+        self.acc.resize_to(self.sub_len, self.sub_len);
+        self.count = 0;
+    }
+
+    /// Writes the normalised correlation `R = A/(T·S)` into `out`.
+    ///
+    /// Equal in exact arithmetic to the batch estimator on the live
+    /// window's snapshots; in `f64` it differs by the normalisation
+    /// order (one combined scale here versus scale-per-subarray-pass in
+    /// the batch path) plus any add/retire drift — both covered by the
+    /// caller's tolerance band and zeroed at refresh points.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::EmptyInput`] when the window is empty.
+    pub fn correlation_into(&self, out: &mut CMatrix) -> Result<(), DspError> {
+        if self.count == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        out.copy_from(&self.acc);
+        let scale = 1.0 / (self.count as f64 * self.n_sub as f64);
+        out.scale_in_place(Complex::new(scale, 0.0));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::music::{correlation_matrix, spatially_smoothed_correlation};
+
+    fn snapshot(seed: u64, n: usize) -> Vec<Complex> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        (0..n).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    fn max_abs_diff(a: &CMatrix, b: &CMatrix) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_batch_smoothed_correlation_after_slide() {
+        let n = 4;
+        let all: Vec<Vec<Complex>> = (0..12).map(|t| snapshot(t, n)).collect();
+        let mut cov = SlidingCovariance::new(n, Some(3)).unwrap();
+        let mut out = CMatrix::zeros(0, 0);
+        // Slide a width-5 window across; compare against the batch
+        // estimator on the same live snapshots at every position.
+        for t in 0..all.len() {
+            cov.add(&all[t]).unwrap();
+            if t >= 5 {
+                cov.retire(&all[t - 5]).unwrap();
+            }
+            let lo = t.saturating_sub(4);
+            let live = &all[lo..=t];
+            assert_eq!(cov.len(), live.len());
+            cov.correlation_into(&mut out).unwrap();
+            let batch = spatially_smoothed_correlation(live, 3).unwrap();
+            assert!(
+                max_abs_diff(&out, &batch) < 1e-12,
+                "window ending at {t} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_batch_plain_correlation_without_smoothing() {
+        let n = 3;
+        let all: Vec<Vec<Complex>> = (0..6).map(|t| snapshot(100 + t, n)).collect();
+        let mut cov = SlidingCovariance::new(n, None).unwrap();
+        for s in &all {
+            cov.add(s).unwrap();
+        }
+        let mut out = CMatrix::zeros(0, 0);
+        cov.correlation_into(&mut out).unwrap();
+        let batch = correlation_matrix(&all).unwrap();
+        assert!(max_abs_diff(&out, &batch) < 1e-12);
+        assert_eq!(out.rows(), n);
+    }
+
+    #[test]
+    fn clear_and_rebuild_resets_drift_exactly() {
+        let n = 4;
+        let all: Vec<Vec<Complex>> = (0..8).map(|t| snapshot(7 * t + 1, n)).collect();
+        let mut cov = SlidingCovariance::new(n, Some(3)).unwrap();
+        // Churn: add everything, retire the first half.
+        for s in &all {
+            cov.add(s).unwrap();
+        }
+        for s in &all[..4] {
+            cov.retire(s).unwrap();
+        }
+        // Rebuild the same live window from scratch.
+        cov.clear();
+        assert!(cov.is_empty());
+        for s in &all[4..] {
+            cov.add(s).unwrap();
+        }
+        let mut out = CMatrix::zeros(0, 0);
+        cov.correlation_into(&mut out).unwrap();
+        // After a rebuild, the result must be *bitwise* reproducible
+        // by a fresh accumulator over the same snapshots.
+        let mut fresh = SlidingCovariance::new(n, Some(3)).unwrap();
+        for s in &all[4..] {
+            fresh.add(s).unwrap();
+        }
+        let mut out2 = CMatrix::zeros(0, 0);
+        fresh.correlation_into(&mut out2).unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(SlidingCovariance::new(0, None).is_err());
+        assert!(SlidingCovariance::new(4, Some(1)).is_err());
+        assert!(SlidingCovariance::new(4, Some(5)).is_err());
+        let mut cov = SlidingCovariance::new(4, Some(3)).unwrap();
+        assert_eq!(cov.sub_len(), 3);
+        assert_eq!(cov.snap_len(), 4);
+        assert!(cov.add(&snapshot(1, 3)).is_err());
+        assert!(cov.retire(&snapshot(1, 4)).is_err(), "empty window");
+        let mut out = CMatrix::zeros(0, 0);
+        assert_eq!(cov.correlation_into(&mut out), Err(DspError::EmptyInput));
+    }
+}

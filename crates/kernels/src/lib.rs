@@ -139,23 +139,24 @@ mod obs_metrics {
         quant.set((b == Backend::QuantI8) as i64);
     }
 
+    static GEMM_SECONDS: m2ai_obs::HistogramFamily = m2ai_obs::HistogramFamily::new(
+        "m2ai_kernels_gemm_seconds",
+        "wall seconds per dispatched GEMM, by multiply-add count \
+         (small < 2^16, medium < 2^20, large >= 2^20)",
+        "shape_class",
+        m2ai_obs::latency_buckets,
+    );
+
+    /// The three shape-class children, resolved once: `time_gemm` sits
+    /// on the per-dispatch hot path, so it must not take the family's
+    /// lookup mutex per call.
     fn gemm_seconds() -> &'static [m2ai_obs::Histogram; 3] {
         static H: OnceLock<[m2ai_obs::Histogram; 3]> = OnceLock::new();
         H.get_or_init(|| {
-            let help = "wall seconds per dispatched GEMM, by multiply-add count \
-                        (small < 2^16, medium < 2^20, large >= 2^20)";
-            let mk = |labels| {
-                m2ai_obs::histogram(
-                    "m2ai_kernels_gemm_seconds",
-                    help,
-                    labels,
-                    &m2ai_obs::latency_buckets(),
-                )
-            };
             [
-                mk(&[("shape_class", "small")]),
-                mk(&[("shape_class", "medium")]),
-                mk(&[("shape_class", "large")]),
+                GEMM_SECONDS.with("small"),
+                GEMM_SECONDS.with("medium"),
+                GEMM_SECONDS.with("large"),
             ]
         })
     }

@@ -1,0 +1,150 @@
+//! Label-family helpers: one static, many label children.
+//!
+//! Several call sites across the workspace used to hand-roll the same
+//! pattern — a `OnceLock` holding an array of handles, one per value of
+//! a single label key (`stage_seconds` in `m2ai-core`, the GEMM shape
+//! classes in `m2ai-kernels`, …). [`CounterFamily`] and
+//! [`HistogramFamily`] fold that boilerplate into one `static`:
+//!
+//! ```
+//! static STAGE: m2ai_obs::HistogramFamily = m2ai_obs::HistogramFamily::new(
+//!     "example_stage_seconds",
+//!     "stage wall time",
+//!     "stage",
+//!     m2ai_obs::latency_buckets,
+//! );
+//! let _span = STAGE.with("calibration").time();
+//! ```
+//!
+//! `with` resolves (and on first use registers) the child for a label
+//! value and caches the handle, so after warmup a lookup is one short
+//! mutex-guarded scan over a handful of entries — no allocation, no
+//! re-registration. Label values must be `'static`, matching the
+//! registry's allocation-free contract; the one-pair label slice each
+//! distinct value needs is leaked exactly once, bounded by the (small,
+//! fixed) set of values a call site uses.
+
+use crate::{Counter, Histogram, LabelSet};
+use std::sync::Mutex;
+
+/// Cached children of one family, keyed by label value.
+///
+/// Each distinct value leaks one single-pair label slice on first use:
+/// the registry requires `'static` labels, and the value set of a
+/// family is a small fixed vocabulary, so the leak is bounded.
+type Cells<T> = Mutex<Vec<(&'static str, T)>>;
+
+/// A counter family over one label key, usable as a `static`.
+#[derive(Debug)]
+pub struct CounterFamily {
+    name: &'static str,
+    help: &'static str,
+    key: &'static str,
+    cells: Cells<Counter>,
+}
+
+impl CounterFamily {
+    /// Declares a family (no registration happens until [`Self::with`]).
+    pub const fn new(name: &'static str, help: &'static str, key: &'static str) -> Self {
+        CounterFamily {
+            name,
+            help,
+            key,
+            cells: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The counter `name{key=value}`, registered on first use.
+    pub fn with(&self, value: &'static str) -> Counter {
+        let (name, help, key) = (self.name, self.help, self.key);
+        let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, c)) = cells.iter().find(|(v, _)| *v == value) {
+            return c.clone();
+        }
+        let labels: LabelSet = Box::leak(Box::new([(key, value)]));
+        let c = crate::counter(name, help, labels);
+        cells.push((value, c.clone()));
+        c
+    }
+}
+
+/// A histogram family over one label key, usable as a `static`.
+///
+/// Bounds are supplied as a function pointer (e.g.
+/// [`crate::latency_buckets`]) so the declaration stays `const`.
+#[derive(Debug)]
+pub struct HistogramFamily {
+    name: &'static str,
+    help: &'static str,
+    key: &'static str,
+    bounds: fn() -> Vec<f64>,
+    cells: Cells<Histogram>,
+}
+
+impl HistogramFamily {
+    /// Declares a family (no registration happens until [`Self::with`]).
+    pub const fn new(
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        bounds: fn() -> Vec<f64>,
+    ) -> Self {
+        HistogramFamily {
+            name,
+            help,
+            key,
+            bounds,
+            cells: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The histogram `name{key=value}`, registered on first use.
+    pub fn with(&self, value: &'static str) -> Histogram {
+        let (name, help, key, bounds) = (self.name, self.help, self.key, self.bounds);
+        let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, h)) = cells.iter().find(|(v, _)| *v == value) {
+            return h.clone();
+        }
+        let labels: LabelSet = Box::leak(Box::new([(key, value)]));
+        let h = crate::histogram(name, help, labels, &bounds());
+        cells.push((value, h.clone()));
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTERS: CounterFamily = CounterFamily::new("test_obs_family_total", "t", "op");
+    static TEST_HISTS: HistogramFamily = HistogramFamily::new(
+        "test_obs_family_seconds",
+        "t",
+        "stage",
+        crate::latency_buckets,
+    );
+
+    #[test]
+    fn counter_children_are_cached_and_independent() {
+        let _g = crate::test_lock();
+        let a = TEST_COUNTERS.with("add");
+        let a2 = TEST_COUNTERS.with("add");
+        let r = TEST_COUNTERS.with("retire");
+        let before_a = a.get();
+        let before_r = r.get();
+        a.add(3);
+        assert_eq!(a2.get(), before_a + 3, "same value shares state");
+        assert_eq!(r.get(), before_r, "different values are independent");
+        assert!(crate::find("test_obs_family_total", &[("op", "add")]).is_some());
+    }
+
+    #[test]
+    fn histogram_children_register_with_bounds() {
+        let _g = crate::test_lock();
+        let h = TEST_HISTS.with("music");
+        let before = h.count();
+        h.observe(0.001);
+        assert_eq!(TEST_HISTS.with("music").count(), before + 1);
+        assert!(crate::find("test_obs_family_seconds", &[("stage", "music")]).is_some());
+    }
+}

@@ -39,6 +39,9 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod family;
+
+pub use family::{CounterFamily, HistogramFamily};
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
