@@ -15,6 +15,7 @@ fn main() {
     // also accepted) before positional parsing, so the path is never
     // mistaken for a subcommand.
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--metrics-out" {
@@ -27,9 +28,25 @@ fn main() {
         } else if let Some(path) = args[i].strip_prefix("--metrics-out=") {
             metrics_out = Some(path.to_string());
             args.remove(i);
+        } else if args[i] == "--trace-out" {
+            if i + 1 >= args.len() {
+                eprintln!("--trace-out needs a path");
+                std::process::exit(2);
+            }
+            trace_out = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(path) = args[i].strip_prefix("--trace-out=") {
+            trace_out = Some(path.to_string());
+            args.remove(i);
         } else {
             i += 1;
         }
+    }
+    // `--trace-out` samples every trace for the whole run and exports
+    // the collected spans as a Chrome trace_event JSON (loadable in
+    // Perfetto / chrome://tracing) on exit.
+    if trace_out.is_some() {
+        m2ai_obs::trace::set_trace_config(m2ai_obs::trace::TraceConfig { sample_one_in_n: 1 });
     }
     let budget = if args.iter().any(|a| a == "--fast") {
         Budget::Fast
@@ -123,10 +140,15 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "trace" => {
+                if !m2ai_bench::trace_gate::check() {
+                    std::process::exit(1);
+                }
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput extract quant serve shard chaos obs; flags --fast --check --metrics-out <path>"
+                    "known: all fig2 fig3 fig9 table1 fig10..fig17 ablation-aoa ext-transfer robustness throughput extract quant serve shard chaos obs trace; flags --fast --check --metrics-out <path> --trace-out <path>"
                 );
                 std::process::exit(2);
             }
@@ -134,5 +156,11 @@ fn main() {
     }
     if let Some(path) = &metrics_out {
         m2ai_bench::obs::write_metrics(path);
+    }
+    if let Some(path) = &trace_out {
+        let spans = m2ai_obs::trace::take_spans();
+        let body = m2ai_obs::trace::render_trace_events(&spans);
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("write trace to {path}: {e}"));
+        println!("wrote {path} ({} spans)", spans.len());
     }
 }

@@ -110,6 +110,11 @@ pub struct ChaosReport {
     pub rate_checkpoint: f64,
     /// `rate_no_checkpoint / rate_checkpoint`.
     pub checkpoint_overhead_ratio: f64,
+    /// The fabric's own `m2ai_fabric_recovery_seconds` histogram,
+    /// windowed over the crash phase, put its p99 in the overflow
+    /// bucket (recovery beyond the last finite bound, ~12 s). The
+    /// gate fails on a saturated fresh value.
+    pub recovery_p99_saturated: bool,
 }
 
 impl ChaosReport {
@@ -137,8 +142,12 @@ impl ChaosReport {
             out.push_str(&format!("  \"{key}\": {},\n", json_f64(v)));
         }
         out.push_str(&format!(
-            "  \"checkpoint_overhead_ratio\": {}\n",
+            "  \"checkpoint_overhead_ratio\": {},\n",
             json_f64(self.checkpoint_overhead_ratio)
+        ));
+        out.push_str(&format!(
+            "  \"recovery_p99_saturated\": {}\n",
+            u8::from(self.recovery_p99_saturated)
         ));
         out.push('}');
         out.push('\n');
@@ -165,6 +174,9 @@ impl ChaosReport {
             rate_no_checkpoint: parse_metric(json, "rate_no_checkpoint")?,
             rate_checkpoint: parse_metric(json, "rate_checkpoint")?,
             checkpoint_overhead_ratio: parse_metric(json, "checkpoint_overhead_ratio")?,
+            // Absent in pre-tagged baselines: treat as unsaturated.
+            recovery_p99_saturated: parse_metric(json, "recovery_p99_saturated")
+                .is_some_and(|v| v != 0.0),
         })
     }
 }
@@ -449,6 +461,15 @@ fn measure_rate(w: &Workload, checkpoint_interval: Duration) -> f64 {
     best
 }
 
+/// Current snapshot of the fabric's recovery-latency histogram
+/// (`None` until a fabric has registered its instruments).
+fn recovery_hist() -> Option<m2ai_obs::HistogramSnapshot> {
+    match m2ai_obs::find("m2ai_fabric_recovery_seconds", &[]) {
+        Some(m2ai_obs::MetricValue::Histogram(h)) => Some(h),
+        _ => None,
+    }
+}
+
 fn available_cores() -> f64 {
     std::thread::available_parallelism()
         .map(|n| n.get() as f64)
@@ -482,7 +503,20 @@ pub fn run() -> ChaosReport {
     quiet_shard_panics();
     let w = workload();
 
+    // Window the fabric's own recovery histogram over the crash phase
+    // (the registry is process-global, so the delta isolates this run)
+    // and pool it — a saturated p99 there means some recovery ran past
+    // the last finite bucket, which the exact per-kill timings below
+    // could only show as a blown ceiling.
+    let recovery_hist_before = recovery_hist();
     let (mut recoveries_ms, lost, restarts, lost_inflight, evicted) = measure_crashes(&w);
+    let mut recovery_window = m2ai_obs::HistogramDelta::new();
+    if let Some(after) = recovery_hist() {
+        recovery_window.accumulate(&match &recovery_hist_before {
+            Some(before) => after.delta(before),
+            None => after,
+        });
+    }
     recoveries_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite recoveries"));
     let q = |frac: f64| -> f64 {
         let idx = ((recoveries_ms.len() - 1) as f64 * frac).round() as usize;
@@ -509,6 +543,8 @@ pub fn run() -> ChaosReport {
         rate_no_checkpoint,
         rate_checkpoint,
         checkpoint_overhead_ratio: rate_no_checkpoint / rate_checkpoint,
+        recovery_p99_saturated: recovery_window.count() > 0
+            && recovery_window.quantile(0.99).saturated,
     };
     println!("cores               {:>10.0}", report.cores);
     println!(
@@ -561,6 +597,13 @@ pub fn regressions(fresh: &ChaosReport, baseline: &ChaosReport) -> Vec<String> {
             "restarts {:.0} below the {:.0} injected kills",
             fresh.restarts, fresh.kills
         ));
+    }
+    if fresh.recovery_p99_saturated {
+        failures.push(
+            "recovery p99 saturated the m2ai_fabric_recovery_seconds histogram \
+             (some recovery ran past the last finite bucket)"
+                .to_string(),
+        );
     }
     // Timing ceilings (NaN-safe: NaN must fail).
     if !fresh.recovery_p99_ms.le(&MAX_RECOVERY_P99_MS) {
@@ -671,7 +714,24 @@ mod tests {
             rate_no_checkpoint: 5000.0,
             rate_checkpoint: 4500.0,
             checkpoint_overhead_ratio: 5000.0 / 4500.0,
+            recovery_p99_saturated: false,
         }
+    }
+
+    #[test]
+    fn gate_trips_on_saturated_recovery_histogram() {
+        let base = clean_report();
+        let mut sat = base.clone();
+        sat.recovery_p99_saturated = true;
+        assert!(regressions(&sat, &base)
+            .iter()
+            .any(|f| f.contains("saturated")));
+        // A baseline written before the flag existed still parses.
+        let legacy = base
+            .to_json()
+            .replace(",\n  \"recovery_p99_saturated\": 0", "");
+        let back = ChaosReport::from_json(&legacy).expect("legacy parse");
+        assert!(!back.recovery_p99_saturated);
     }
 
     #[test]

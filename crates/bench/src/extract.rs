@@ -224,9 +224,25 @@ pub fn run() -> ExtractReport {
             std::hint::black_box(w.builder.build_frame_with_quality(&w.readings, t0));
         }
     });
+    // Window the extractor's own scan histogram over the timed
+    // streaming passes (delta isolates this run from anything else in
+    // the process-global registry) and pool the passes, so the printed
+    // per-scan latency is an aggregate, not one pass's luck.
+    let scan_hist = || match m2ai_obs::find("m2ai_extract_stream_scan_seconds", &[]) {
+        Some(m2ai_obs::MetricValue::Histogram(h)) => Some(h),
+        _ => None,
+    };
+    let scan_before = scan_hist();
     let frames_per_sec_stream = rate(6, N_WINDOWS, || {
         std::hint::black_box(stream_pass(&w));
     });
+    let mut scan_window = m2ai_obs::HistogramDelta::new();
+    if let Some(after) = scan_hist() {
+        scan_window.accumulate(&match &scan_before {
+            Some(before) => after.delta(before),
+            None => after,
+        });
+    }
 
     let streamed = stream_pass(&w);
     let mut max_abs_diff = 0.0f64;
@@ -255,6 +271,15 @@ pub fn run() -> ExtractReport {
     println!("speedup       {:>10.2}x", report.stream_speedup);
     println!("max |Δ|       {:>10.2e}", report.max_abs_diff);
     println!("cores         {:>10.0}", report.cores);
+    if scan_window.count() > 0 {
+        let p99 = scan_window.quantile(0.99);
+        println!(
+            "scan p99      {:>10.1} us ({} scans{})",
+            p99.value * 1e6,
+            scan_window.count(),
+            if p99.saturated { ", SATURATED" } else { "" }
+        );
+    }
     report
 }
 

@@ -16,6 +16,7 @@ pub mod robustness;
 pub mod serve;
 pub mod shard;
 pub mod throughput;
+pub mod trace_gate;
 
 use m2ai_core::dataset::{generate_dataset, ExperimentConfig, RoomKind};
 use m2ai_core::frames::FeatureMode;

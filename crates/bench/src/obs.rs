@@ -58,6 +58,7 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "m2ai_serve_predictions_total",
     "m2ai_fabric_ingress_depth",
     "m2ai_fabric_ingress_shed_total",
+    "m2ai_fabric_ingress_wait_seconds",
     "m2ai_fabric_sessions",
     "m2ai_fabric_predictions_total",
     "m2ai_fabric_tick_seconds",
@@ -69,6 +70,10 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "m2ai_fabric_checkpoint_seconds",
     "m2ai_fabric_quarantined_total",
     "m2ai_fabric_recovery_seconds",
+    "m2ai_trace_spans_total",
+    "m2ai_trace_dropped_total",
+    "m2ai_flightrec_dumps_total",
+    "m2ai_slo_burn_rate",
 ];
 
 /// Counter families that must be *non-zero* after the smoke workload
@@ -89,6 +94,9 @@ const NONZERO_COUNTERS: &[&str] = &[
     "m2ai_fabric_heartbeats_total",
     "m2ai_fabric_restarts_total",
     "m2ai_fabric_checkpoints_total",
+    "m2ai_trace_spans_total",
+    "m2ai_trace_dropped_total",
+    "m2ai_flightrec_dumps_total",
 ];
 
 /// Histogram families that must have observations after the smoke
@@ -106,6 +114,7 @@ const NONZERO_HISTOGRAMS: &[&str] = &[
     "m2ai_fabric_tick_seconds",
     "m2ai_fabric_checkpoint_seconds",
     "m2ai_fabric_recovery_seconds",
+    "m2ai_fabric_ingress_wait_seconds",
 ];
 
 /// Drives a miniature end-to-end workload that touches every
@@ -166,6 +175,11 @@ pub fn smoke_workload() {
     // A two-shard fabric over the same model: per-shard ingress /
     // session / prediction / tick families plus the fabric-wide
     // spill and rejection counters (registered on construction).
+    // Tracing samples everything during the fabric segment so the
+    // trace-span counter, the ingress-wait histogram and (via the
+    // kill below) the flight-recorder dump counter all move.
+    let prev_trace = m2ai_obs::trace::trace_config();
+    m2ai_obs::trace::set_trace_config(m2ai_obs::trace::TraceConfig { sample_one_in_n: 1 });
     let fabric = m2ai_serve_fabric::ServeFabric::new(
         model.clone(),
         FrameBuilder::new(layout, PhaseCalibrator::disabled(1, 4), 0.5),
@@ -215,6 +229,45 @@ pub fn smoke_workload() {
     }
     fabric.flush();
     fabric.shutdown();
+    // Overflow the span collector on purpose (tiny capacity, one
+    // burst, restore) so the dropped-span counter is provably alive.
+    m2ai_obs::trace::set_trace_capacity(2);
+    for _ in 0..8 {
+        let ctx = m2ai_obs::trace::begin_trace();
+        ctx.child("smoke_overflow").end();
+    }
+    m2ai_obs::trace::flush_thread_spans();
+    m2ai_obs::trace::set_trace_capacity(1 << 16);
+    m2ai_obs::trace::set_trace_config(prev_trace);
+    // One SLO evaluation over the serve latency histogram publishes
+    // the burn-rate gauge.
+    if let Some(m2ai_obs::MetricValue::Histogram(h)) =
+        m2ai_obs::find("m2ai_serve_prediction_seconds", &[])
+    {
+        let mut slo = m2ai_obs::SloMonitor::new(m2ai_obs::SloSpec {
+            name: "smoke",
+            target_latency_s: 0.1,
+            error_budget: 0.01,
+        });
+        let now = m2ai_obs::trace::clock_us();
+        slo.observe(
+            now.saturating_sub(1_000_000),
+            m2ai_obs::HistogramSnapshot {
+                buckets: vec![0; h.buckets.len()],
+                count: 0,
+                sum: 0.0,
+                bounds: h.bounds.clone(),
+            },
+        );
+        slo.observe(now, h);
+        let _ = slo.evaluate(
+            now,
+            &[m2ai_obs::BurnWindow {
+                window_us: 1_000_000,
+                threshold: 10.0,
+            }],
+        );
+    }
 
     // One-epoch fit on two synthetic samples + one replay forward:
     // the nn counters and the replay-path latency histogram.

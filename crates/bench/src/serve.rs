@@ -83,6 +83,10 @@ pub struct ServeReport {
     pub p50_latency_us: f64,
     /// 99th-percentile per-prediction latency, microseconds.
     pub p99_latency_us: f64,
+    /// The p99 landed in the histogram's overflow bucket, so
+    /// `p99_latency_us` is the last finite bound — a floor, not a
+    /// measurement. The gate treats a saturated fresh p99 as a failure.
+    pub p99_saturated: bool,
 }
 
 impl ServeReport {
@@ -112,8 +116,12 @@ impl ServeReport {
             out.push_str(&format!("  \"{key}\": {},\n", json_f64(v)));
         }
         out.push_str(&format!(
-            "  \"p99_latency_us\": {}\n",
+            "  \"p99_latency_us\": {},\n",
             json_f64(self.p99_latency_us)
+        ));
+        out.push_str(&format!(
+            "  \"p99_saturated\": {}\n",
+            u8::from(self.p99_saturated)
         ));
         out.push('}');
         out.push('\n');
@@ -133,6 +141,8 @@ impl ServeReport {
             realtime_sessions_capacity: parse_metric(json, "realtime_sessions_capacity")?,
             p50_latency_us: parse_metric(json, "p50_latency_us")?,
             p99_latency_us: parse_metric(json, "p99_latency_us")?,
+            // Absent in pre-tagged baselines: treat as unsaturated.
+            p99_saturated: parse_metric(json, "p99_saturated").is_some_and(|v| v != 0.0),
         })
     }
 }
@@ -207,21 +217,6 @@ fn prediction_latency() -> Option<m2ai_obs::HistogramSnapshot> {
         Some(m2ai_obs::MetricValue::Histogram(h)) => Some(h),
         _ => None,
     }
-}
-
-/// Pools observation windows from the same histogram (bucket-wise sum)
-/// so quantiles can be extracted over all timed passes at once.
-fn merge_windows(
-    mut acc: m2ai_obs::HistogramSnapshot,
-    w: &m2ai_obs::HistogramSnapshot,
-) -> m2ai_obs::HistogramSnapshot {
-    assert_eq!(acc.bounds, w.bounds, "windows from different histograms");
-    for (a, b) in acc.buckets.iter_mut().zip(&w.buckets) {
-        *a += b;
-    }
-    acc.count += w.count;
-    acc.sum += w.sum;
-    acc
 }
 
 /// Measures the report on the current machine (fast kernel backend).
@@ -336,18 +331,13 @@ pub fn run() -> ServeReport {
                 .delta(&before);
             (secs, window)
         };
-        let (_, empty_window) = pass(); // warmup
-        let mut pooled = m2ai_obs::HistogramSnapshot {
-            buckets: vec![0; empty_window.buckets.len()],
-            count: 0,
-            sum: 0.0,
-            bounds: empty_window.bounds,
-        };
+        let _ = pass(); // warmup
+        let mut pooled = m2ai_obs::HistogramDelta::new();
         let mut best = 0.0f64;
         for _ in 0..3 {
             let (secs, window) = pass();
             best = best.max((SESSIONS * STEP_STEPS) as f64 / secs);
-            pooled = merge_windows(pooled, &window);
+            pooled.accumulate(&window);
         }
         (best, pooled)
     };
@@ -361,6 +351,14 @@ pub fn run() -> ServeReport {
     // gated numbers.
     stream_health_smoke();
 
+    let p50 = latency_window.quantile(0.50);
+    let p99 = latency_window.quantile(0.99);
+    if p99.saturated {
+        eprintln!(
+            "serve bench: WARNING: p99 latency saturated the histogram \
+             (reported value is the last finite bucket bound)"
+        );
+    }
     let report = ServeReport {
         sessions: SESSIONS as f64,
         predictions_per_sec_replay: replay_rate,
@@ -368,8 +366,9 @@ pub fn run() -> ServeReport {
         predictions_per_sec_serve: serve_rate,
         serve_speedup: serve_rate / replay_rate,
         realtime_sessions_capacity: serve_rate * 0.5,
-        p50_latency_us: latency_window.quantile(0.50) * 1e6,
-        p99_latency_us: latency_window.quantile(0.99) * 1e6,
+        p50_latency_us: p50.value * 1e6,
+        p99_latency_us: p99.value * 1e6,
+        p99_saturated: p99.saturated,
     };
     println!("sessions            {:>10}", SESSIONS);
     println!(
@@ -465,6 +464,15 @@ fn stream_health_smoke() {
 /// [`MIN_SERVE_SPEEDUP`] floor the PR promises.
 pub fn regressions(fresh: &ServeReport, baseline: &ServeReport) -> Vec<String> {
     let mut failures = Vec::new();
+    // A saturated fresh p99 means the tail ran off the end of the
+    // latency histogram: the reported value is a floor, so the ceiling
+    // comparison below would under-gate — fail loudly instead.
+    if fresh.p99_saturated {
+        failures.push(
+            "p99_latency_us is saturated (tail beyond the histogram's last finite bucket)"
+                .to_string(),
+        );
+    }
     // NaN-safe: a NaN speedup must fail the floor check, not pass it.
     if fresh.serve_speedup < MIN_SERVE_SPEEDUP || fresh.serve_speedup.is_nan() {
         failures.push(format!(
@@ -588,6 +596,7 @@ mod tests {
             realtime_sessions_capacity: serve * 0.5,
             p50_latency_us: p50,
             p99_latency_us: p99,
+            p99_saturated: false,
         }
     }
 
@@ -685,22 +694,24 @@ mod tests {
     }
 
     #[test]
-    fn merge_windows_pools_counts_and_sums() {
-        let a = m2ai_obs::HistogramSnapshot {
-            bounds: vec![1.0, 2.0],
-            buckets: vec![1, 2, 0],
-            count: 3,
-            sum: 3.5,
-        };
-        let b = m2ai_obs::HistogramSnapshot {
-            bounds: vec![1.0, 2.0],
-            buckets: vec![0, 1, 4],
-            count: 5,
-            sum: 12.0,
-        };
-        let m = merge_windows(a, &b);
-        assert_eq!(m.buckets, vec![1, 3, 4]);
-        assert_eq!(m.count, 8);
-        assert!((m.sum - 15.5).abs() < 1e-12);
+    fn saturated_p99_trips_the_gate() {
+        let base = report(100.0, 900.0, 1400.0, 600.0, 900.0);
+        let mut bad = report(100.0, 900.0, 1400.0, 600.0, 900.0);
+        bad.p99_saturated = true;
+        let failures = regressions(&bad, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("saturated"));
+    }
+
+    #[test]
+    fn saturation_flag_roundtrips_and_defaults_to_false() {
+        let mut r = report(100.0, 900.0, 1400.0, 600.0, 900.0);
+        r.p99_saturated = true;
+        let back = ServeReport::from_json(&r.to_json()).expect("roundtrip");
+        assert!(back.p99_saturated);
+        // A baseline written before the flag existed still parses.
+        let legacy = r.to_json().replace(",\n  \"p99_saturated\": 1", "");
+        let back = ServeReport::from_json(&legacy).expect("legacy parse");
+        assert!(!back.p99_saturated);
     }
 }

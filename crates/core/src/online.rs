@@ -355,12 +355,17 @@ impl SessionWindow {
             return;
         }
 
+        // Attach extraction to the pushing frame's trace (ambient
+        // context; a no-op span when the push was unsampled).
+        let mut extract_span = m2ai_obs::trace::span("extract");
+        extract_span.set_time_s(window_end);
         let (mut frame, quality) = match &mut self.extractor {
             Some(ex) => ex.extract(window_start),
             None => self
                 .builder
                 .build_frame_with_quality(&self.buffer, window_start),
         };
+        extract_span.end();
         let patched = self.fallback.observe_and_patch(&mut frame, &quality);
         let (coverage_hist, patch_counter) = window_quality();
         coverage_hist.observe(quality.mean_coverage() as f64);

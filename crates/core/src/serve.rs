@@ -50,6 +50,7 @@ use crate::frames::FrameBuilder;
 use crate::online::{HealthConfig, HealthState, SessionWindow, WindowEvent};
 use m2ai_kernels::KernelScratch;
 use m2ai_nn::model::{SequenceClassifier, StreamState};
+use m2ai_obs::trace::{self, SpanStatus, TraceContext};
 use m2ai_rfsim::reading::TagReading;
 use std::collections::VecDeque;
 use std::fmt;
@@ -232,6 +233,11 @@ pub struct ServePrediction {
     pub health: HealthState,
     /// Top-class probability (convenience copy).
     pub confidence: f32,
+    /// Trace identity of the frame that produced this prediction
+    /// ([`TraceContext::NONE`] when the frame was unsampled; the
+    /// `span_id` is the emit span, so callers can walk the tree).
+    /// Purely observational — nothing downstream branches on it.
+    pub trace: TraceContext,
 }
 
 /// One session slot: windowing, stream state, and the pending queue
@@ -241,7 +247,10 @@ struct Slot {
     id: SessionId,
     window: SessionWindow,
     state: StreamState,
-    pending: VecDeque<WindowEvent>,
+    /// Queued events, each carrying the trace identity of the push
+    /// that produced it (NONE when unsampled), so a frame's span tree
+    /// survives the queue — and checkpoints, see below.
+    pending: VecDeque<(WindowEvent, TraceContext)>,
     /// Pending events shed from this session's queue by backpressure.
     shed: usize,
 }
@@ -259,7 +268,9 @@ struct Slot {
 pub struct SessionCheckpoint {
     window: SessionWindow,
     state: StreamState,
-    pending: VecDeque<WindowEvent>,
+    /// Pending events keep their trace identity so a session migrated
+    /// across a shard restart continues its span trees.
+    pending: VecDeque<(WindowEvent, TraceContext)>,
     shed: usize,
 }
 
@@ -507,13 +518,26 @@ impl ServeEngine {
         id: SessionId,
         readings: &[TagReading],
     ) -> Result<PushReport, ServeError> {
+        self.push_traced(id, readings, TraceContext::NONE)
+    }
+
+    /// [`ServeEngine::push`] carrying the frame's trace identity: the
+    /// readings batch runs under `ctx` as the ambient trace context
+    /// (so extraction spans attach to it) and every window event it
+    /// completes is queued tagged with `ctx`.
+    pub fn push_traced(
+        &mut self,
+        id: SessionId,
+        readings: &[TagReading],
+        ctx: TraceContext,
+    ) -> Result<PushReport, ServeError> {
         let idx = self.find(id)?;
         let mut events = std::mem::take(&mut self.events);
         let slot = self.slots[idx].as_mut().expect("found above");
-        slot.window.push(readings, &mut events);
+        trace::with_current(ctx, || slot.window.push(readings, &mut events));
         let report = Self::enqueue(
             slot,
-            events.drain(..),
+            events.drain(..).map(|ev| (ev, ctx)),
             self.cfg.queue_capacity,
             &mut self.shed,
         );
@@ -531,6 +555,19 @@ impl ServeEngine {
         frame: Vec<f32>,
         health: HealthState,
     ) -> Result<PushReport, ServeError> {
+        self.push_frame_traced(id, time_s, frame, health, TraceContext::NONE)
+    }
+
+    /// [`ServeEngine::push_frame`] carrying the frame's trace
+    /// identity, queued alongside the event.
+    pub fn push_frame_traced(
+        &mut self,
+        id: SessionId,
+        time_s: f64,
+        frame: Vec<f32>,
+        health: HealthState,
+        ctx: TraceContext,
+    ) -> Result<PushReport, ServeError> {
         let idx = self.find(id)?;
         let slot = self.slots[idx].as_mut().expect("found above");
         let ev = match health {
@@ -543,7 +580,7 @@ impl ServeEngine {
         };
         Ok(Self::enqueue(
             slot,
-            std::iter::once(ev),
+            std::iter::once((ev, ctx)),
             self.cfg.queue_capacity,
             &mut self.shed,
         ))
@@ -551,14 +588,20 @@ impl ServeEngine {
 
     fn enqueue(
         slot: &mut Slot,
-        events: impl Iterator<Item = WindowEvent>,
+        events: impl Iterator<Item = (WindowEvent, TraceContext)>,
         capacity: usize,
         total_shed: &mut usize,
     ) -> PushReport {
         let mut report = PushReport::default();
         for ev in events {
             if slot.pending.len() == capacity {
-                slot.pending.pop_front();
+                if let Some((_, old_ctx)) = slot.pending.pop_front() {
+                    // The shed frame's trace ends here, attributed —
+                    // not a silent drop.
+                    let mut sp = old_ctx.child("queue");
+                    sp.set_session(slot.id.0);
+                    sp.end_with(SpanStatus::Shed);
+                }
                 report.shed += 1;
             }
             slot.pending.push_back(ev);
@@ -619,7 +662,7 @@ impl ServeEngine {
         // Pass 1: pick ready sessions round-robin and pop their next
         // event. Stale events act immediately (reset, suppress);
         // frames join the micro-batch.
-        let mut rows: Vec<(usize, f64, Vec<f32>, HealthState)> = Vec::new();
+        let mut rows: Vec<(usize, f64, Vec<f32>, HealthState, TraceContext)> = Vec::new();
         let mut picked = 0usize;
         let start = self.cursor;
         for off in 0..n {
@@ -630,7 +673,7 @@ impl ServeEngine {
             let Some(slot) = self.slots[idx].as_mut() else {
                 continue;
             };
-            let Some(ev) = slot.pending.pop_front() else {
+            let Some((ev, ctx)) = slot.pending.pop_front() else {
                 continue;
             };
             picked += 1;
@@ -639,16 +682,20 @@ impl ServeEngine {
             // starve the slots behind it.
             self.cursor = (idx + 1) % n;
             match ev {
-                WindowEvent::Stale { .. } => {
+                WindowEvent::Stale { time_s } => {
                     slot.state.reset();
                     self.suppressed += 1;
                     m.suppressed_stale.inc();
+                    let mut sp = ctx.child("emit");
+                    sp.set_session(slot.id.0);
+                    sp.set_time_s(time_s);
+                    sp.end_with(SpanStatus::Stale);
                 }
                 WindowEvent::Frame {
                     time_s,
                     frame,
                     health,
-                } => rows.push((idx, time_s, frame, health)),
+                } => rows.push((idx, time_s, frame, health, ctx)),
             }
         }
         if picked > 0 {
@@ -674,6 +721,9 @@ impl ServeEngine {
                 }
             }
         }
+        // The batched step is one span per traced row (shared start /
+        // end): each session's trace shows its share of the batch.
+        let infer_start = rows.iter().any(|r| r.4.is_sampled()).then(trace::clock_us);
         let step_start = m2ai_obs::enabled().then(std::time::Instant::now);
         let probs = self
             .model
@@ -681,11 +731,27 @@ impl ServeEngine {
         if let Some(t0) = step_start {
             let per_row = t0.elapsed().as_secs_f64() / rows.len() as f64;
             m.prediction_seconds.observe_n(per_row, rows.len() as u64);
+            if let Some(s0) = infer_start {
+                let s1 = trace::clock_us();
+                for (idx, _, _, _, ctx) in rows.iter().filter(|r| r.4.is_sampled()) {
+                    let id = self.slots[*idx].as_ref().expect("picked above").id;
+                    let mut sp = ctx.child_at("infer", s0);
+                    sp.set_session(id.0);
+                    sp.end_at(s1, SpanStatus::Ok);
+                    trace::record_exemplar(
+                        "m2ai_serve_prediction_seconds",
+                        per_row,
+                        *ctx,
+                        id.0 as i64,
+                        -1,
+                    );
+                }
+            }
         }
 
         // Pass 3: gate and emit.
         let mut out = Vec::new();
-        for ((idx, time_s, _, health), probabilities) in rows.iter().zip(probs) {
+        for ((idx, time_s, _, health, ctx), probabilities) in rows.iter().zip(probs) {
             let slot = self.slots[*idx].as_ref().expect("picked above");
             if !slot.state.ready() {
                 continue; // window ring still filling — no output yet
@@ -695,6 +761,7 @@ impl ServeEngine {
                 // clean; this one is unscorable.
                 self.suppressed += 1;
                 m.suppressed_non_finite.inc();
+                Self::end_suppressed(*ctx, slot.id, *time_s);
                 continue;
             }
             let (class, confidence) = probabilities.iter().enumerate().fold(
@@ -710,9 +777,15 @@ impl ServeEngine {
             if *health == HealthState::Degraded && confidence < self.cfg.health.min_confidence {
                 self.suppressed += 1;
                 m.suppressed_low_confidence.inc();
+                Self::end_suppressed(*ctx, slot.id, *time_s);
                 continue;
             }
             m.emitted.inc();
+            let mut sp = ctx.child("emit");
+            sp.set_session(slot.id.0);
+            sp.set_time_s(*time_s);
+            let emit_ctx = sp.ctx();
+            sp.end();
             out.push(ServePrediction {
                 session: slot.id,
                 time_s: *time_s,
@@ -720,9 +793,18 @@ impl ServeEngine {
                 probabilities,
                 health: *health,
                 confidence,
+                trace: emit_ctx,
             });
         }
         out
+    }
+
+    /// Annotated termination for a gated (never-emitted) prediction.
+    fn end_suppressed(ctx: TraceContext, id: SessionId, time_s: f64) {
+        let mut sp = ctx.child("emit");
+        sp.set_session(id.0);
+        sp.set_time_s(time_s);
+        sp.end_with(SpanStatus::Suppressed);
     }
 
     /// Runs ticks until every pending queue is empty, collecting all

@@ -376,6 +376,10 @@ impl StreamExtractor {
         // Same stage family as the batch builder, so streaming windows
         // show up next to calibration/music/periodogram in dashboards.
         let _span = crate::frames::stage_seconds("stream_window").time();
+        // Child of the pushing frame's trace (ambient; no-op when
+        // unsampled) — separates the incremental scan from the rest of
+        // the window close in a span tree.
+        let _trace_span = m2ai_obs::trace::span("stream_extract");
         let rd = self.builder.round_duration_s;
         let k0 = (t0 / rd).round() as i64;
         let k1 = k0 + self.rounds_per_frame;

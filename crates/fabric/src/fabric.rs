@@ -14,6 +14,7 @@ use m2ai_core::frames::FrameBuilder;
 use m2ai_core::online::HealthState;
 use m2ai_core::serve::{ServeConfig, ServeEngine, ServePrediction, SessionCheckpoint};
 use m2ai_nn::model::SequenceClassifier;
+use m2ai_obs::trace::{self, SpanStatus, TraceContext};
 use m2ai_rfsim::reading::TagReading;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
@@ -31,15 +32,26 @@ pub(crate) enum ShardCmd {
     Open { key: u64, reply: SyncSender<bool> },
     /// Close `key`'s engine session (pending events are discarded).
     Close { key: u64 },
-    /// One pre-extracted frame for `key`.
+    /// One pre-extracted frame for `key`. `ctx` is the trace context
+    /// minted at the fabric edge ([`TraceContext::NONE`] when sampling
+    /// is off) and `enqueued_us` the enqueue timestamp (0 when
+    /// unsampled) so the worker can close the ingress-wait span.
     Frame {
         key: u64,
         time_s: f64,
         frame: Vec<f32>,
         health: HealthState,
+        ctx: TraceContext,
+        enqueued_us: u64,
     },
-    /// A batch of raw tag readings for `key`.
-    Readings { key: u64, readings: Vec<TagReading> },
+    /// A batch of raw tag readings for `key`; trace fields as on
+    /// [`ShardCmd::Frame`].
+    Readings {
+        key: u64,
+        readings: Vec<TagReading>,
+        ctx: TraceContext,
+        enqueued_us: u64,
+    },
     /// Adopt a migrated session, resuming from `ckpt` when one exists
     /// (`None` restarts the session's stream context from scratch).
     Restore {
@@ -90,6 +102,21 @@ impl ShardThrottle {
             _ => ShardThrottle::Run,
         }
     }
+}
+
+/// Records an annotated "ingress" span termination (shed, shard-down,
+/// quarantine refusal) on the caller's thread. A no-op when `ctx` is
+/// unsampled, so the data plane stays bit-neutral with tracing off.
+fn end_ingress_span(ctx: TraceContext, key: SessionKey, shard: Option<usize>, status: SpanStatus) {
+    if !ctx.is_sampled() {
+        return;
+    }
+    let mut sp = ctx.child("ingress");
+    sp.set_session(key.0);
+    if let Some(s) = shard {
+        sp.set_shard(s);
+    }
+    sp.end_with(status);
 }
 
 /// Errors surfaced by the fabric's control and data planes.
@@ -721,11 +748,28 @@ impl ServeFabric {
         frame: Vec<f32>,
         health: HealthState,
     ) -> Result<PushOutcome, FabricError> {
-        self.push_data(key, |key| ShardCmd::Frame {
+        self.push_frame_traced(key, time_s, frame, health, trace::begin_trace())
+    }
+
+    /// [`ServeFabric::push_frame`] under a caller-provided trace
+    /// context (e.g. one minted at the reader, so the trace covers
+    /// ingest → ingress → infer → emit). Purely observational: the
+    /// routing/shed behaviour is identical to `push_frame`.
+    pub fn push_frame_traced(
+        &self,
+        key: SessionKey,
+        time_s: f64,
+        frame: Vec<f32>,
+        health: HealthState,
+        ctx: TraceContext,
+    ) -> Result<PushOutcome, FabricError> {
+        self.push_data(key, ctx, |key, enqueued_us| ShardCmd::Frame {
             key,
             time_s,
             frame,
             health,
+            ctx,
+            enqueued_us,
         })
     }
 
@@ -737,7 +781,23 @@ impl ServeFabric {
         key: SessionKey,
         readings: Vec<TagReading>,
     ) -> Result<PushOutcome, FabricError> {
-        self.push_data(key, |key| ShardCmd::Readings { key, readings })
+        self.push_traced(key, readings, trace::begin_trace())
+    }
+
+    /// [`ServeFabric::push`] under a caller-provided trace context;
+    /// see [`ServeFabric::push_frame_traced`].
+    pub fn push_traced(
+        &self,
+        key: SessionKey,
+        readings: Vec<TagReading>,
+        ctx: TraceContext,
+    ) -> Result<PushOutcome, FabricError> {
+        self.push_data(key, ctx, |key, enqueued_us| ShardCmd::Readings {
+            key,
+            readings,
+            ctx,
+            enqueued_us,
+        })
     }
 
     /// [`ServeFabric::push_frame`] with bounded retry: re-attempts a
@@ -791,18 +851,27 @@ impl ServeFabric {
     fn push_data(
         &self,
         key: SessionKey,
-        make: impl FnOnce(u64) -> ShardCmd,
+        ctx: TraceContext,
+        make: impl FnOnce(u64, u64) -> ShardCmd,
     ) -> Result<PushOutcome, FabricError> {
         let (shard, shed) = {
             let c = self.inner.lock_control();
             match c.entries.get(&key.0) {
                 Some(entry) => (entry.shard, Arc::clone(&entry.ingress_shed)),
-                None if c.quarantined.contains(&key.0) => return Err(FabricError::Quarantined),
+                None if c.quarantined.contains(&key.0) => {
+                    end_ingress_span(ctx, key, None, SpanStatus::Quarantined);
+                    return Err(FabricError::Quarantined);
+                }
                 None => return Err(FabricError::UnknownSession),
             }
         };
         let slot = &self.inner.shards[shard];
-        match slot.sender().try_send(make(key.0)) {
+        let enqueued_us = if ctx.is_sampled() {
+            trace::clock_us()
+        } else {
+            0
+        };
+        match slot.sender().try_send(make(key.0, enqueued_us)) {
             Ok(()) => {
                 slot.ins.ingress_depth.add(1);
                 slot.depth.fetch_add(1, Ordering::Relaxed);
@@ -815,10 +884,12 @@ impl ServeFabric {
                     .ingress_shed
                     .fetch_add(1, Ordering::Relaxed);
                 slot.ins.ingress_shed.inc();
+                end_ingress_span(ctx, key, Some(shard), SpanStatus::Shed);
                 Ok(PushOutcome::Shed)
             }
             Err(TrySendError::Disconnected(_)) => {
                 if slot.dead.load(Ordering::SeqCst) {
+                    end_ingress_span(ctx, key, Some(shard), SpanStatus::ShardDown);
                     Err(FabricError::ShardDown)
                 } else {
                     // Sender-swap race while a stalled worker is being
@@ -830,6 +901,7 @@ impl ServeFabric {
                         .ingress_shed
                         .fetch_add(1, Ordering::Relaxed);
                     slot.ins.ingress_shed.inc();
+                    end_ingress_span(ctx, key, Some(shard), SpanStatus::Shed);
                     Ok(PushOutcome::Shed)
                 }
             }

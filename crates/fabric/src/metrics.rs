@@ -41,6 +41,9 @@ pub(crate) struct ShardInstruments {
     pub predictions: m2ai_obs::Counter,
     /// Wall time of each engine tick on this shard's worker.
     pub tick_seconds: m2ai_obs::Histogram,
+    /// Queue wait of sampled data events between fabric-edge enqueue
+    /// and worker-side drain (observed only for trace-sampled events).
+    pub ingress_wait_seconds: m2ai_obs::Histogram,
     /// Worker loop heartbeats (the liveness signal the supervisor
     /// watches; a flat-lining series is a stalled shard).
     pub heartbeats: m2ai_obs::Counter,
@@ -74,6 +77,12 @@ pub(crate) fn shard_instruments(shard: usize) -> ShardInstruments {
         tick_seconds: m2ai_obs::histogram(
             "m2ai_fabric_tick_seconds",
             "engine tick wall time on a shard worker",
+            labels,
+            &m2ai_obs::latency_buckets(),
+        ),
+        ingress_wait_seconds: m2ai_obs::histogram(
+            "m2ai_fabric_ingress_wait_seconds",
+            "sampled data-event wait between ingress enqueue and worker drain",
             labels,
             &m2ai_obs::latency_buckets(),
         ),

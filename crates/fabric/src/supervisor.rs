@@ -304,6 +304,11 @@ impl Supervisor {
         slot.min_live_epoch.store(epoch + 1, Ordering::SeqCst);
         slot.down.store(true, Ordering::SeqCst);
         self.inner.ground.stalls.fetch_add(1, Ordering::Relaxed);
+        // The wedged incarnation will never flush its own recorder;
+        // dump what its spans already fed into the shard ring. The
+        // swapped-away in-flight events are unrecoverable (counted in
+        // `lost_inflight` above) — `SpanStatus::Lost` stays reserved.
+        let _ = m2ai_obs::trace::flightrec_dump(shard, "stall");
         let st = &mut self.states[shard];
         st.up = false;
         st.down_since = Some(now);
@@ -346,6 +351,17 @@ impl Supervisor {
             let down_since = self.states[shard].down_since.take();
             slot.ins.restarts.inc();
             self.inner.ground.restarts.fetch_add(1, Ordering::Relaxed);
+            // Marker span so a trace timeline shows exactly when the
+            // shard's replacement worker was launched (no-op when
+            // sampling is off).
+            {
+                let ctx = m2ai_obs::trace::begin_trace();
+                if ctx.is_sampled() {
+                    let mut sp = ctx.child("shard_restart");
+                    sp.set_shard(shard);
+                    sp.end();
+                }
+            }
             spawn_worker(
                 Arc::clone(&self.inner),
                 self.events_tx.clone(),

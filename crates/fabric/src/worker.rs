@@ -10,6 +10,7 @@ use crate::fabric::{
 use crate::metrics::ShardInstruments;
 use crate::supervisor::{ExitCause, ShardEvent};
 use m2ai_core::serve::{ServeEngine, ServePrediction, SessionCheckpoint, SessionId};
+use m2ai_obs::trace::{self, SpanStatus, TraceContext};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -55,6 +56,10 @@ pub(crate) fn spawn_worker(inner: Arc<Inner>, events: Sender<ShardEvent>, spawn:
         .name(name)
         .spawn(move || {
             let shard = spawn.shard;
+            // Spans recorded on this thread (engine infer/emit spans)
+            // carry the shard attribution and land in the shard's
+            // flight-recorder ring.
+            trace::set_thread_shard(Some(shard));
             let mut engine = inner.new_engine();
             let mut ids = HashMap::new();
             let mut keys = HashMap::new();
@@ -185,6 +190,9 @@ impl Worker {
             }
             self.heartbeat.fetch_add(1, Ordering::Relaxed);
             self.ins.heartbeats.inc();
+            // Drain this thread's span buffer once per loop so sampled
+            // spans reach the collector promptly (no-op when empty).
+            trace::flush_thread_spans();
             if throttle == ShardThrottle::Freeze {
                 std::thread::sleep(Duration::from_micros(100));
                 continue;
@@ -287,12 +295,15 @@ impl Worker {
                 time_s,
                 frame,
                 health,
+                ctx,
+                enqueued_us,
             } => {
                 self.note_drained();
+                let ictx = self.finish_ingress(ctx, enqueued_us, key);
                 if let Some(&id) = self.ids.get(&key) {
                     let engine = &mut self.engine;
                     match catch_unwind(AssertUnwindSafe(|| {
-                        engine.push_frame(id, time_s, frame, health)
+                        engine.push_frame_traced(id, time_s, frame, health, ictx)
                     })) {
                         Ok(Ok(report)) => self.stats.engine_shed += report.shed as u64,
                         Ok(Err(_)) => {}
@@ -300,11 +311,18 @@ impl Worker {
                     }
                 }
             }
-            ShardCmd::Readings { key, readings } => {
+            ShardCmd::Readings {
+                key,
+                readings,
+                ctx,
+                enqueued_us,
+            } => {
                 self.note_drained();
+                let ictx = self.finish_ingress(ctx, enqueued_us, key);
                 if let Some(&id) = self.ids.get(&key) {
                     let engine = &mut self.engine;
-                    match catch_unwind(AssertUnwindSafe(|| engine.push(id, &readings))) {
+                    match catch_unwind(AssertUnwindSafe(|| engine.push_traced(id, &readings, ictx)))
+                    {
                         Ok(Ok(report)) => self.stats.engine_shed += report.shed as u64,
                         Ok(Err(_)) => {}
                         Err(_) => self.note_poison(Some(key)),
@@ -331,7 +349,13 @@ impl Worker {
                 }
                 let _ = reply.send(());
             }
-            ShardCmd::Die => return Some(ExitCause::Killed),
+            ShardCmd::Die => {
+                // Chaos-injected kill: leave a postmortem artifact
+                // before the supervisor sees the abnormal exit.
+                trace::flush_thread_spans();
+                let _ = trace::flightrec_dump(self.shard, "kill");
+                return Some(ExitCause::Killed);
+            }
         }
         None
     }
@@ -342,6 +366,34 @@ impl Worker {
             .depth
             .fetch_sub(1, Ordering::Relaxed);
         self.stats.ingress_drained += 1;
+    }
+
+    /// Closes the queue-wait leg of a sampled data event: records an
+    /// "ingress" span from `enqueued_us` (stamped at the fabric edge)
+    /// to now, observes the wait in the shard's ingress-wait histogram
+    /// (with a trace exemplar), and returns the span's context so the
+    /// engine's extract/infer/emit spans parent under it. Unsampled
+    /// events pass straight through as [`TraceContext::NONE`].
+    fn finish_ingress(&self, ctx: TraceContext, enqueued_us: u64, key: u64) -> TraceContext {
+        if !ctx.is_sampled() {
+            return ctx;
+        }
+        let now = trace::clock_us();
+        let mut sp = ctx.child_at("ingress", enqueued_us);
+        sp.set_session(key);
+        sp.set_shard(self.shard);
+        let out = sp.ctx();
+        sp.end_at(now, SpanStatus::Ok);
+        let wait_s = now.saturating_sub(enqueued_us) as f64 * 1e-6;
+        self.ins.ingress_wait_seconds.observe(wait_s);
+        trace::record_exemplar(
+            "m2ai_fabric_ingress_wait_seconds",
+            wait_s,
+            ctx,
+            key as i64,
+            self.shard as i64,
+        );
+        out
     }
 
     /// One engine tick under `catch_unwind`. Under probation the tick
@@ -366,6 +418,8 @@ impl Worker {
                     TickOutcome::Ok
                 }
                 Err(_) => {
+                    trace::flush_thread_spans();
+                    let _ = trace::flightrec_dump(self.shard, "panic");
                     self.note_poison(suspect);
                     TickOutcome::Handled
                 }
@@ -384,6 +438,8 @@ impl Worker {
                     // A full batch spans sessions, so the culprit is
                     // ambiguous — restart into probation and let the
                     // single-event ticks attribute it.
+                    trace::flush_thread_spans();
+                    let _ = trace::flightrec_dump(self.shard, "panic");
                     self.stats.poison_events += 1;
                     TickOutcome::Fatal
                 }
@@ -434,6 +490,8 @@ impl Worker {
             .quarantined
             .fetch_add(1, Ordering::Relaxed);
         self.inner.glob.quarantined.inc();
+        trace::flush_thread_spans();
+        let _ = trace::flightrec_dump(self.shard, "quarantine");
         eprintln!(
             "m2ai-fabric: shard {}: quarantined session {key} after {count} engine panics",
             self.shard
@@ -470,6 +528,9 @@ impl Worker {
     }
 
     fn finish(mut self, cause: ExitCause) {
+        // Whatever the exit cause, sampled spans buffered on this
+        // thread must not die with it.
+        trace::flush_thread_spans();
         let open: Vec<(u64, SessionId)> = self.ids.drain().collect();
         for (key, id) in open {
             self.harvest_engine_shed(key, id);

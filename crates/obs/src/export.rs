@@ -59,14 +59,16 @@ fn json_labels(labels: &[(&str, &str)]) -> String {
 
 fn json_histogram(h: &HistogramSnapshot, indent: &str) -> String {
     let mut out = String::new();
+    let p99 = h.quantile(0.99);
     let _ = write!(
         out,
-        "\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {},\n{indent}\"buckets\": [",
+        "\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p99_saturated\": {},\n{indent}\"buckets\": [",
         h.count,
         json_f64(h.sum),
-        json_f64(h.quantile(0.50)),
-        json_f64(h.quantile(0.95)),
-        json_f64(h.quantile(0.99)),
+        json_f64(h.quantile(0.50).value),
+        json_f64(h.quantile(0.95).value),
+        json_f64(p99.value),
+        p99.saturated,
     );
     for (i, &n) in h.buckets.iter().enumerate() {
         if i > 0 {
@@ -396,10 +398,20 @@ pub fn validate_snapshot_json(json: &str) -> Vec<String> {
     for (kind, key) in [
         ("histogram", "\"buckets\": ["),
         ("histogram", "\"p99\": "),
+        ("histogram", "\"p99_saturated\": "),
         ("counter", "\"value\": "),
     ] {
         if json.contains(&format!("\"kind\": \"{kind}\"")) && !json.contains(key) {
             errors.push(format!("{kind} entries present but no {key:?} key"));
+        }
+    }
+    // A saturated p99 on a latency family means mass escaped past the
+    // largest finite bucket — the reported number is a floor, and a
+    // dashboard reading it as-is under-reports tail latency. Flag it.
+    for chunk in json.split("{\"name\": \"").skip(1) {
+        let name = chunk.split('"').next().unwrap_or("");
+        if name.ends_with("_seconds") && chunk.contains("\"p99_saturated\": true") {
+            errors.push(format!("saturated p99 on latency family {name:?}"));
         }
     }
     errors
@@ -421,7 +433,7 @@ mod tests {
         );
         h.observe(0.005);
         h.observe(0.05);
-        h.observe(5.0);
+        h.observe(0.09);
     }
 
     #[test]
@@ -491,5 +503,103 @@ mod tests {
         assert_eq!(json_f64(3.0), "3.0");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(1.5e-7).parse::<f64>().unwrap(), 1.5e-7);
+    }
+
+    /// A session/shard label value with every awkward character class:
+    /// quotes, backslashes, a newline, and a control byte.
+    const HOSTILE: &str = "sess\"7\\path\nline\x01end";
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let _g = test_lock();
+        counter(
+            "test_export_hostile_total",
+            "hostile labels",
+            &[("session", HOSTILE), ("shard", "s\\3\"")],
+        )
+        .inc();
+        let text = prometheus_text();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("test_export_hostile_total{"))
+            .expect("sample line present");
+        // Quotes and backslashes must arrive escaped, newlines as \n —
+        // the exposition format is line-oriented, so a raw newline
+        // would split the sample in two.
+        assert!(line.contains("session=\"sess\\\"7\\\\path\\nline\x01end\""));
+        assert!(line.contains("shard=\"s\\\\3\\\"\""));
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("test_export_hostile_total"))
+                .count(),
+            3,
+            "HELP + TYPE + one sample line, nothing split"
+        );
+        let errors = validate_prometheus(&text);
+        assert!(
+            errors.is_empty(),
+            "hostile labels broke the lint: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_hostile_label_values() {
+        let _g = test_lock();
+        counter(
+            "test_export_hostile_json_total",
+            "hostile labels",
+            &[("session", HOSTILE)],
+        )
+        .inc();
+        let json = snapshot_json();
+        // \x01 is below 0x20 so it must render as a \u escape; quotes
+        // and backslashes escaped; the raw newline must not appear
+        // inside the string.
+        assert!(json.contains("\"session\": \"sess\\\"7\\\\path\\nline\\u0001end\""));
+        let errors = validate_snapshot_json(&json);
+        assert!(
+            errors.is_empty(),
+            "hostile labels broke the lint: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_lint_flags_saturated_latency_p99() {
+        // An explicit snapshot (not the global registry) so the
+        // deliberately-saturated family doesn't fail the other tests'
+        // whole-registry lint checks.
+        let sat = MetricSnapshot {
+            name: "test_export_sat_seconds",
+            help: "saturating latency",
+            labels: &[],
+            value: MetricValue::Histogram(HistogramSnapshot {
+                bounds: vec![0.001, 0.01],
+                buckets: vec![0, 0, 10], // all mass in the +Inf bucket
+                count: 10,
+                sum: 50.0,
+            }),
+        };
+        let json = render_snapshot_json(&[sat]);
+        let errors = validate_snapshot_json(&json);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("saturated p99") && e.contains("test_export_sat_seconds")),
+            "lint must flag the saturated family: {errors:?}"
+        );
+        // The same mass under a non-latency name is not an error.
+        let batch = MetricSnapshot {
+            name: "test_export_sat_batch",
+            help: "batch sizes",
+            labels: &[],
+            value: MetricValue::Histogram(HistogramSnapshot {
+                bounds: vec![1.0, 2.0],
+                buckets: vec![0, 0, 10],
+                count: 10,
+                sum: 50.0,
+            }),
+        };
+        let json = render_snapshot_json(&[batch]);
+        assert!(validate_snapshot_json(&json).is_empty());
     }
 }

@@ -40,8 +40,12 @@
 
 pub mod export;
 pub mod family;
+pub mod slo;
+pub mod trace;
 
 pub use family::{CounterFamily, HistogramFamily};
+pub use slo::{BurnWindow, SloMonitor, SloSpec, SloVerdict};
+pub use trace::{SpanRecord, SpanStatus, TraceConfig, TraceContext};
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -260,7 +264,7 @@ impl Histogram {
 
     /// Quantile estimate over everything observed so far; see
     /// [`HistogramSnapshot::quantile`].
-    pub fn quantile(&self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> Quantile {
         self.snapshot().quantile(q)
     }
 }
@@ -322,12 +326,18 @@ impl HistogramSnapshot {
     }
 
     /// Quantile estimate by linear interpolation inside the bucket the
-    /// rank falls into (the Prometheus `histogram_quantile` rule: the
-    /// overflow bucket reports the largest finite bound). `NaN` when
-    /// empty.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// rank falls into (the Prometheus `histogram_quantile` rule).
+    /// When the rank lands in the overflow bucket there is no finite
+    /// upper edge: the result carries the largest finite bound but is
+    /// tagged [`Quantile::saturated`] so callers report "≥ bound"
+    /// instead of a misleadingly precise number. `NaN` (unsaturated)
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Quantile {
         if self.count == 0 {
-            return f64::NAN;
+            return Quantile {
+                value: f64::NAN,
+                saturated: false,
+            };
         }
         let q = q.clamp(0.0, 1.0);
         let target = q * self.count as f64;
@@ -340,16 +350,26 @@ impl HistogramSnapshot {
             if next as f64 >= target {
                 if i == self.bounds.len() {
                     // Overflow bucket: no finite upper edge.
-                    return self.bounds.last().copied().unwrap_or(f64::NAN);
+                    return Quantile {
+                        value: self.bounds.last().copied().unwrap_or(f64::NAN),
+                        saturated: true,
+                    };
                 }
                 let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
                 let hi = self.bounds[i];
                 let into = (target - cum as f64) / n as f64;
-                return lo + (hi - lo) * into.clamp(0.0, 1.0);
+                return Quantile {
+                    value: lo + (hi - lo) * into.clamp(0.0, 1.0),
+                    saturated: false,
+                };
             }
             cum = next;
         }
-        self.bounds.last().copied().unwrap_or(f64::NAN)
+        // Float-rounding fallthrough: rank past every bucket edge.
+        Quantile {
+            value: self.bounds.last().copied().unwrap_or(f64::NAN),
+            saturated: true,
+        }
     }
 
     /// Mean observed value (`NaN` when empty).
@@ -359,6 +379,97 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+}
+
+/// A histogram quantile estimate tagged with whether the rank fell in
+/// the overflow bucket.
+///
+/// A saturated quantile's `value` is the largest finite bound — a
+/// *floor*, not an estimate — so gates and reports must treat it as
+/// "≥ value" rather than comparing it like a measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantile {
+    /// The estimate (largest finite bound when saturated; `NaN` when
+    /// the histogram was empty).
+    pub value: f64,
+    /// `true` when the rank landed past the last finite bucket edge.
+    pub saturated: bool,
+}
+
+/// Pools steady-state measurement windows from one histogram.
+///
+/// The benches measure in repeated passes, snapshotting a histogram
+/// before and after each pass and keeping only the in-pass delta
+/// ([`HistogramSnapshot::delta`]). Pooling those windows bucket-wise
+/// used to be re-rolled per bench; `HistogramDelta` owns the pattern:
+///
+/// ```
+/// # let h = m2ai_obs::histogram("example_delta_seconds", "t", &[], &m2ai_obs::latency_buckets());
+/// let mut pool = m2ai_obs::HistogramDelta::new();
+/// for _ in 0..3 {
+///     let before = h.snapshot();
+///     h.observe(0.002); // one measured pass
+///     pool.accumulate(&h.snapshot().delta(&before));
+/// }
+/// assert_eq!(pool.count(), 3);
+/// let p99 = pool.quantile(0.99);
+/// # assert!(!p99.saturated);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramDelta {
+    pooled: Option<HistogramSnapshot>,
+}
+
+impl HistogramDelta {
+    /// An empty pool.
+    pub fn new() -> Self {
+        HistogramDelta::default()
+    }
+
+    /// Adds one measurement window (bucket-wise sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window`'s bounds differ from earlier windows'.
+    pub fn accumulate(&mut self, window: &HistogramSnapshot) {
+        match self.pooled.as_mut() {
+            None => self.pooled = Some(window.clone()),
+            Some(acc) => {
+                assert_eq!(acc.bounds, window.bounds, "pooled bounds mismatch");
+                for (a, b) in acc.buckets.iter_mut().zip(&window.buckets) {
+                    *a += b;
+                }
+                acc.count += window.count;
+                acc.sum += window.sum;
+            }
+        }
+    }
+
+    /// The pooled snapshot (`None` before any window was added).
+    pub fn snapshot(&self) -> Option<&HistogramSnapshot> {
+        self.pooled.as_ref()
+    }
+
+    /// Total observations across all pooled windows.
+    pub fn count(&self) -> u64 {
+        self.pooled.as_ref().map_or(0, |p| p.count)
+    }
+
+    /// Quantile over the pooled windows (`NaN` when empty).
+    pub fn quantile(&self, q: f64) -> Quantile {
+        match self.pooled.as_ref() {
+            Some(p) => p.quantile(q),
+            None => Quantile {
+                value: f64::NAN,
+                saturated: false,
+            },
+        }
+    }
+
+    /// Mean over the pooled windows (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.pooled.as_ref().map_or(f64::NAN, |p| p.mean())
     }
 }
 
@@ -724,10 +835,14 @@ mod tests {
         assert_eq!(s.buckets, vec![1, 2, 3, 1, 1]);
         assert!((s.sum - 117.5).abs() < 1e-9);
         // p50 lands in the (2, 4] bucket; p100 hits the overflow
-        // bucket and reports the largest finite bound.
+        // bucket and reports the largest finite bound, tagged
+        // saturated so callers know it is a floor.
         let p50 = s.quantile(0.5);
-        assert!((2.0..=4.0).contains(&p50), "p50 {p50}");
-        assert_eq!(s.quantile(1.0), 8.0);
+        assert!((2.0..=4.0).contains(&p50.value), "p50 {p50:?}");
+        assert!(!p50.saturated);
+        let p100 = s.quantile(1.0);
+        assert_eq!(p100.value, 8.0);
+        assert!(p100.saturated);
         assert!((s.mean() - 117.5 / 8.0).abs() < 1e-9);
     }
 
@@ -738,7 +853,9 @@ mod tests {
         h.observe(f64::NAN);
         h.observe(f64::INFINITY);
         assert_eq!(h.count(), 0);
-        assert!(h.quantile(0.5).is_nan());
+        let q = h.quantile(0.5);
+        assert!(q.value.is_nan());
+        assert!(!q.saturated);
     }
 
     #[test]
@@ -766,7 +883,7 @@ mod tests {
         assert_eq!(d.count, 2);
         assert_eq!(d.buckets, vec![0, 0, 2, 0]);
         let q = d.quantile(0.5);
-        assert!((2.0..=4.0).contains(&q), "windowed p50 {q}");
+        assert!((2.0..=4.0).contains(&q.value), "windowed p50 {q:?}");
     }
 
     #[test]
